@@ -1,0 +1,94 @@
+//! §3.1 / Figure 5 — workload self-check.
+//!
+//! Verifies the generated tables against everything the paper states about
+//! them: tuple widths (150/152 and 32 bytes), compressed widths (≈52 and 12
+//! bytes), per-attribute codec assignment, on-disk sizes at 60 M rows
+//! (9.5 GB / 1.9 GB), and the 4:1 LINEITEM:ORDERS line ratio.
+
+use rodb_bench::{actual_rows, seed};
+use rodb_storage::BuildLayouts;
+use rodb_tpch::{
+    compressed_bits, lineitem_schema, lineitem_z_compression, load_lineitem, load_orders,
+    orders_schema, orders_z_compression, Variant,
+};
+
+fn main() {
+    rodb_bench::banner("Schema check", "Figure 5 widths, codecs, and table sizes");
+
+    let li = lineitem_schema();
+    let or = orders_schema();
+    println!("\nLINEITEM: {} attributes, {} bytes ({} stored)", li.len(), li.logical_width(), li.stored_width());
+    println!("ORDERS:   {} attributes, {} bytes ({} stored)", or.len(), or.logical_width(), or.stored_width());
+    assert_eq!((li.logical_width(), li.stored_width()), (150, 152));
+    assert_eq!((or.logical_width(), or.stored_width()), (32, 32));
+
+    let lz = lineitem_z_compression().expect("codecs");
+    let oz = orders_z_compression().expect("codecs");
+    println!("\nPer-attribute codecs (LINEITEM-Z):");
+    for (i, (c, comp)) in li.columns().iter().zip(&lz).enumerate() {
+        println!(
+            "  {:>2} {:<16} {:<9} {:>3} bits  {:?}",
+            i + 1,
+            c.name,
+            c.dtype.to_string(),
+            comp.bits_per_value(c.dtype),
+            comp.codec.kind()
+        );
+    }
+    let li_bits = compressed_bits(&li, &lz);
+    let or_bits = compressed_bits(&or, &oz);
+    println!(
+        "\nLINEITEM-Z tuple: {} bits = {:.1} bytes (paper: \"52 bytes\")",
+        li_bits,
+        li_bits as f64 / 8.0
+    );
+    println!(
+        "ORDERS-Z tuple:   {} bits = {:.1} bytes (paper: \"12 bytes\")",
+        or_bits,
+        or_bits as f64 / 8.0
+    );
+    assert_eq!(or_bits.div_ceil(8), 12);
+    assert!(li_bits.div_ceil(8) >= 51 && li_bits.div_ceil(8) <= 52);
+
+    // Generated on-disk sizes, extrapolated to the paper's 60 M rows.
+    let n = actual_rows();
+    let li_t =
+        load_lineitem(n, seed(), 4096, BuildLayouts::both(), Variant::Plain).expect("load");
+    let or_t = load_orders(n, seed(), 4096, BuildLayouts::both(), Variant::Plain).expect("load");
+    let scale = 60.0e6 / n as f64;
+    let li_gb = li_t.row_storage().unwrap().byte_len() as f64 * scale / 1e9;
+    let or_gb = or_t.row_storage().unwrap().byte_len() as f64 * scale / 1e9;
+    println!("\nAt 60 M rows (paper scale):");
+    println!("  LINEITEM row file: {li_gb:.2} GB (paper: 9.5 GB)");
+    println!("  ORDERS row file:   {or_gb:.2} GB (paper: 1.9 GB)");
+    assert!((9.2..9.7).contains(&li_gb));
+    assert!((1.85..2.0).contains(&or_gb));
+
+    let li_col_gb = li_t.col_storage().unwrap().byte_len() as f64 * scale / 1e9;
+    println!("  LINEITEM column files total: {li_col_gb:.2} GB (dense, no padding)");
+
+    // Compressed sizes.
+    let li_z =
+        load_lineitem(n, seed(), 4096, BuildLayouts::both(), Variant::Compressed).expect("load");
+    let or_z =
+        load_orders(n, seed(), 4096, BuildLayouts::both(), Variant::Compressed).expect("load");
+    println!(
+        "  LINEITEM-Z: row {:.2} GB, columns {:.2} GB",
+        li_z.row_storage().unwrap().byte_len() as f64 * scale / 1e9,
+        li_z.col_storage().unwrap().byte_len() as f64 * scale / 1e9
+    );
+    println!(
+        "  ORDERS-Z:   row {:.2} GB, columns {:.2} GB",
+        or_z.row_storage().unwrap().byte_len() as f64 * scale / 1e9,
+        or_z.col_storage().unwrap().byte_len() as f64 * scale / 1e9
+    );
+
+    // TPC-H ratio: ~4 lineitems per order.
+    let rows = rodb_tpch::LineitemGen::new(n.min(100_000), seed()).collect::<Vec<_>>();
+    let orders = rows.last().unwrap()[1].as_int().unwrap() as f64;
+    println!(
+        "\nLINEITEM lines per order: {:.2} (TPC-H specifies ~4:1)",
+        rows.len() as f64 / orders
+    );
+    println!("\nAll schema checks passed.");
+}

@@ -1,0 +1,284 @@
+//! Bit-level packing primitives.
+//!
+//! The paper packs compressed values inside a page with bit-shifting
+//! instructions (§2.2.1). [`BitWriter`] appends fixed-width unsigned codes
+//! LSB-first into a byte buffer; [`BitReader`] reads them back either
+//! sequentially or by random index (every code has the same width, so code
+//! *i* lives at bit offset `i * width`).
+
+use rodb_types::{Error, Result};
+
+/// Number of bits needed to represent `max_code` (at least 1).
+///
+/// ```
+/// use rodb_compress::bits::bits_for;
+/// assert_eq!(bits_for(0), 1);
+/// assert_eq!(bits_for(1), 1);
+/// assert_eq!(bits_for(2), 2);
+/// assert_eq!(bits_for(1000), 10); // the paper's §2.2.1 example
+/// assert_eq!(bits_for(u64::MAX), 64);
+/// ```
+pub fn bits_for(max_code: u64) -> u8 {
+    if max_code == 0 {
+        1
+    } else {
+        (64 - max_code.leading_zeros()) as u8
+    }
+}
+
+/// Appends fixed- or mixed-width unsigned codes to a byte buffer, LSB-first.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Number of valid bits in the final byte (0 means byte-aligned).
+    bit_pos: usize,
+}
+
+impl BitWriter {
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_pos
+    }
+
+    /// Bytes needed to hold everything written so far.
+    pub fn byte_len(&self) -> usize {
+        self.bit_pos.div_ceil(8)
+    }
+
+    /// Append the low `bits` bits of `code`. `bits` must be 1..=64 and `code`
+    /// must fit.
+    pub fn write(&mut self, code: u64, bits: u8) -> Result<()> {
+        if bits == 0 || bits > 64 {
+            return Err(Error::InvalidConfig(format!("bit width {bits}")));
+        }
+        if bits < 64 && (code >> bits) != 0 {
+            return Err(Error::ValueOutOfDomain(format!(
+                "code {code} does not fit in {bits} bits"
+            )));
+        }
+        let mut remaining = bits as usize;
+        let mut code = code;
+        while remaining > 0 {
+            let byte_idx = self.bit_pos / 8;
+            let off = self.bit_pos % 8;
+            if byte_idx == self.buf.len() {
+                self.buf.push(0);
+            }
+            let take = remaining.min(8 - off);
+            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            self.buf[byte_idx] |= ((code & mask) as u8) << off;
+            code >>= take;
+            self.bit_pos += take;
+            remaining -= take;
+        }
+        Ok(())
+    }
+
+    /// Append raw bytes, byte-aligned (pads the current byte with zeros
+    /// first). Used for uncompressed and byte-packed (text) values.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.align();
+        self.buf.extend_from_slice(bytes);
+        self.bit_pos = self.buf.len() * 8;
+    }
+
+    /// Pad to the next byte boundary with zero bits.
+    pub fn align(&mut self) {
+        self.bit_pos = self.bit_pos.div_ceil(8) * 8;
+        while self.buf.len() * 8 < self.bit_pos {
+            self.buf.push(0);
+        }
+    }
+
+    /// Consume the writer, returning the packed bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the packed bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Reads fixed-width unsigned codes from a packed byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> BitReader<'a> {
+    pub fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader { data }
+    }
+
+    /// Read `bits` bits starting at absolute bit offset `bit_off`.
+    pub fn read_at(&self, bit_off: usize, bits: u8) -> Result<u64> {
+        let bits_us = bits as usize;
+        if bits == 0 || bits > 64 {
+            return Err(Error::InvalidConfig(format!("bit width {bits}")));
+        }
+        if bit_off + bits_us > self.data.len() * 8 {
+            return Err(Error::Corrupt(format!(
+                "bit read [{bit_off}, {}) past end ({} bits)",
+                bit_off + bits_us,
+                self.data.len() * 8
+            )));
+        }
+        let mut out: u64 = 0;
+        let mut got = 0usize;
+        let mut pos = bit_off;
+        while got < bits_us {
+            let byte = self.data[pos / 8] as u64;
+            let off = pos % 8;
+            let take = (bits_us - got).min(8 - off);
+            let mask = (1u64 << take) - 1;
+            out |= ((byte >> off) & mask) << got;
+            got += take;
+            pos += take;
+        }
+        Ok(out)
+    }
+
+    /// Read the `idx`-th code of a fixed-width run that starts at bit 0.
+    #[inline]
+    pub fn get(&self, idx: usize, bits: u8) -> Result<u64> {
+        self.read_at(idx * bits as usize, bits)
+    }
+
+    /// Sequential cursor over fixed-width codes starting at bit 0.
+    pub fn cursor(&self, bits: u8) -> BitCursor<'a> {
+        BitCursor {
+            reader: *self,
+            bits,
+            pos: 0,
+        }
+    }
+}
+
+/// A sequential fixed-width code cursor.
+#[derive(Debug, Clone)]
+pub struct BitCursor<'a> {
+    reader: BitReader<'a>,
+    bits: u8,
+    pos: usize,
+}
+
+impl BitCursor<'_> {
+    /// Read the next code.
+    pub fn next_code(&mut self) -> Result<u64> {
+        let v = self.reader.read_at(self.pos, self.bits)?;
+        self.pos += self.bits as usize;
+        Ok(v)
+    }
+
+    /// Skip `n` codes without decoding.
+    pub fn skip(&mut self, n: usize) {
+        self.pos += n * self.bits as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_codes() {
+        let mut w = BitWriter::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            w.write(v, 3).unwrap();
+        }
+        assert_eq!(w.bit_len(), 24);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 3);
+        let r = BitReader::new(&bytes);
+        for v in 0..8u64 {
+            assert_eq!(r.get(v as usize, 3).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn cross_byte_codes() {
+        let mut w = BitWriter::new();
+        let vals = [1000u64, 0, 1023, 512, 7];
+        for &v in &vals {
+            w.write(v, 10).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let r = BitReader::new(&bytes);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(r.get(i, 10).unwrap(), v, "idx {i}");
+        }
+    }
+
+    #[test]
+    fn wide_codes_up_to_64() {
+        let mut w = BitWriter::new();
+        let vals = [u64::MAX, 0, 0x0123_4567_89ab_cdef];
+        for &v in &vals {
+            w.write(v, 64).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let r = BitReader::new(&bytes);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(r.get(i, 64).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn overflow_code_rejected() {
+        let mut w = BitWriter::new();
+        assert!(w.write(8, 3).is_err());
+        assert!(w.write(7, 3).is_ok());
+        assert!(w.write(1, 0).is_err());
+        assert!(w.write(1, 65).is_err());
+    }
+
+    #[test]
+    fn read_past_end_rejected() {
+        let mut w = BitWriter::new();
+        w.write(5, 3).unwrap();
+        let bytes = w.into_bytes();
+        let r = BitReader::new(&bytes);
+        assert_eq!(r.get(0, 3).unwrap(), 5);
+        // Bits 3..6 are readable zero padding within the byte; bits 6..9 are not.
+        assert_eq!(r.get(1, 3).unwrap(), 0);
+        assert!(r.get(2, 3).is_err());
+    }
+
+    #[test]
+    fn align_and_bytes() {
+        let mut w = BitWriter::new();
+        w.write(1, 1).unwrap();
+        w.write_bytes(b"ab");
+        assert_eq!(w.byte_len(), 3);
+        let bytes = w.into_bytes();
+        assert_eq!(&bytes[1..], b"ab");
+        assert_eq!(bytes[0], 1);
+    }
+
+    #[test]
+    fn cursor_sequential_and_skip() {
+        let mut w = BitWriter::new();
+        for v in 0..100u64 {
+            w.write(v, 7).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut c = BitReader::new(&bytes).cursor(7);
+        assert_eq!(c.next_code().unwrap(), 0);
+        assert_eq!(c.next_code().unwrap(), 1);
+        c.skip(10);
+        assert_eq!(c.next_code().unwrap(), 12);
+    }
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for((1 << 14) - 1), 14);
+    }
+}

@@ -1,0 +1,690 @@
+//! The paper's three lightweight compression schemes (§2.2.1), plus the
+//! trivial `None` codec and the byte-level text variant of bit packing.
+//!
+//! All schemes share two properties the paper relies on:
+//!
+//! 1. they are **layout-neutral** — the same compression ratio for row and
+//!    column data — and
+//! 2. they produce **fixed-length** compressed values, so code *i* of a page
+//!    lives at a computable bit offset.
+//!
+//! `FOR-delta` is the one scheme without random access: reconstructing value
+//! *i* requires decoding all codes up to *i* in the page — which is exactly
+//! the CPU effect Figure 9 studies.
+
+use std::sync::Arc;
+
+use rodb_types::{DataType, Error, Result, Value};
+
+use crate::bits::{BitReader, BitWriter};
+use crate::dict::Dictionary;
+
+/// A compression scheme plus its fixed code width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Codec {
+    /// Values stored raw at `dtype.width()` bytes.
+    None,
+    /// Bit packing / null suppression: non-negative ints stored in `bits`
+    /// bits each.
+    BitPack { bits: u8 },
+    /// Dictionary codes (bit-packed on top, per the paper) of `bits` bits;
+    /// the dictionary itself lives in the catalog.
+    Dict { bits: u8 },
+    /// Frame-of-reference: per-page base value (the page minimum), codes are
+    /// `value - base` in `bits` bits.
+    For { bits: u8 },
+    /// FOR-delta: per-page base is the first value; code *i* is
+    /// `value[i] - value[i-1]` (code 0 for the first value). Deltas must be
+    /// non-negative, so the column must be non-decreasing (e.g. a sorted key).
+    ForDelta { bits: u8 },
+    /// Byte-level packing for fixed text whose meaningful content fits in
+    /// `bytes` bytes (the rest of the declared width is zero padding) —
+    /// the paper's "pack, 28 bytes" for L_COMMENT.
+    TextPack { bytes: u16 },
+}
+
+/// Codec family, used by the CPU cost model to charge decompression work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecKind {
+    None,
+    BitPack,
+    Dict,
+    For,
+    ForDelta,
+    TextPack,
+}
+
+impl Codec {
+    pub fn kind(&self) -> CodecKind {
+        match self {
+            Codec::None => CodecKind::None,
+            Codec::BitPack { .. } => CodecKind::BitPack,
+            Codec::Dict { .. } => CodecKind::Dict,
+            Codec::For { .. } => CodecKind::For,
+            Codec::ForDelta { .. } => CodecKind::ForDelta,
+            Codec::TextPack { .. } => CodecKind::TextPack,
+        }
+    }
+
+    /// Stored bits per value for a column of type `dtype`.
+    pub fn bits_per_value(&self, dtype: DataType) -> usize {
+        match self {
+            Codec::None => dtype.width() * 8,
+            Codec::BitPack { bits } | Codec::Dict { bits } | Codec::For { bits }
+            | Codec::ForDelta { bits } => *bits as usize,
+            Codec::TextPack { bytes } => *bytes as usize * 8,
+        }
+    }
+
+    /// Can value *i* be decoded without touching values `0..i`?
+    /// Only FOR-delta says no.
+    pub fn random_access(&self) -> bool {
+        !matches!(self, Codec::ForDelta { .. })
+    }
+
+    /// Check codec/type compatibility.
+    pub fn validate_for(&self, dtype: DataType) -> Result<()> {
+        let ok = match self {
+            Codec::None | Codec::Dict { .. } => true,
+            Codec::BitPack { .. } | Codec::For { .. } | Codec::ForDelta { .. } => dtype.is_int(),
+            Codec::TextPack { bytes } => match dtype {
+                DataType::Text(n) => *bytes as usize <= n,
+                DataType::Int | DataType::Long => false,
+            },
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(Error::InvalidConfig(format!(
+                "codec {:?} incompatible with {dtype}",
+                self.kind()
+            )))
+        }
+    }
+}
+
+/// A codec plus the dictionary it may need; what the catalog stores per
+/// column ("compression schemes are typically chosen during physical
+/// design").
+///
+/// ```
+/// use rodb_compress::{Codec, ColumnCompression};
+/// use rodb_types::{DataType, Value};
+///
+/// // §2.2.1's example: sorted IDs 100,101,102,103 store as deltas (0,1,1,1)
+/// // with a per-page base of 100.
+/// let comp = ColumnCompression::new(Codec::ForDelta { bits: 8 }, None)?;
+/// let vals: Vec<Value> = (100..104).map(Value::Int).collect();
+/// let page = comp.encode_page(DataType::Int, &vals)?;
+/// assert_eq!(page.base, 100);
+/// let mut cur = comp.open_page(DataType::Int, &page.data, page.count, page.base).cursor();
+/// for v in 100..104 {
+///     assert_eq!(cur.next_int()?, v);
+/// }
+/// # Ok::<(), rodb_types::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnCompression {
+    pub codec: Codec,
+    pub dict: Option<Arc<Dictionary>>,
+}
+
+impl ColumnCompression {
+    /// Plain, uncompressed storage.
+    pub fn none() -> ColumnCompression {
+        ColumnCompression {
+            codec: Codec::None,
+            dict: None,
+        }
+    }
+
+    pub fn new(codec: Codec, dict: Option<Arc<Dictionary>>) -> Result<ColumnCompression> {
+        match (&codec, &dict) {
+            (Codec::Dict { bits }, Some(d))
+                if d.code_bits() > *bits => {
+                    return Err(Error::InvalidConfig(format!(
+                        "dictionary needs {} bits, codec configured with {bits}",
+                        d.code_bits()
+                    )));
+                }
+            (Codec::Dict { .. }, None) => {
+                return Err(Error::InvalidConfig("Dict codec without dictionary".into()));
+            }
+            _ => {}
+        }
+        Ok(ColumnCompression { codec, dict })
+    }
+
+    pub fn bits_per_value(&self, dtype: DataType) -> usize {
+        self.codec.bits_per_value(dtype)
+    }
+
+    /// Encode one page worth of values. Returns the packed bytes and the
+    /// page's base value (meaningful only for FOR/FOR-delta; 0 otherwise).
+    pub fn encode_page(&self, dtype: DataType, values: &[Value]) -> Result<EncodedValues> {
+        self.codec.validate_for(dtype)?;
+        let mut w = BitWriter::new();
+        let mut base = 0i64;
+        match &self.codec {
+            Codec::None => {
+                for v in values {
+                    let mut buf = Vec::with_capacity(dtype.width());
+                    v.encode_into(dtype, &mut buf)?;
+                    w.write_bytes(&buf);
+                }
+            }
+            Codec::BitPack { bits } => {
+                for v in values {
+                    let iv = v.as_int()?;
+                    if iv < 0 {
+                        return Err(Error::ValueOutOfDomain(format!(
+                            "negative value {iv} under BitPack"
+                        )));
+                    }
+                    w.write(iv as u64, *bits)?;
+                }
+            }
+            Codec::Dict { bits } => {
+                let dict = self
+                    .dict
+                    .as_ref()
+                    .ok_or_else(|| Error::InvalidConfig("Dict codec without dictionary".into()))?;
+                for v in values {
+                    let code = dict.code_of(dtype, v)?;
+                    w.write(code as u64, *bits)?;
+                }
+            }
+            Codec::For { bits } => {
+                base = values
+                    .iter()
+                    .map(|v| v.as_int().map(|i| i as i64))
+                    .collect::<Result<Vec<_>>>()?
+                    .into_iter()
+                    .min()
+                    .unwrap_or(0);
+                for v in values {
+                    let code = (v.as_int()? as i64 - base) as u64;
+                    w.write(code, *bits).map_err(|_| {
+                        Error::ValueOutOfDomain(format!(
+                            "FOR range {code} exceeds {bits} bits"
+                        ))
+                    })?;
+                }
+            }
+            Codec::ForDelta { bits } => {
+                let mut prev: Option<i64> = None;
+                for v in values {
+                    let iv = v.as_int()? as i64;
+                    let code = match prev {
+                        None => {
+                            base = iv;
+                            0u64
+                        }
+                        Some(p) => {
+                            let d = iv - p;
+                            if d < 0 {
+                                return Err(Error::ValueOutOfDomain(format!(
+                                    "negative delta {d} under FOR-delta"
+                                )));
+                            }
+                            d as u64
+                        }
+                    };
+                    prev = Some(iv);
+                    w.write(code, *bits).map_err(|_| {
+                        Error::ValueOutOfDomain(format!(
+                            "delta {code} exceeds {bits} bits"
+                        ))
+                    })?;
+                }
+            }
+            Codec::TextPack { bytes } => {
+                let nb = *bytes as usize;
+                for v in values {
+                    let t = v.as_text()?;
+                    let full_width = match dtype {
+                        DataType::Text(n) => n,
+                        _ => unreachable!("validated above"),
+                    };
+                    if t.len() > full_width {
+                        return Err(Error::ValueOutOfDomain("text wider than column".into()));
+                    }
+                    if t.len() > nb && t[nb..].iter().any(|&b| b != 0) {
+                        return Err(Error::ValueOutOfDomain(format!(
+                            "text content exceeds TextPack width {nb}"
+                        )));
+                    }
+                    let mut packed = vec![0u8; nb];
+                    let n = t.len().min(nb);
+                    packed[..n].copy_from_slice(&t[..n]);
+                    w.write_bytes(&packed);
+                }
+            }
+        }
+        Ok(EncodedValues {
+            data: w.into_bytes(),
+            base,
+            count: values.len(),
+        })
+    }
+
+    /// Open a page's packed bytes for decoding.
+    pub fn open_page<'a>(
+        &'a self,
+        dtype: DataType,
+        data: &'a [u8],
+        count: usize,
+        base: i64,
+    ) -> PageValues<'a> {
+        PageValues {
+            comp: self,
+            dtype,
+            data: BitReader::new(data),
+            count,
+            base,
+        }
+    }
+}
+
+/// Result of encoding one page of values.
+#[derive(Debug, Clone)]
+pub struct EncodedValues {
+    pub data: Vec<u8>,
+    pub base: i64,
+    pub count: usize,
+}
+
+/// Read-side view of one page's packed values.
+#[derive(Debug, Clone, Copy)]
+pub struct PageValues<'a> {
+    comp: &'a ColumnCompression,
+    dtype: DataType,
+    data: BitReader<'a>,
+    count: usize,
+    base: i64,
+}
+
+impl<'a> PageValues<'a> {
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    fn check(&self, idx: usize) -> Result<()> {
+        if idx >= self.count {
+            return Err(Error::Corrupt(format!(
+                "value index {idx} out of page (count {})",
+                self.count
+            )));
+        }
+        Ok(())
+    }
+
+    /// Random-access decode of an integer value. For FOR-delta this costs
+    /// O(idx) — prefer [`PageValues::cursor`] for scans.
+    pub fn int_at(&self, idx: usize) -> Result<i32> {
+        self.check(idx)?;
+        match &self.comp.codec {
+            Codec::None => {
+                let w = self.dtype.width();
+                let off = idx * w * 8;
+                let raw = self.data.read_at(off, 32)?;
+                Ok(raw as u32 as i32)
+            }
+            Codec::BitPack { bits } => Ok(self.data.get(idx, *bits)? as i32),
+            Codec::Dict { bits } => {
+                let code = self.data.get(idx, *bits)? as u32;
+                self.dict()?.value_of(code)?.as_int()
+            }
+            Codec::For { bits } => Ok((self.base + self.data.get(idx, *bits)? as i64) as i32),
+            Codec::ForDelta { bits } => {
+                let mut v = 0i64;
+                for i in 0..=idx {
+                    v += self.data.get(i, *bits)? as i64;
+                }
+                Ok((self.base + v) as i32)
+            }
+            Codec::TextPack { .. } => Err(Error::TypeMismatch {
+                expected: "Int",
+                got: "Text",
+            }),
+        }
+    }
+
+    /// Random-access decode of any value.
+    pub fn value_at(&self, idx: usize) -> Result<Value> {
+        match self.dtype {
+            DataType::Int => self.int_at(idx).map(Value::Int),
+            dt @ (DataType::Long | DataType::Text(_)) => {
+                self.check(idx)?;
+                let mut out = Vec::with_capacity(dt.width());
+                self.write_raw(idx, &mut out)?;
+                Value::decode(dt, &out)
+            }
+        }
+    }
+
+    /// Append the *uncompressed* (full declared width) bytes of value `idx`
+    /// to `out` — how scanners materialize tuples into blocks.
+    pub fn write_raw(&self, idx: usize, out: &mut Vec<u8>) -> Result<()> {
+        self.check(idx)?;
+        match (&self.comp.codec, self.dtype) {
+            (Codec::None, dt) => {
+                let w = dt.width();
+                for b in 0..w {
+                    let byte = self.data.read_at((idx * w + b) * 8, 8)? as u8;
+                    out.push(byte);
+                }
+                Ok(())
+            }
+            (Codec::TextPack { bytes }, DataType::Text(n)) => {
+                let nb = *bytes as usize;
+                for b in 0..nb {
+                    let byte = self.data.read_at((idx * nb + b) * 8, 8)? as u8;
+                    out.push(byte);
+                }
+                out.extend(std::iter::repeat_n(0u8, n - nb));
+                Ok(())
+            }
+            (Codec::Dict { bits }, dt) => {
+                let code = self.data.get(idx, *bits)? as u32;
+                let v = self.dict()?.value_of(code)?;
+                v.encode_into(dt, out)
+            }
+            (_, DataType::Int) => {
+                let v = self.int_at(idx)?;
+                out.extend_from_slice(&v.to_le_bytes());
+                Ok(())
+            }
+            (c, dt) => Err(Error::InvalidConfig(format!(
+                "codec {:?} cannot decode {dt}",
+                c.kind()
+            ))),
+        }
+    }
+
+    fn dict(&self) -> Result<&Dictionary> {
+        self.comp
+            .dict
+            .as_deref()
+            .ok_or_else(|| Error::InvalidConfig("Dict codec without dictionary".into()))
+    }
+
+    /// Sequential cursor — the efficient way to scan, and the only efficient
+    /// way to decode FOR-delta.
+    pub fn cursor(&self) -> SeqValues<'a> {
+        SeqValues {
+            pv: *self,
+            idx: 0,
+            running: self.base,
+            codes_decoded: 0,
+        }
+    }
+}
+
+/// Sequential decoder over one page's values.
+///
+/// Tracks `codes_decoded`: how many stored codes were actually touched,
+/// which the engine feeds to the CPU cost model (for FOR-delta, skipping to
+/// position *p* still decodes every code before *p* — Figure 9's effect).
+#[derive(Debug, Clone)]
+pub struct SeqValues<'a> {
+    pv: PageValues<'a>,
+    idx: usize,
+    running: i64,
+    codes_decoded: u64,
+}
+
+impl SeqValues<'_> {
+    /// Current position (next value to be returned).
+    pub fn position(&self) -> usize {
+        self.idx
+    }
+
+    /// Stored codes decoded so far (including ones skipped over in FOR-delta).
+    pub fn codes_decoded(&self) -> u64 {
+        self.codes_decoded
+    }
+
+    /// Advance to value index `target` (≥ current position). For FOR-delta
+    /// this decodes every intermediate code; for all other codecs it is free.
+    pub fn seek(&mut self, target: usize) -> Result<()> {
+        if target < self.idx {
+            return Err(Error::InvalidPlan(format!(
+                "sequential cursor cannot seek backwards ({} -> {target})",
+                self.idx
+            )));
+        }
+        if let Codec::ForDelta { bits } = &self.pv.comp.codec {
+            while self.idx < target {
+                let d = self.pv.data.get(self.idx, *bits)? as i64;
+                // Code 0 carries the base; codes 1.. are deltas from previous.
+                if self.idx > 0 {
+                    self.running += d;
+                }
+                self.idx += 1;
+                self.codes_decoded += 1;
+            }
+        } else {
+            self.idx = target;
+        }
+        Ok(())
+    }
+
+    /// Decode the integer at the current position and advance.
+    pub fn next_int(&mut self) -> Result<i32> {
+        let idx = self.idx;
+        if let Codec::ForDelta { bits } = &self.pv.comp.codec {
+            self.pv.check(idx)?;
+            let d = self.pv.data.get(idx, *bits)? as i64;
+            if idx > 0 {
+                self.running += d;
+            }
+            self.idx += 1;
+            self.codes_decoded += 1;
+            Ok(self.running as i32)
+        } else {
+            let v = self.pv.int_at(idx)?;
+            self.idx += 1;
+            self.codes_decoded += 1;
+            Ok(v)
+        }
+    }
+
+    /// Decode the value at the current position into raw full-width bytes and
+    /// advance.
+    pub fn next_raw(&mut self, out: &mut Vec<u8>) -> Result<()> {
+        if self.pv.dtype.is_int() {
+            let v = self.next_int()?;
+            out.extend_from_slice(&v.to_le_bytes());
+            Ok(())
+        } else {
+            let idx = self.idx;
+            self.pv.write_raw(idx, out)?;
+            self.idx += 1;
+            self.codes_decoded += 1;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: &[i32]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    fn roundtrip(comp: &ColumnCompression, dtype: DataType, vals: &[Value]) {
+        let enc = comp.encode_page(dtype, vals).unwrap();
+        let pv = comp.open_page(dtype, &enc.data, enc.count, enc.base);
+        // Random access (when supported).
+        if comp.codec.random_access() {
+            for (i, v) in vals.iter().enumerate() {
+                let got = pv.value_at(i).unwrap();
+                assert_eq!(got.to_string(), v.to_string(), "random idx {i}");
+            }
+        }
+        // Sequential.
+        let mut c = pv.cursor();
+        for (i, v) in vals.iter().enumerate() {
+            let mut raw = Vec::new();
+            c.next_raw(&mut raw).unwrap();
+            let got = Value::decode(dtype, &raw).unwrap();
+            assert_eq!(got.to_string(), v.to_string(), "seq idx {i}");
+        }
+    }
+
+    #[test]
+    fn none_roundtrip() {
+        roundtrip(
+            &ColumnCompression::none(),
+            DataType::Int,
+            &ints(&[0, -5, i32::MAX, i32::MIN, 42]),
+        );
+        roundtrip(
+            &ColumnCompression::none(),
+            DataType::Text(5),
+            &[Value::text("ab"), Value::text("cdefg"), Value::text("")],
+        );
+    }
+
+    #[test]
+    fn bitpack_roundtrip_and_domain() {
+        let comp = ColumnCompression::new(Codec::BitPack { bits: 10 }, None).unwrap();
+        roundtrip(&comp, DataType::Int, &ints(&[0, 1000, 1023, 512]));
+        assert!(comp.encode_page(DataType::Int, &ints(&[1024])).is_err());
+        assert!(comp.encode_page(DataType::Int, &ints(&[-1])).is_err());
+    }
+
+    #[test]
+    fn paper_for_vs_fordelta_example() {
+        // §2.2.1: sorted IDs 100,101,102,103 → FOR codes (0,1,2,3),
+        // FOR-delta codes (0,1,1,1), base 100 in both.
+        let vals = ints(&[100, 101, 102, 103]);
+        let f = ColumnCompression::new(Codec::For { bits: 8 }, None).unwrap();
+        let enc = f.encode_page(DataType::Int, &vals).unwrap();
+        assert_eq!(enc.base, 100);
+        let r = BitReader::new(&enc.data);
+        assert_eq!(
+            (0..4).map(|i| r.get(i, 8).unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        roundtrip(&f, DataType::Int, &vals);
+
+        let fd = ColumnCompression::new(Codec::ForDelta { bits: 8 }, None).unwrap();
+        let enc = fd.encode_page(DataType::Int, &vals).unwrap();
+        assert_eq!(enc.base, 100);
+        let r = BitReader::new(&enc.data);
+        assert_eq!(
+            (0..4).map(|i| r.get(i, 8).unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 1, 1]
+        );
+        roundtrip(&fd, DataType::Int, &vals);
+    }
+
+    #[test]
+    fn for_handles_unsorted_via_min_base() {
+        let comp = ColumnCompression::new(Codec::For { bits: 4 }, None).unwrap();
+        roundtrip(&comp, DataType::Int, &ints(&[7, 3, 12, 3, 10]));
+        // Range 0..=15 fits; range 16 does not.
+        assert!(comp.encode_page(DataType::Int, &ints(&[0, 16])).is_err());
+    }
+
+    #[test]
+    fn fordelta_rejects_decreasing() {
+        let comp = ColumnCompression::new(Codec::ForDelta { bits: 8 }, None).unwrap();
+        assert!(comp.encode_page(DataType::Int, &ints(&[5, 4])).is_err());
+    }
+
+    #[test]
+    fn fordelta_counts_skipped_codes() {
+        let vals = ints(&[10, 11, 13, 16, 20, 25]);
+        let comp = ColumnCompression::new(Codec::ForDelta { bits: 4 }, None).unwrap();
+        let enc = comp.encode_page(DataType::Int, &vals).unwrap();
+        let pv = comp.open_page(DataType::Int, &enc.data, enc.count, enc.base);
+        let mut c = pv.cursor();
+        c.seek(4).unwrap();
+        assert_eq!(c.codes_decoded(), 4); // had to decode everything before idx 4
+        assert_eq!(c.next_int().unwrap(), 20);
+        assert!(c.seek(2).is_err()); // no backwards seeks
+
+        // Random access works but is O(idx).
+        assert_eq!(pv.int_at(5).unwrap(), 25);
+        assert!(!comp.codec.random_access());
+    }
+
+    #[test]
+    fn dict_roundtrip_text_and_int() {
+        let vals = [Value::text("AIR"), Value::text("SHIP"), Value::text("AIR")];
+        let dict = Arc::new(Dictionary::build(DataType::Text(10), vals.iter()).unwrap());
+        let comp = ColumnCompression::new(Codec::Dict { bits: 2 }, Some(dict)).unwrap();
+        roundtrip(&comp, DataType::Text(10), &vals);
+
+        let vals = ints(&[500, 900, 500, 100]);
+        let dict = Arc::new(Dictionary::build(DataType::Int, vals.iter()).unwrap());
+        let comp = ColumnCompression::new(Codec::Dict { bits: 2 }, Some(dict)).unwrap();
+        roundtrip(&comp, DataType::Int, &vals);
+    }
+
+    #[test]
+    fn dict_requires_enough_bits_and_a_dictionary() {
+        let vals: Vec<Value> = (0..5).map(Value::Int).collect();
+        let dict = Arc::new(Dictionary::build(DataType::Int, vals.iter()).unwrap());
+        assert!(ColumnCompression::new(Codec::Dict { bits: 2 }, Some(dict.clone())).is_err());
+        assert!(ColumnCompression::new(Codec::Dict { bits: 3 }, Some(dict)).is_ok());
+        assert!(ColumnCompression::new(Codec::Dict { bits: 3 }, None).is_err());
+    }
+
+    #[test]
+    fn textpack_roundtrip_and_validation() {
+        let vals = [Value::text("short"), Value::text("tiny"), Value::text("")];
+        let comp = ColumnCompression::new(Codec::TextPack { bytes: 8 }, None).unwrap();
+        roundtrip(&comp, DataType::Text(30), &vals);
+        // Content beyond the packed width is rejected.
+        let long = [Value::text("this is far longer than eight")];
+        assert!(comp.encode_page(DataType::Text(30), &long).is_err());
+        // TextPack wider than the column is invalid.
+        assert!(Codec::TextPack { bytes: 40 }.validate_for(DataType::Text(30)).is_err());
+        assert!(Codec::TextPack { bytes: 8 }.validate_for(DataType::Int).is_err());
+    }
+
+    #[test]
+    fn type_validation() {
+        assert!(Codec::BitPack { bits: 4 }.validate_for(DataType::Text(4)).is_err());
+        assert!(Codec::For { bits: 4 }.validate_for(DataType::Text(4)).is_err());
+        assert!(Codec::ForDelta { bits: 4 }.validate_for(DataType::Text(4)).is_err());
+        assert!(Codec::None.validate_for(DataType::Text(4)).is_ok());
+        assert!(Codec::Dict { bits: 4 }.validate_for(DataType::Text(4)).is_ok());
+    }
+
+    #[test]
+    fn bits_per_value_matches_figure5_arithmetic() {
+        // ORDERS-Z: 14 + 8 + 32 + 2 + 3 + 32 + 1 = 92 bits = 11.5 → 12 bytes.
+        let widths = [
+            Codec::BitPack { bits: 14 }.bits_per_value(DataType::Int),
+            Codec::ForDelta { bits: 8 }.bits_per_value(DataType::Int),
+            Codec::None.bits_per_value(DataType::Int),
+            Codec::Dict { bits: 2 }.bits_per_value(DataType::Text(1)),
+            Codec::Dict { bits: 3 }.bits_per_value(DataType::Text(11)),
+            Codec::None.bits_per_value(DataType::Int),
+            Codec::BitPack { bits: 1 }.bits_per_value(DataType::Int),
+        ];
+        let total: usize = widths.iter().sum();
+        assert_eq!(total, 92);
+        assert_eq!(total.div_ceil(8), 12);
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let comp = ColumnCompression::none();
+        let enc = comp.encode_page(DataType::Int, &ints(&[1, 2])).unwrap();
+        let pv = comp.open_page(DataType::Int, &enc.data, 2, 0);
+        assert!(pv.int_at(2).is_err());
+        assert!(pv.value_at(5).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! The `Database` facade: a catalog plus a platform configuration.
+
+use std::sync::Arc;
+
+use rodb_compress::ColumnCompression;
+use rodb_storage::{Catalog, Table, WriteOptimizedStore};
+use rodb_types::{HardwareConfig, Result, Schema, SystemConfig};
+
+use crate::query::QueryBuilder;
+
+/// A read-optimized database: loaded tables + the simulated platform they
+/// are measured on.
+pub struct Database {
+    catalog: Catalog,
+    hw: HardwareConfig,
+    sys: SystemConfig,
+}
+
+impl Database {
+    /// A database on the paper's reference platform (P4 3.2 GHz, 3-disk
+    /// RAID, 128 KB I/O units, prefetch depth 48).
+    pub fn new() -> Database {
+        Database::with_config(HardwareConfig::default(), SystemConfig::default())
+            .expect("default config is valid")
+    }
+
+    /// A database on a custom platform.
+    pub fn with_config(hw: HardwareConfig, sys: SystemConfig) -> Result<Database> {
+        hw.validate()?;
+        sys.validate()?;
+        Ok(Database {
+            catalog: Catalog::new(),
+            hw,
+            sys,
+        })
+    }
+
+    pub fn hardware(&self) -> &HardwareConfig {
+        &self.hw
+    }
+
+    pub fn system(&self) -> &SystemConfig {
+        &self.sys
+    }
+
+    /// Hardware cpdb rating (§5).
+    pub fn cpdb(&self) -> f64 {
+        self.hw.cpdb()
+    }
+
+    /// Register a bulk-loaded table (replaces an existing one of the same
+    /// name, e.g. after a WOS merge).
+    pub fn register(&mut self, table: Table) -> Arc<Table> {
+        self.catalog.register(table)
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.catalog.get(name)
+    }
+
+    /// Registered table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.catalog.table_names()
+    }
+
+    /// Start building a query against a table.
+    pub fn query(&self, table: &str) -> Result<QueryBuilder> {
+        Ok(QueryBuilder::new(self.table(table)?, self.hw, self.sys))
+    }
+
+    /// Create a write-optimized staging store for a table (Figure 1's WOS).
+    pub fn wos_for(&self, table: &str) -> Result<WriteOptimizedStore> {
+        Ok(WriteOptimizedStore::new(self.table(table)?.schema.clone()))
+    }
+
+    /// Merge a WOS into its table and re-register the result.
+    pub fn merge_wos(
+        &mut self,
+        table: &str,
+        wos: &mut WriteOptimizedStore,
+        comps: &[ColumnCompression],
+        sort_by: Option<usize>,
+    ) -> Result<Arc<Table>> {
+        let t = self.table(table)?;
+        let merged = wos.merge_into(&t, comps, sort_by)?;
+        Ok(self.register(merged))
+    }
+
+    /// The schema of a table (convenience).
+    pub fn schema(&self, table: &str) -> Result<Arc<Schema>> {
+        Ok(self.table(table)?.schema.clone())
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodb_storage::{BuildLayouts, Layout, TableBuilder};
+    use rodb_types::{Column, Value};
+
+    fn tiny_table() -> Table {
+        let s = Arc::new(Schema::new(vec![Column::int("k"), Column::int("v")]).unwrap());
+        let mut b = TableBuilder::new("t", s, 4096, BuildLayouts::both()).unwrap();
+        for i in 0..100 {
+            b.push_row(&[Value::Int(i), Value::Int(i * 2)]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn register_and_query_paths() {
+        let mut db = Database::new();
+        db.register(tiny_table());
+        assert_eq!(db.table_names(), vec!["t"]);
+        assert!(db.table("t").is_ok());
+        assert!(db.table("missing").is_err());
+        assert!(db.query("t").is_ok());
+        assert!(db.query("missing").is_err());
+        assert!((db.cpdb() - 17.78).abs() < 0.1);
+        assert_eq!(db.schema("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wos_merge_roundtrip() {
+        let mut db = Database::new();
+        db.register(tiny_table());
+        let mut wos = db.wos_for("t").unwrap();
+        wos.insert(vec![Value::Int(-1), Value::Int(-2)]).unwrap();
+        let comps = vec![ColumnCompression::none(); 2];
+        let merged = db.merge_wos("t", &mut wos, &comps, Some(0)).unwrap();
+        assert_eq!(merged.row_count, 101);
+        // New version is what the catalog serves.
+        let rows = db.table("t").unwrap().read_all(Layout::Row).unwrap();
+        assert_eq!(rows[0][0], Value::Int(-1));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let hw = HardwareConfig {
+            disks: 0,
+            ..HardwareConfig::default()
+        };
+        assert!(Database::with_config(hw, SystemConfig::default()).is_err());
+    }
+}

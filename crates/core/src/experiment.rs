@@ -1,0 +1,257 @@
+//! Experiment harness helpers shared by the figure-regeneration binaries.
+//!
+//! Every §4 experiment is a variant of
+//! `select A1, A2, … from TABLE where predicate(A1)` with the number of
+//! selected attributes swept on the x-axis. These helpers run such sweeps
+//! and hand back paper-style series.
+
+use std::sync::Arc;
+
+use rodb_engine::{Predicate, RunReport, ScanLayout};
+use rodb_storage::Table;
+use rodb_types::{HardwareConfig, Result, SystemConfig};
+
+use crate::query::QueryBuilder;
+
+/// Common knobs of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    pub hw: HardwareConfig,
+    pub sys: SystemConfig,
+    /// Virtual table cardinality for reporting (the paper uses 60 M rows).
+    pub virtual_rows: u64,
+    /// Concurrent competing sequential scans (Figure 11).
+    pub competing_scans: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            hw: HardwareConfig::default(),
+            sys: SystemConfig::default(),
+            virtual_rows: 60_000_000,
+            competing_scans: 0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
+        self.sys.prefetch_depth = depth;
+        self
+    }
+
+    pub fn with_competing_scans(mut self, n: usize) -> Self {
+        self.competing_scans = n;
+        self
+    }
+}
+
+/// One point of a projectivity sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Attributes selected (1..=n, in schema order).
+    pub attrs: usize,
+    /// Sum of the selected attributes' uncompressed widths — the paper's
+    /// x-axis spacing ("selected bytes per tuple").
+    pub selected_bytes: usize,
+    pub layout: ScanLayout,
+    pub report: RunReport,
+}
+
+/// Run one measured scan.
+pub fn scan_report(
+    table: &Arc<Table>,
+    layout: ScanLayout,
+    projection: &[usize],
+    predicate: Predicate,
+    cfg: &ExperimentConfig,
+) -> Result<RunReport> {
+    let qb = QueryBuilder::new(table.clone(), cfg.hw, cfg.sys)
+        .layout(layout)
+        .select_indices(projection)
+        .filter_pred(predicate)?
+        .scale_to_rows(cfg.virtual_rows)
+        .competing_scans(cfg.competing_scans);
+    Ok(qb.run()?.report)
+}
+
+/// The paper's standard sweep: `select first k attributes where pred(A1)`,
+/// k = 1..=n, for one layout.
+pub fn projectivity_sweep(
+    table: &Arc<Table>,
+    layout: ScanLayout,
+    predicate: &Predicate,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<SweepPoint>> {
+    let n = table.schema.len();
+    let mut out = Vec::with_capacity(n);
+    for k in 1..=n {
+        let projection: Vec<usize> = (0..k).collect();
+        let report = scan_report(table, layout, &projection, predicate.clone(), cfg)?;
+        out.push(SweepPoint {
+            attrs: k,
+            selected_bytes: table.schema.selected_bytes(&projection),
+            layout,
+            report,
+        });
+    }
+    Ok(out)
+}
+
+/// Find where the column curve crosses above the row curve, as a fraction of
+/// the tuple width (the paper's "~85% of a tuple's size" crossover in §4.1).
+/// Returns `None` if columns stay faster everywhere.
+pub fn crossover_fraction(rows: &[SweepPoint], cols: &[SweepPoint]) -> Option<f64> {
+    let full = rows.last()?.selected_bytes as f64;
+    for (r, c) in rows.iter().zip(cols) {
+        if c.report.elapsed_s > r.report.elapsed_s {
+            return Some(c.selected_bytes as f64 / full);
+        }
+    }
+    None
+}
+
+/// Render a sweep as a paper-style text table.
+pub fn format_sweep(title: &str, series: &[(&str, &[SweepPoint])]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    let _ = write!(s, "{:>6} {:>6}", "attrs", "bytes");
+    for (name, _) in series {
+        let _ = write!(s, " {:>12} {:>10} {:>10}", format!("{name}-total"), "io_s", "cpu_s");
+    }
+    let _ = writeln!(s);
+    let n = series.first().map(|(_, v)| v.len()).unwrap_or(0);
+    for i in 0..n {
+        let p0 = &series[0].1[i];
+        let _ = write!(s, "{:>6} {:>6}", p0.attrs, p0.selected_bytes);
+        for (_, pts) in series {
+            let r = &pts[i].report;
+            let _ = write!(
+                s,
+                " {:>12.2} {:>10.2} {:>10.2}",
+                r.elapsed_s,
+                r.io_s,
+                r.cpu.total()
+            );
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Render CPU breakdowns (Figure 6 right style).
+pub fn format_breakdowns(title: &str, pts: &[SweepPoint]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    let _ = writeln!(
+        s,
+        "{:>6} {:>6} {:>8} {:>9} {:>8} {:>8} {:>9} {:>8}",
+        "attrs", "bytes", "sys", "usr-uop", "usr-L2", "usr-L1", "usr-rest", "total"
+    );
+    for p in pts {
+        let b = &p.report.cpu;
+        let _ = writeln!(
+            s,
+            "{:>6} {:>6} {:>8.2} {:>9.2} {:>8.2} {:>8.2} {:>9.2} {:>8.2}",
+            p.attrs,
+            p.selected_bytes,
+            b.sys,
+            b.usr_uop,
+            b.usr_l2,
+            b.usr_l1,
+            b.usr_rest,
+            b.total()
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodb_storage::{BuildLayouts, TableBuilder};
+    use rodb_types::{Column, Schema, Value};
+
+    fn table(rows: usize) -> Arc<Table> {
+        let s = Arc::new(
+            Schema::new(vec![
+                Column::int("a1"),
+                Column::int("a2"),
+                Column::text("a3", 12),
+                Column::int("a4"),
+            ])
+            .unwrap(),
+        );
+        let mut b = TableBuilder::new("t", s, 4096, BuildLayouts::both()).unwrap();
+        for i in 0..rows {
+            b.push_row(&[
+                Value::Int((i % 1000) as i32),
+                Value::Int(i as i32),
+                Value::text("hello rodb"),
+                Value::Int(-(i as i32)),
+            ])
+            .unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn sweep_shapes_match_the_paper() {
+        let t = table(20_000);
+        let cfg = ExperimentConfig {
+            virtual_rows: 20_000_000,
+            ..Default::default()
+        };
+        let pred = Predicate::lt(0, 100); // 10% selectivity
+        let rows = projectivity_sweep(&t, ScanLayout::Row, &pred, &cfg).unwrap();
+        let cols = projectivity_sweep(&t, ScanLayout::Column, &pred, &cfg).unwrap();
+        assert_eq!(rows.len(), 4);
+        // Row store elapsed is flat in projectivity (reads everything).
+        let r0 = rows[0].report.elapsed_s;
+        for p in &rows {
+            assert!((p.report.elapsed_s - r0).abs() / r0 < 0.15, "row not flat");
+        }
+        // Column store elapsed grows with selected bytes.
+        assert!(cols.last().unwrap().report.elapsed_s > cols[0].report.elapsed_s);
+        // Columns win at 1 attribute.
+        assert!(cols[0].report.elapsed_s < rows[0].report.elapsed_s);
+        // x-axis spacing follows cumulative widths: 4, 8, 20, 24.
+        let widths: Vec<usize> = cols.iter().map(|p| p.selected_bytes).collect();
+        assert_eq!(widths, vec![4, 8, 20, 24]);
+    }
+
+    #[test]
+    fn crossover_detection() {
+        let t = table(20_000);
+        let cfg = ExperimentConfig {
+            virtual_rows: 20_000_000,
+            ..Default::default()
+        };
+        let pred = Predicate::lt(0, 100);
+        let rows = projectivity_sweep(&t, ScanLayout::Row, &pred, &cfg).unwrap();
+        let cols = projectivity_sweep(&t, ScanLayout::Column, &pred, &cfg).unwrap();
+        // With only 4 wide-ish columns the crossover may or may not appear;
+        // the function must return a sane fraction when it does.
+        if let Some(f) = crossover_fraction(&rows, &cols) {
+            assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+
+    #[test]
+    fn formatting_contains_all_points() {
+        let t = table(2_000);
+        let cfg = ExperimentConfig::default();
+        let pred = Predicate::lt(0, 100);
+        let rows = projectivity_sweep(&t, ScanLayout::Row, &pred, &cfg).unwrap();
+        let cols = projectivity_sweep(&t, ScanLayout::Column, &pred, &cfg).unwrap();
+        let txt = format_sweep("test", &[("row", &rows), ("column", &cols)]);
+        assert!(txt.lines().count() >= 6);
+        assert!(txt.contains("row-total"));
+        let bd = format_breakdowns("cpu", &cols);
+        assert!(bd.contains("usr-uop"));
+        assert_eq!(bd.lines().count(), 2 + cols.len());
+    }
+}

@@ -1,0 +1,29 @@
+//! High-level API of **rodb**: the read-optimized database of the paper as a
+//! library a downstream user can adopt.
+//!
+//! * [`Database`] — catalog + simulated platform; register bulk-loaded
+//!   tables, stage inserts in a WOS, merge.
+//! * [`QueryBuilder`] — precompiled-plan queries: projection, SARGable
+//!   predicates, aggregation, layout choice, paper-scale reporting.
+//! * [`compare`] — measured row-vs-column comparison, the model-driven
+//!   layout advisor, and the compression advisor.
+//! * [`experiment`] — the §4 projectivity-sweep harness the figure
+//!   binaries are built on.
+
+pub mod compare;
+pub mod db;
+pub mod experiment;
+pub mod mv;
+pub mod query;
+
+pub use compare::{
+    compare_layouts, predicted_speedup, recommend_compression, recommend_layout,
+    LayoutComparison,
+};
+pub use db::Database;
+pub use experiment::{
+    crossover_fraction, format_breakdowns, format_sweep, projectivity_sweep, scan_report,
+    ExperimentConfig, SweepPoint,
+};
+pub use mv::{materialize, recommend_vertical_partitions, MvRecommendation, QueryPattern};
+pub use query::{QueryBuilder, QueryResult};

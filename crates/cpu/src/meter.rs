@@ -1,0 +1,302 @@
+//! The engine-facing CPU meter.
+//!
+//! Operators report semantic events ("evaluated N predicates", "copied this
+//! projection", "decoded N FOR-delta codes") and the meter turns them into
+//! raw counters using [`OpCosts`]. The memory-hierarchy side implements the
+//! §2.1.2/§4.1 prefetcher semantics: densely touched regions stream
+//! sequentially (prefetched, overlappable), sparsely touched regions pay the
+//! full random-access latency per line.
+
+use rodb_compress::CodecKind;
+use rodb_types::HardwareConfig;
+
+use crate::breakdown::CpuBreakdown;
+use crate::costs::{CostParams, OpCosts};
+use crate::counters::CpuCounters;
+
+/// Accumulates one execution's CPU work.
+#[derive(Debug, Clone)]
+pub struct CpuMeter {
+    counters: CpuCounters,
+    costs: OpCosts,
+    params: CostParams,
+}
+
+impl Default for CpuMeter {
+    fn default() -> Self {
+        CpuMeter::new(OpCosts::default(), CostParams::default())
+    }
+}
+
+impl CpuMeter {
+    pub fn new(costs: OpCosts, params: CostParams) -> CpuMeter {
+        CpuMeter {
+            counters: CpuCounters::default(),
+            costs,
+            params,
+        }
+    }
+
+    pub fn counters(&self) -> &CpuCounters {
+        &self.counters
+    }
+
+    pub fn costs(&self) -> &OpCosts {
+        &self.costs
+    }
+
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Final conversion to the paper's stacked breakdown.
+    pub fn breakdown(&self, hw: &HardwareConfig) -> CpuBreakdown {
+        CpuBreakdown::from_counters(&self.counters, hw, &self.params)
+    }
+
+    // ----- raw events ------------------------------------------------------
+
+    pub fn add_uops(&mut self, n: f64) {
+        self.counters.uops += n;
+    }
+
+    /// Record `taken`/`not_taken` outcomes of one branch site; the minority
+    /// outcome approximates mispredictions.
+    pub fn branches(&mut self, taken: f64, not_taken: f64) {
+        self.counters.branch_mispredicts += taken.min(not_taken);
+    }
+
+    pub fn random_miss(&mut self, n: f64) {
+        self.counters.rand_misses += n;
+    }
+
+    // ----- I/O-side kernel work (driven from IoStats) -----------------------
+
+    /// Charge kernel work for the disk traffic a query performed.
+    /// `bytes` are bytes moved, `io_unit` the request granularity,
+    /// `switches` the number of file switches (seeks). When counters will be
+    /// scaled to virtual row counts afterwards, pass pre-divided values.
+    pub fn io_kernel_work(&mut self, bytes: f64, io_unit: usize, switches: f64) {
+        self.counters.io_bytes += bytes;
+        self.counters.io_requests += bytes / io_unit as f64;
+        self.counters.io_switches += switches;
+    }
+
+    // ----- scan-side events -------------------------------------------------
+
+    /// Row scanner visited `n` tuples (loop overhead only).
+    pub fn row_iter(&mut self, n: f64) {
+        self.counters.uops += n * self.costs.row_iter;
+    }
+
+    /// A column scan node visited `n` values (loop overhead only).
+    pub fn col_iter(&mut self, n: f64) {
+        self.counters.uops += n * self.costs.col_iter;
+    }
+
+    /// Evaluated a predicate on `n` values of which `passed` qualified.
+    pub fn predicate(&mut self, n: f64, passed: f64) {
+        self.counters.uops += n * self.costs.predicate;
+        self.branches(passed, n - passed);
+    }
+
+    /// Copied `tuples` projections of `attrs` attributes / `bytes` total
+    /// bytes into an output block.
+    pub fn project(&mut self, tuples: f64, attrs: f64, bytes: f64) {
+        self.counters.uops +=
+            tuples * attrs * self.costs.project_attr + bytes * self.costs.copy_byte;
+    }
+
+    /// Pipelined column scanner consumed `n` {position, value} pairs.
+    pub fn position_pairs(&mut self, n: f64) {
+        self.counters.uops += n * self.costs.position_pair;
+    }
+
+    /// `n` block-iterator `next()` calls crossed operator boundaries.
+    pub fn block_calls(&mut self, n: f64) {
+        self.counters.uops += n * self.costs.block_call;
+    }
+
+    /// Decoded `n` stored codes of codec family `kind`.
+    pub fn decode(&mut self, kind: CodecKind, n: f64) {
+        self.counters.uops += n * self.costs.decode(kind);
+    }
+
+    /// Updated `n` aggregate accumulators.
+    pub fn agg_update(&mut self, n: f64) {
+        self.counters.uops += n * self.costs.agg_update;
+    }
+
+    /// `n` hash-table probes over a table of `table_bytes`; probes miss L2
+    /// when the table exceeds it.
+    pub fn hash_probe(&mut self, n: f64, table_bytes: f64, l2_bytes: f64) {
+        self.counters.uops += n * self.costs.hash_probe;
+        if table_bytes > l2_bytes {
+            self.counters.rand_misses += n;
+        }
+    }
+
+    /// `n` key comparisons (sorting, merging).
+    pub fn key_compare(&mut self, n: f64) {
+        self.counters.uops += n * self.costs.key_compare;
+    }
+
+    // ----- memory-hierarchy model -------------------------------------------
+
+    /// Charge memory traffic for touching `touched_values` values of
+    /// `value_width` bytes within a region of `region_bytes` total.
+    ///
+    /// Dense access (≥ half the region's cache lines touched) triggers the
+    /// hardware prefetcher: the whole region streams sequentially to L2 and
+    /// the touched lines move on to L1. Sparse access pays a random-latency
+    /// miss per touched line instead (§2.1.2: the prefetcher only engages on
+    /// predictable patterns).
+    pub fn memory_access(
+        &mut self,
+        hw: &HardwareConfig,
+        region_bytes: f64,
+        touched_values: f64,
+        value_width: f64,
+    ) {
+        if region_bytes <= 0.0 || touched_values <= 0.0 {
+            return;
+        }
+        let line = hw.line_bytes;
+        let l1_line = self.params.l1_line_bytes;
+        let lines_per_value = (value_width / line).ceil().max(1.0);
+        let region_lines = (region_bytes / line).ceil();
+        let touched_lines = (touched_values * lines_per_value).min(region_lines);
+        if touched_lines * 2.0 >= region_lines {
+            // Sequential: prefetcher streams the region.
+            self.counters.seq_bytes += region_bytes;
+        } else {
+            self.counters.rand_misses += touched_lines;
+        }
+        // L2→L1 movement covers only the touched data either way.
+        let l1_lines_per_value = (value_width / l1_line).ceil().max(1.0);
+        let region_l1_lines = (region_bytes / l1_line).ceil();
+        self.counters.l1_lines += (touched_values * l1_lines_per_value).min(region_l1_lines);
+    }
+
+    /// Charge purely sequential streaming of `bytes` (e.g. writing output
+    /// blocks).
+    pub fn stream_bytes(&mut self, bytes: f64) {
+        self.counters.seq_bytes += bytes;
+        self.counters.l1_lines += bytes / self.params.l1_line_bytes;
+    }
+
+    /// Charge the memory→L2 side only: a region streamed sequentially by the
+    /// hardware prefetcher (a scanner passing over a whole file).
+    pub fn seq_region(&mut self, bytes: f64) {
+        self.counters.seq_bytes += bytes;
+    }
+
+    /// Charge the L2→L1 side only: `n` values of `width` bytes actually
+    /// examined by the CPU, each on its own cache line (row-major access:
+    /// every tuple's field sits on a different line).
+    pub fn touch_l1(&mut self, n: f64, width: f64) {
+        let lines_per_value = (width / self.params.l1_line_bytes).ceil().max(1.0);
+        self.counters.l1_lines += n * lines_per_value;
+    }
+
+    /// Charge the L2→L1 side for *densely packed* access: `bytes` contiguous
+    /// bytes share lines (column minipages — the PAX cache benefit).
+    pub fn touch_l1_dense(&mut self, bytes: f64) {
+        self.counters.l1_lines += bytes / self.params.l1_line_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HardwareConfig {
+        HardwareConfig::default()
+    }
+
+    #[test]
+    fn dense_access_streams_whole_region() {
+        let mut m = CpuMeter::default();
+        // 10% of 4-byte values in a region: touched lines = n/10 vs n*4/128
+        // lines → touched ≥ half the lines → sequential.
+        let n = 1_000_000.0;
+        m.memory_access(&hw(), n * 4.0, n * 0.1, 4.0);
+        assert_eq!(m.counters().seq_bytes, n * 4.0);
+        assert_eq!(m.counters().rand_misses, 0.0);
+        assert!(m.counters().l1_lines > 0.0);
+    }
+
+    #[test]
+    fn sparse_access_pays_random_misses() {
+        let mut m = CpuMeter::default();
+        // 0.1% of values touched: far below half the lines.
+        let n = 1_000_000.0;
+        m.memory_access(&hw(), n * 4.0, n * 0.001, 4.0);
+        assert_eq!(m.counters().seq_bytes, 0.0);
+        assert_eq!(m.counters().rand_misses, n * 0.001);
+    }
+
+    #[test]
+    fn wide_values_touch_multiple_lines() {
+        let mut m = CpuMeter::default();
+        // 69-byte strings sparse: 1000 values → 1000 misses (≤ 2 lines each,
+        // capped by per-value line count of ceil(69/128)=1).
+        m.memory_access(&hw(), 69.0e6, 1000.0, 69.0);
+        assert_eq!(m.counters().rand_misses, 1000.0);
+        let mut m2 = CpuMeter::default();
+        // 200-byte values need 2 L2 lines each.
+        m2.memory_access(&hw(), 200.0e6, 1000.0, 200.0);
+        assert_eq!(m2.counters().rand_misses, 2000.0);
+    }
+
+    #[test]
+    fn predicate_counts_uops_and_mispredicts() {
+        let mut m = CpuMeter::default();
+        m.predicate(1000.0, 100.0);
+        assert_eq!(m.counters().uops, 1000.0 * OpCosts::default().predicate);
+        assert_eq!(m.counters().branch_mispredicts, 100.0);
+        // Non-selective predicates mispredict on the minority side.
+        let mut m = CpuMeter::default();
+        m.predicate(1000.0, 900.0);
+        assert_eq!(m.counters().branch_mispredicts, 100.0);
+    }
+
+    #[test]
+    fn decode_charges_by_codec() {
+        let mut m = CpuMeter::default();
+        m.decode(CodecKind::ForDelta, 100.0);
+        let delta_uops = m.counters().uops;
+        let mut m2 = CpuMeter::default();
+        m2.decode(CodecKind::For, 100.0);
+        assert!(m2.counters().uops < delta_uops);
+    }
+
+    #[test]
+    fn io_kernel_work_populates_sys_counters() {
+        let mut m = CpuMeter::default();
+        m.io_kernel_work(1.0e9, 131072, 10.0);
+        assert_eq!(m.counters().io_bytes, 1.0e9);
+        assert!((m.counters().io_requests - 1.0e9 / 131072.0).abs() < 1e-9);
+        assert_eq!(m.counters().io_switches, 10.0);
+        let b = m.breakdown(&hw());
+        assert!(b.sys > 0.0);
+        assert_eq!(b.usr_uop, 0.0);
+    }
+
+    #[test]
+    fn hash_probe_misses_only_when_table_exceeds_l2() {
+        let mut m = CpuMeter::default();
+        m.hash_probe(100.0, 0.5e6, 1.0e6);
+        assert_eq!(m.counters().rand_misses, 0.0);
+        m.hash_probe(100.0, 2.0e6, 1.0e6);
+        assert_eq!(m.counters().rand_misses, 100.0);
+    }
+
+    #[test]
+    fn zero_work_is_zero() {
+        let mut m = CpuMeter::default();
+        m.memory_access(&hw(), 0.0, 0.0, 4.0);
+        m.memory_access(&hw(), 100.0, 0.0, 4.0);
+        assert_eq!(*m.counters(), CpuCounters::default());
+    }
+}

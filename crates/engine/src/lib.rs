@@ -1,0 +1,32 @@
+//! The read-optimized relational query engine (§2.2 of the paper).
+//!
+//! A pull-based block-iterator engine whose row and column table scanners
+//! produce identical block formats (Figure 4), making them interchangeable
+//! under the shared relational operators: selection/projection in the
+//! scanners, aggregation (hash and sort based), and merge join.
+
+pub mod agg;
+pub mod block;
+pub mod exec;
+pub mod join;
+pub mod op;
+pub mod plan;
+pub mod predicate;
+pub mod scan_col;
+pub mod scan_col_single;
+pub mod scan_row;
+pub mod scan_shared;
+pub mod sort;
+
+pub use agg::{AggFunc, AggSpec, AggStrategy, Aggregate};
+pub use join::MergeJoin;
+pub use plan::{ScanLayout, ScanSpec};
+pub use sort::Sort;
+pub use block::TupleBlock;
+pub use exec::{run_to_completion, RunReport};
+pub use op::{ExecContext, Operator};
+pub use predicate::{CmpOp, Predicate};
+pub use scan_col::{ColumnScanMode, ColumnScanner};
+pub use scan_col_single::SingleIteratorColumnScanner;
+pub use scan_row::RowScanner;
+pub use scan_shared::{shared_row_scan, SharedScanOutput, SharedScanQuery};

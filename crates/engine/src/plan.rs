@@ -1,0 +1,166 @@
+//! Tiny plan builder.
+//!
+//! The paper uses precompiled plans (no parser or optimizer, §2.2.3); this
+//! module is the programmatic equivalent: describe a scan (+ optional
+//! aggregation), pick a layout, and build the operator tree.
+
+use std::sync::Arc;
+
+use rodb_storage::Table;
+use rodb_types::Result;
+
+use crate::agg::{AggSpec, AggStrategy, Aggregate};
+use crate::op::{ExecContext, Operator};
+use crate::predicate::Predicate;
+use crate::scan_col::{ColumnScanMode, ColumnScanner};
+use crate::scan_col_single::SingleIteratorColumnScanner;
+use crate::scan_row::RowScanner;
+
+/// Which physical access path a scan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanLayout {
+    /// Row-store file scan.
+    Row,
+    /// Pipelined column scanner (the paper's measured design).
+    Column,
+    /// Pipelined column scanner with serialized disk requests
+    /// (Figure 11's "slow" reference variant).
+    ColumnSlow,
+    /// Single-iterator column scanner (the §4.2 extension).
+    ColumnSingleIterator,
+}
+
+impl std::fmt::Display for ScanLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ScanLayout::Row => "row",
+            ScanLayout::Column => "column",
+            ScanLayout::ColumnSlow => "column-slow",
+            ScanLayout::ColumnSingleIterator => "column-single",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A declarative scan description.
+#[derive(Debug, Clone)]
+pub struct ScanSpec {
+    pub table: Arc<Table>,
+    pub layout: ScanLayout,
+    pub projection: Vec<usize>,
+    pub predicates: Vec<Predicate>,
+}
+
+impl ScanSpec {
+    pub fn new(table: Arc<Table>, layout: ScanLayout, projection: Vec<usize>) -> ScanSpec {
+        ScanSpec {
+            table,
+            layout,
+            projection,
+            predicates: Vec::new(),
+        }
+    }
+
+    pub fn with_predicates(mut self, predicates: Vec<Predicate>) -> ScanSpec {
+        self.predicates = predicates;
+        self
+    }
+
+    /// Build the scan operator.
+    pub fn build(self, ctx: &ExecContext) -> Result<Box<dyn Operator>> {
+        Ok(match self.layout {
+            ScanLayout::Row => Box::new(RowScanner::new(
+                self.table,
+                self.projection,
+                self.predicates,
+                ctx,
+            )?),
+            ScanLayout::Column => Box::new(ColumnScanner::new(
+                self.table,
+                self.projection,
+                self.predicates,
+                ColumnScanMode::Pipelined,
+                ctx,
+            )?),
+            ScanLayout::ColumnSlow => Box::new(ColumnScanner::new(
+                self.table,
+                self.projection,
+                self.predicates,
+                ColumnScanMode::Slow,
+                ctx,
+            )?),
+            ScanLayout::ColumnSingleIterator => Box::new(SingleIteratorColumnScanner::new(
+                self.table,
+                self.projection,
+                self.predicates,
+                ctx,
+            )?),
+        })
+    }
+
+    /// Build the scan with an aggregation on top.
+    pub fn build_with_agg(
+        self,
+        group_by: Option<usize>,
+        specs: Vec<AggSpec>,
+        strategy: AggStrategy,
+        ctx: &ExecContext,
+    ) -> Result<Box<dyn Operator>> {
+        let scan = self.build(ctx)?;
+        Ok(Box::new(Aggregate::new(scan, group_by, specs, strategy, ctx)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::collect_rows;
+    use rodb_storage::{BuildLayouts, TableBuilder};
+    use rodb_types::{Column, Schema, Value};
+
+    fn table() -> Arc<Table> {
+        let s = Arc::new(Schema::new(vec![Column::int("a"), Column::int("b")]).unwrap());
+        let mut b = TableBuilder::new("t", s, 4096, BuildLayouts::both()).unwrap();
+        for i in 0..500 {
+            b.push_row(&[Value::Int(i % 10), Value::Int(i)]).unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn all_layouts_agree() {
+        let t = table();
+        let mut results = Vec::new();
+        for layout in [
+            ScanLayout::Row,
+            ScanLayout::Column,
+            ScanLayout::ColumnSlow,
+            ScanLayout::ColumnSingleIterator,
+        ] {
+            let ctx = ExecContext::default_ctx();
+            let mut op = ScanSpec::new(t.clone(), layout, vec![0, 1])
+                .with_predicates(vec![Predicate::lt(0, 3)])
+                .build(&ctx)
+                .unwrap();
+            results.push(collect_rows(&mut op).unwrap());
+        }
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
+        assert_eq!(results[0].len(), 150);
+    }
+
+    #[test]
+    fn scan_plus_aggregate() {
+        let t = table();
+        let ctx = ExecContext::default_ctx();
+        let mut op = ScanSpec::new(t, ScanLayout::Column, vec![0, 1])
+            .build_with_agg(Some(0), vec![AggSpec::count()], AggStrategy::Hash, &ctx)
+            .unwrap();
+        let rows = collect_rows(&mut op).unwrap();
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert_eq!(r[1], Value::Long(50));
+        }
+    }
+}

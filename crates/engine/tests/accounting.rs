@@ -1,0 +1,204 @@
+//! Accounting invariants: the simulated meters must conserve bytes, count
+//! work consistently across layouts, and respect the §4.1 breakdown algebra
+//! for any query the engine runs.
+
+use std::sync::Arc;
+
+use rodb_engine::{
+    run_to_completion, ExecContext, Predicate, ScanLayout, ScanSpec,
+};
+use rodb_storage::{BuildLayouts, Table, TableBuilder};
+use rodb_types::{Column, HardwareConfig, Schema, SystemConfig, Value};
+
+fn table(n: usize) -> Arc<Table> {
+    let s = Arc::new(
+        Schema::new(vec![
+            Column::int("a"),
+            Column::int("b"),
+            Column::text("t", 9),
+            Column::int("c"),
+        ])
+        .unwrap(),
+    );
+    let mut b = TableBuilder::new("t", s, 4096, BuildLayouts::both()).unwrap();
+    for i in 0..n {
+        b.push_row(&[
+            Value::Int((i % 1000) as i32),
+            Value::Int(i as i32),
+            Value::text("xyz"),
+            Value::Int(-(i as i32)),
+        ])
+        .unwrap();
+    }
+    Arc::new(b.finish().unwrap())
+}
+
+fn run(
+    t: &Arc<Table>,
+    layout: ScanLayout,
+    proj: Vec<usize>,
+    preds: Vec<Predicate>,
+    scale: f64,
+) -> rodb_engine::RunReport {
+    let ctx = ExecContext::new(HardwareConfig::default(), SystemConfig::default(), scale).unwrap();
+    let mut op = ScanSpec::new(t.clone(), layout, proj)
+        .with_predicates(preds)
+        .build(&ctx)
+        .unwrap();
+    run_to_completion(op.as_mut(), &ctx).unwrap()
+}
+
+#[test]
+fn bytes_read_conservation() {
+    let t = table(20_000);
+    // Row scan reads exactly the row file.
+    let r = run(&t, ScanLayout::Row, vec![0], vec![], 1.0);
+    assert!((r.io.bytes_read - t.row_storage().unwrap().byte_len() as f64).abs() < 1.0);
+    // Column scan reads exactly the selected column files.
+    let cs = t.col_storage().unwrap();
+    for proj in [vec![0usize], vec![0, 2], vec![0, 1, 2, 3]] {
+        let r = run(&t, ScanLayout::Column, proj.clone(), vec![], 1.0);
+        let expect: u64 = proj.iter().map(|&c| cs.columns[c].byte_len()).sum();
+        assert!(
+            (r.io.bytes_read - expect as f64).abs() < 1.0,
+            "proj {proj:?}: {} vs {expect}",
+            r.io.bytes_read
+        );
+    }
+}
+
+#[test]
+fn io_time_decomposes_into_components() {
+    let t = table(20_000);
+    for layout in [ScanLayout::Row, ScanLayout::Column] {
+        let r = run(&t, layout, vec![0, 1, 2, 3], vec![], 60.0);
+        let total = r.io.transfer_s + r.io.seek_s + r.io.comp_s;
+        assert!(
+            (r.io_s - total).abs() < 1e-9,
+            "{layout}: elapsed {} vs components {total}",
+            r.io_s
+        );
+        assert!(r.io.comp_s == 0.0); // no competitor registered
+    }
+}
+
+#[test]
+fn breakdown_total_is_sum_of_parts_and_nonnegative() {
+    let t = table(20_000);
+    for layout in [
+        ScanLayout::Row,
+        ScanLayout::Column,
+        ScanLayout::ColumnSlow,
+        ScanLayout::ColumnSingleIterator,
+    ] {
+        let r = run(&t, layout, vec![0, 1, 2], vec![Predicate::lt(0, 100)], 100.0);
+        let b = &r.cpu;
+        for part in [b.sys, b.usr_uop, b.usr_l2, b.usr_l1, b.usr_rest] {
+            assert!(part >= 0.0, "{layout}: negative component");
+        }
+        let sum = b.sys + b.usr_uop + b.usr_l2 + b.usr_l1 + b.usr_rest;
+        assert!((b.total() - sum).abs() < 1e-12);
+        assert!(r.elapsed_s + 1e-12 >= r.io_s.max(b.total()));
+    }
+}
+
+#[test]
+fn equal_work_same_counters_across_runs() {
+    // Determinism: identical queries meter identically.
+    let t = table(10_000);
+    let a = run(&t, ScanLayout::Column, vec![0, 3], vec![Predicate::lt(0, 77)], 10.0);
+    let b = run(&t, ScanLayout::Column, vec![0, 3], vec![Predicate::lt(0, 77)], 10.0);
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.io.seeks, b.io.seeks);
+    assert!((a.io_s - b.io_s).abs() < 1e-12);
+    assert!((a.cpu.total() - b.cpu.total()).abs() < 1e-12);
+}
+
+#[test]
+fn projecting_more_columns_never_reduces_work() {
+    let t = table(10_000);
+    let mut prev_io = 0.0;
+    let mut prev_cpu = 0.0;
+    for k in 1..=4usize {
+        let r = run(
+            &t,
+            ScanLayout::Column,
+            (0..k).collect(),
+            vec![Predicate::lt(0, 100)],
+            60.0,
+        );
+        assert!(r.io.bytes_read >= prev_io);
+        assert!(r.cpu.total() + 1e-9 >= prev_cpu);
+        prev_io = r.io.bytes_read;
+        prev_cpu = r.cpu.total();
+    }
+}
+
+#[test]
+fn selectivity_moves_cpu_not_io() {
+    let t = table(20_000);
+    let lo = run(&t, ScanLayout::Column, vec![0, 1, 2, 3], vec![Predicate::lt(0, 1)], 60.0);
+    let hi = run(
+        &t,
+        ScanLayout::Column,
+        vec![0, 1, 2, 3],
+        vec![Predicate::lt(0, 999)],
+        60.0,
+    );
+    assert!((lo.io.bytes_read - hi.io.bytes_read).abs() < 1.0);
+    assert!(hi.cpu.user() > lo.cpu.user());
+    assert!(hi.rows > lo.rows);
+}
+
+#[test]
+fn sys_time_tracks_bytes_and_switches() {
+    let t = table(20_000);
+    // More column files → more switches → more kernel time, even at equal
+    // byte counts (compare 1 wide text column vs 2 narrow int columns of
+    // similar size is messy; instead: same projection, row vs column).
+    let row = run(&t, ScanLayout::Row, vec![0, 1, 2, 3], vec![], 600.0);
+    let col = run(&t, ScanLayout::Column, vec![0, 1, 2, 3], vec![], 600.0);
+    // Column reads slightly fewer bytes (no padding) but performs many more
+    // switches; its per-byte kernel overhead must exceed the row store's.
+    let row_per_byte = row.cpu.sys / row.io.bytes_read;
+    let col_per_byte = col.cpu.sys / col.io.bytes_read;
+    assert!(col_per_byte > row_per_byte);
+    assert!(col.io.seeks > row.io.seeks * 10);
+}
+
+#[test]
+fn io_settlement_is_idempotent_across_runs_on_one_context() {
+    // Regression: run_to_completion used to charge cumulative disk stats on
+    // every call, double-counting kernel CPU when a context was reused.
+    let t = table(20_000);
+    let ctx = ExecContext::new(HardwareConfig::default(), SystemConfig::default(), 60.0).unwrap();
+    let mut op1 = ScanSpec::new(t.clone(), ScanLayout::Row, vec![0]).build(&ctx).unwrap();
+    let r1 = run_to_completion(op1.as_mut(), &ctx).unwrap();
+    let mut op2 = ScanSpec::new(t.clone(), ScanLayout::Row, vec![0]).build(&ctx).unwrap();
+    let r2 = run_to_completion(op2.as_mut(), &ctx).unwrap();
+    // The second report includes both runs' work, but sys must grow by
+    // roughly one run's worth (plus a few multi-stream seeks for the second
+    // file), not by the cumulative total again — the old bug produced ~3×.
+    let one_run_sys = r1.cpu.sys;
+    assert!(
+        r2.cpu.sys > 1.8 * one_run_sys && r2.cpu.sys < 2.5 * one_run_sys,
+        "sys after 2 runs {} vs one run {}",
+        r2.cpu.sys,
+        one_run_sys
+    );
+}
+
+#[test]
+fn competitor_time_is_visible_and_separate() {
+    let ctx = ExecContext::new(HardwareConfig::default(), SystemConfig::default(), 600.0).unwrap();
+    ctx.add_competing_scan();
+    let t = table(20_000);
+    let mut op = ScanSpec::new(t.clone(), ScanLayout::Row, vec![0])
+        .build(&ctx)
+        .unwrap();
+    let r = run_to_completion(op.as_mut(), &ctx).unwrap();
+    assert!(r.io.comp_bursts > 0);
+    assert!(r.io.comp_s > 0.0);
+    // Foreground byte accounting excludes the competitor's transfers.
+    assert!((r.io.bytes_read - t.row_storage().unwrap().byte_len() as f64 * 600.0).abs() < 1.0);
+}

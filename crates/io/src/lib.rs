@@ -1,0 +1,17 @@
+//! Simulated I/O subsystem (§2.2.3 of the paper).
+//!
+//! The paper reads through a custom Linux-AIO prefetching interface over a
+//! 3-disk software RAID. Here the same code paths run against a discrete
+//! simulator: [`disk::DiskArray`] charges transfer and seek time on a virtual
+//! clock (with a scale factor so laptop-sized files report paper-sized
+//! times), and [`stream::FileStream`] is the AIO-style prefetcher that turns
+//! page requests into burst reads. Competing scans (§4.5 / Fig. 11) are
+//! modelled as interleaved burst service on the shared array.
+
+pub mod disk;
+pub mod stats;
+pub mod stream;
+
+pub use disk::{DiskArray, FileId};
+pub use stats::IoStats;
+pub use stream::{FileStream, PageRef, SharedDisk};

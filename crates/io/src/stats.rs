@@ -1,0 +1,47 @@
+//! I/O accounting.
+
+/// Counters accumulated by the disk-array simulator for one query execution.
+///
+/// `bytes_read` / `seeks` / `bursts` cover the *foreground* query only;
+/// competitor service shows up in `comp_bursts` and in the clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IoStats {
+    /// Foreground bytes transferred (virtual bytes — already scale-adjusted).
+    pub bytes_read: f64,
+    /// Foreground seeks performed (head moved between sequential runs).
+    pub seeks: u64,
+    /// Foreground burst requests issued (one per prefetch-depth read).
+    pub bursts: u64,
+    /// Bursts served to competing scans while this query ran.
+    pub comp_bursts: u64,
+    /// Seconds the disks spent transferring foreground data.
+    pub transfer_s: f64,
+    /// Seconds the disks spent seeking for the foreground.
+    pub seek_s: f64,
+    /// Seconds the disks spent serving competitors (their seeks + transfers).
+    pub comp_s: f64,
+}
+
+impl IoStats {
+    /// Total disk-busy seconds attributable to this query's elapsed time.
+    pub fn total_s(&self) -> f64 {
+        self.transfer_s + self.seek_s + self.comp_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let s = IoStats {
+            transfer_s: 1.0,
+            seek_s: 0.25,
+            comp_s: 0.5,
+            ..Default::default()
+        };
+        assert!((s.total_s() - 1.75).abs() < 1e-12);
+        assert_eq!(IoStats::default().total_s(), 0.0);
+    }
+}

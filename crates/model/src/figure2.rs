@@ -1,0 +1,168 @@
+//! Figure 2: the average column-over-row speedup surface.
+//!
+//! "In this contour plot, each color represents a speedup range achieved by
+//! a column system over a row system when performing a simple scan of a
+//! relation, selecting 10% of the tuples and projecting 50% of the tuple
+//! attributes. The x-axis is the tuple width ... the y-axis represents the
+//! system's available resources in terms of CPU cycles per byte read
+//! sequentially from disk (cpdb)."
+
+use rodb_cpu::{CostParams, OpCosts};
+
+use crate::calibrate::{col_bytes, col_scanner_cost, row_scanner_cost, ColumnSpec};
+use crate::rates::{speedup, Platform, Workload};
+
+/// One grid cell of the surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    pub tuple_width: f64,
+    pub cpdb: f64,
+    pub speedup: f64,
+}
+
+/// Parameters of the Figure 2 sweep.
+#[derive(Debug, Clone)]
+pub struct Figure2Config {
+    /// Tuple widths on the x-axis (paper: 8–36 bytes).
+    pub widths: Vec<f64>,
+    /// cpdb values on the y-axis (paper: 9–144).
+    pub cpdbs: Vec<f64>,
+    /// Fraction of the tuple's attributes the query projects (paper: 0.5).
+    pub projection: f64,
+    /// Predicate selectivity (paper: 0.1).
+    pub selectivity: f64,
+    /// Average attribute width used to convert bytes to attribute counts.
+    pub attr_width: f64,
+}
+
+impl Default for Figure2Config {
+    fn default() -> Self {
+        Figure2Config {
+            widths: (2..=9).map(|w| (w * 4) as f64).collect(), // 8..=36
+            cpdbs: vec![9.0, 12.0, 18.0, 36.0, 72.0, 144.0],
+            projection: 0.5,
+            selectivity: 0.1,
+            attr_width: 4.0,
+        }
+    }
+}
+
+/// Evaluate the speedup for one (width, cpdb) point.
+pub fn speedup_at(cfg: &Figure2Config, width: f64, cpdb: f64) -> f64 {
+    let costs = OpCosts::default();
+    let params = CostParams::default();
+    let io_unit = 131072.0;
+    let sel_bytes = width * cfg.projection;
+    let nattrs = (sel_bytes / cfg.attr_width).round().max(1.0) as usize;
+    let cols = vec![ColumnSpec::raw(sel_bytes / nattrs as f64); nattrs];
+    let w = Workload {
+        row_bytes: width,
+        col_bytes: col_bytes(&cols),
+        row_cost: row_scanner_cost(
+            &costs,
+            &params,
+            3.0,
+            io_unit,
+            width,
+            cfg.selectivity,
+            &cols,
+        ),
+        col_cost: col_scanner_cost(&costs, &params, 3.0, io_unit, &cols, cfg.selectivity),
+        extra_ops: 0.0,
+    };
+    speedup(&w, &Platform::new(cpdb))
+}
+
+/// Generate the whole surface, row-major by cpdb then width.
+pub fn surface(cfg: &Figure2Config) -> Vec<Cell> {
+    let mut out = Vec::with_capacity(cfg.widths.len() * cfg.cpdbs.len());
+    for &cpdb in &cfg.cpdbs {
+        for &width in &cfg.widths {
+            out.push(Cell {
+                tuple_width: width,
+                cpdb,
+                speedup: speedup_at(cfg, width, cpdb),
+            });
+        }
+    }
+    out
+}
+
+/// The paper's contour bucket for a speedup value (its legend:
+/// 0.4–0.8, 0.8–1.2, 1.2–1.6, 1.6–1.8, ≥1.8).
+pub fn bucket(speedup: f64) -> &'static str {
+    match speedup {
+        s if s < 0.8 => "0.4-0.8",
+        s if s < 1.2 => "0.8-1.2",
+        s if s < 1.6 => "1.2-1.6",
+        s if s < 1.8 => "1.6-1.8",
+        _ => "1.8-2.0",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_advantage_only_in_lean_cpu_constrained_corner() {
+        // §1.3: "row stores have a potential advantage over column stores
+        // only when a relation is lean (less than 20 bytes), and only for
+        // CPU-constrained environments (low values of cpdb)."
+        let cfg = Figure2Config::default();
+        let cells = surface(&cfg);
+        for c in &cells {
+            if c.speedup < 1.0 {
+                assert!(
+                    c.tuple_width < 20.0 && c.cpdb <= 18.0,
+                    "row won at width {} cpdb {} ({})",
+                    c.tuple_width,
+                    c.cpdb,
+                    c.speedup
+                );
+            }
+        }
+        // And the corner itself does favour rows.
+        assert!(speedup_at(&cfg, 8.0, 9.0) < 1.0);
+    }
+
+    #[test]
+    fn wide_tuples_at_high_cpdb_approach_the_byte_ratio() {
+        let cfg = Figure2Config::default();
+        let s = speedup_at(&cfg, 36.0, 144.0);
+        assert!(s > 1.6, "got {s}");
+        assert!(s <= 2.0 + 1e-9); // 50% projection caps at 2×
+    }
+
+    #[test]
+    fn speedup_monotone_in_cpdb() {
+        // More cycles per disk byte can only help the (byte-thrifty) column
+        // store relative to the row store; width, by contrast, changes the
+        // node count discretely and need not be monotone at low cpdb.
+        let cfg = Figure2Config::default();
+        for &w in &cfg.widths {
+            let mut prev = 0.0;
+            for &c in &cfg.cpdbs {
+                let s = speedup_at(&cfg, w, c);
+                assert!(s >= prev - 1e-9, "width {w} cpdb {c}");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_partition() {
+        assert_eq!(bucket(0.5), "0.4-0.8");
+        assert_eq!(bucket(1.0), "0.8-1.2");
+        assert_eq!(bucket(1.3), "1.2-1.6");
+        assert_eq!(bucket(1.7), "1.6-1.8");
+        assert_eq!(bucket(1.95), "1.8-2.0");
+    }
+
+    #[test]
+    fn surface_covers_grid() {
+        let cfg = Figure2Config::default();
+        let cells = surface(&cfg);
+        assert_eq!(cells.len(), cfg.widths.len() * cfg.cpdbs.len());
+    }
+}

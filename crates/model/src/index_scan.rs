@@ -1,0 +1,122 @@
+//! Unclustered-index vs sequential-scan break-even (§2.1.1).
+//!
+//! "Consider a query that can utilize a secondary, unclustered index.
+//! Typically, the query probes the index and constructs a list of record IDs
+//! (RIDs) to be retrieved from disk. The list of RIDs is then sorted to
+//! minimize disk head movement. If we were to assume a 5 ms seek penalty and
+//! 300 MB/sec disk bandwidth, then the query must exhibit less than 0.008%
+//! selectivity before it pays off to skip any data and seek directly to the
+//! next value (assuming 128-byte tuples and uniform value distribution)."
+//!
+//! This module reproduces that arithmetic for any configuration, and prices
+//! full index-retrieval plans so the break-even can be read off directly.
+
+/// Parameters of the §2.1.1 worked example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexScanConfig {
+    /// Seek penalty per skip, seconds (paper example: 5 ms).
+    pub seek_s: f64,
+    /// Sequential bandwidth, bytes/second (paper example: 300 MB/s).
+    pub disk_bw: f64,
+    /// Tuple width in bytes (paper example: 128).
+    pub tuple_bytes: f64,
+}
+
+impl IndexScanConfig {
+    /// The paper's §2.1.1 example configuration.
+    pub fn paper_example() -> IndexScanConfig {
+        IndexScanConfig {
+            seek_s: 5.0e-3,
+            disk_bw: 300.0e6,
+            tuple_bytes: 128.0,
+        }
+    }
+
+    /// Time to sequentially scan `n` tuples.
+    pub fn sequential_time(&self, n: f64) -> f64 {
+        n * self.tuple_bytes / self.disk_bw
+    }
+
+    /// Time to retrieve `k` uniformly spread matches out of `n` tuples via
+    /// sorted-RID fetches: one seek per match plus reading the matched
+    /// tuples themselves. (With uniform spread and k ≪ n, skipped gaps are
+    /// never free — every match costs a head movement.)
+    pub fn index_time(&self, n: f64, selectivity: f64) -> f64 {
+        let k = n * selectivity;
+        k * self.seek_s + k * self.tuple_bytes / self.disk_bw
+    }
+
+    /// Selectivity below which skipping pays off: per skipped *gap* the scan
+    /// saves `gap_bytes / bw` but pays one seek, so the break-even gap is
+    /// `seek_s × bw` bytes, i.e. selectivity = tuple_bytes / (seek_s × bw).
+    pub fn breakeven_selectivity(&self) -> f64 {
+        self.tuple_bytes / (self.seek_s * self.disk_bw)
+    }
+
+    /// Does the index pay off at this selectivity?
+    pub fn index_pays_off(&self, selectivity: f64) -> bool {
+        selectivity < self.breakeven_selectivity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_yields_0_008_percent() {
+        // 128 / (0.005 × 300e6) = 8.533e-5 ≈ 0.008%.
+        let cfg = IndexScanConfig::paper_example();
+        let be = cfg.breakeven_selectivity();
+        assert!(
+            (be * 100.0 - 0.008).abs() < 0.001,
+            "break-even {:.5}% (paper: <0.008%)",
+            be * 100.0
+        );
+        assert!(cfg.index_pays_off(0.00005));
+        assert!(!cfg.index_pays_off(0.001));
+    }
+
+    #[test]
+    fn breakeven_matches_plan_cost_crossing() {
+        let cfg = IndexScanConfig::paper_example();
+        let n = 60.0e6;
+        let be = cfg.breakeven_selectivity();
+        // Just below break-even the index plan is cheaper; just above, the
+        // sequential scan is. (At break-even the seek part alone matches the
+        // full scan: reading matched tuples tips the comparison, hence the
+        // strict "<" in the paper's wording.)
+        let below = 0.5 * be;
+        assert!(cfg.index_time(n, below) < cfg.sequential_time(n));
+        let above = 1.1 * be;
+        assert!(cfg.index_time(n, above) > cfg.sequential_time(n));
+    }
+
+    #[test]
+    fn wider_tuples_and_slower_seeks_shift_the_breakeven() {
+        let base = IndexScanConfig::paper_example();
+        // Wider tuples → skipping saves more per gap → higher break-even.
+        let wide = IndexScanConfig {
+            tuple_bytes: 1024.0,
+            ..base
+        };
+        assert!(wide.breakeven_selectivity() > base.breakeven_selectivity());
+        // Slower seeks → skipping costs more → lower break-even.
+        let slow = IndexScanConfig {
+            seek_s: 10.0e-3,
+            ..base
+        };
+        assert!(slow.breakeven_selectivity() < base.breakeven_selectivity());
+    }
+
+    #[test]
+    fn costs_scale_linearly_in_n() {
+        let cfg = IndexScanConfig::paper_example();
+        assert!(
+            (cfg.sequential_time(2.0e6) - 2.0 * cfg.sequential_time(1.0e6)).abs() < 1e-12
+        );
+        assert!(
+            (cfg.index_time(2.0e6, 0.001) - 2.0 * cfg.index_time(1.0e6, 0.001)).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! The analytical model of Section 5: predicts relative row/column
+//! performance for any configuration from a handful of parameters, collapsed
+//! into the **cpdb** (cycles per disk byte) rating.
+//!
+//! [`rates`] implements equations (1)–(8) and the boxed speedup formula;
+//! [`calibrate`] derives the per-tuple instruction parameters from the same
+//! cost constants the execution simulator uses; [`figure2`] regenerates the
+//! paper's speedup contour; [`trends`] encodes Table 1.
+
+pub mod calibrate;
+pub mod figure2;
+pub mod index_scan;
+pub mod rates;
+pub mod trends;
+
+pub use calibrate::{col_bytes, col_scanner_cost, row_scanner_cost, ColumnSpec};
+pub use figure2::{bucket, speedup_at, surface, Cell, Figure2Config};
+pub use index_scan::IndexScanConfig;
+pub use rates::{
+    cpu_rate, disk_rate, disk_rate_files, io_bound, par, scan_rate, speedup, store_rate,
+    system_rate, FileSpec, Platform, ScannerCost, Workload,
+};
+pub use trends::{paper_table1, Trend, TrendRow};

@@ -1,0 +1,348 @@
+//! The Section-5 analytical model, equation by equation.
+//!
+//! All rates are *normalized by DiskBW* (tuples produced per byte-time the
+//! disks could deliver), which is what lets the paper collapse every
+//! configuration into the single **cpdb** parameter:
+//!
+//! * eq (1): `R = MIN(R_DISK, R_CPU)`
+//! * eq (3): row disks: `R_DISK = DiskBW · ΣN / SizeFileALL`
+//! * eq (4): column disks: `R_DISK = DiskBW · ΣN·f / SizeFileALL`
+//! * eq (5)/(6): CPU cascade combines like parallel resistors
+//! * eq (7): `Op = clock / I_op`
+//! * eq (8): `Scan = clock/I_sys ∥ MIN(clock/I_user, clock·MemBytesCycle/W)`
+//! * boxed speedup formula: divide everything by DiskBW and substitute
+//!   `cpdb = clock / DiskBW`.
+
+/// Parallel ("resistor") combination of rates — eq (5)/(6).
+///
+/// `par(&[a, b])` = 1 / (1/a + 1/b). Infinite rates are identities.
+///
+/// ```
+/// // §5's example: a 4 tuples/sec operator feeding a 6 tuples/sec one
+/// // produces 2.4 tuples/sec overall.
+/// assert!((rodb_model::par(&[4.0, 6.0]) - 2.4).abs() < 1e-12);
+/// ```
+pub fn par(rates: &[f64]) -> f64 {
+    let mut inv = 0.0;
+    for &r in rates {
+        if r <= 0.0 {
+            return 0.0;
+        }
+        if r.is_finite() {
+            inv += 1.0 / r;
+        }
+    }
+    if inv == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / inv
+    }
+}
+
+/// One scanner's CPU-side parameters, in **cycles per tuple** (the paper's
+/// `I` counts with the "1 instruction ≈ 1 cycle" approximation baked in).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScannerCost {
+    /// Kernel (CPU-system) cycles per tuple.
+    pub i_sys: f64,
+    /// User-mode cycles per tuple.
+    pub i_user: f64,
+    /// Bytes per tuple that must cross the memory bus into L2.
+    pub mem_bytes: f64,
+}
+
+/// A single-table scan workload, as seen by both stores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Row-store tuple width in bytes (compressed or not) — what the row
+    /// store reads per tuple.
+    pub row_bytes: f64,
+    /// Bytes per tuple the column store reads (selected columns only).
+    pub col_bytes: f64,
+    /// Scanner CPU costs.
+    pub row_cost: ScannerCost,
+    pub col_cost: ScannerCost,
+    /// Cycles per tuple of any additional operators in the plan (identical
+    /// in both systems — §1.1 fixes the plan above the scanners).
+    pub extra_ops: f64,
+}
+
+/// Platform knobs of the model (Table 2): cpdb plus the memory bus rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Cycles per disk byte: `clock / DiskBW` (§5).
+    pub cpdb: f64,
+    /// Bytes the memory bus delivers per cycle.
+    pub mem_bytes_cycle: f64,
+}
+
+impl Platform {
+    pub fn new(cpdb: f64) -> Platform {
+        Platform {
+            cpdb,
+            mem_bytes_cycle: 1.0,
+        }
+    }
+
+    /// The paper's testbed: 3.2 GHz over 180 MB/s → ~18 cpdb.
+    pub fn paper_default() -> Platform {
+        Platform::new(3.2e9 / 180.0e6)
+    }
+}
+
+/// Normalized disk rate (tuples per disk-byte-time): eq (3)/(4) reduce to
+/// `1 / bytes_read_per_tuple` for a single-table scan.
+pub fn disk_rate(bytes_per_tuple: f64) -> f64 {
+    if bytes_per_tuple <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / bytes_per_tuple
+    }
+}
+
+/// One input file of a multi-file plan, as eq (2)–(4) see it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileSpec {
+    /// Relation cardinality `N_i`.
+    pub rows: f64,
+    /// Row-store tuple width of the file in bytes.
+    pub tuple_bytes: f64,
+    /// Eq (4)'s `f_i`: how many times smaller the column store's read is
+    /// than the full tuple (`tuple_bytes / selected_bytes`); 1.0 for a row
+    /// store or a full projection.
+    pub f: f64,
+}
+
+impl FileSpec {
+    pub fn row_store(rows: f64, tuple_bytes: f64) -> FileSpec {
+        FileSpec {
+            rows,
+            tuple_bytes,
+            f: 1.0,
+        }
+    }
+
+    /// Eq (2)/(3)'s per-file size `N_i × TupleWidth_i`.
+    pub fn size(&self) -> f64 {
+        self.rows * self.tuple_bytes
+    }
+}
+
+/// Normalized multi-file disk rate — eq (2)–(4) divided by DiskBW:
+/// `R_DISK / DiskBW = Σ N_i·f_i / SizeFileALL` tuples per disk byte.
+///
+/// The paper's eq (2) weights each file's rate by its share of the total
+/// bytes ("if File1 is 1 GB and File2 is 10 GB, then the disks process on
+/// average one byte from File1 for every ten bytes from File2"); the closed
+/// forms (3) and (4) are what this computes.
+pub fn disk_rate_files(files: &[FileSpec]) -> f64 {
+    let total: f64 = files.iter().map(FileSpec::size).sum();
+    if total <= 0.0 {
+        return f64::INFINITY;
+    }
+    files.iter().map(|f| f.rows * f.f).sum::<f64>() / total
+}
+
+/// Normalized scanner CPU rate — eq (8) divided by DiskBW.
+pub fn scan_rate(cost: &ScannerCost, p: &Platform) -> f64 {
+    let sys = p.cpdb / cost.i_sys.max(f64::MIN_POSITIVE);
+    let user_compute = p.cpdb / cost.i_user.max(f64::MIN_POSITIVE);
+    let user_mem = if cost.mem_bytes > 0.0 {
+        p.cpdb * p.mem_bytes_cycle / cost.mem_bytes
+    } else {
+        f64::INFINITY
+    };
+    par(&[sys, user_compute.min(user_mem)])
+}
+
+/// Normalized whole-plan CPU rate — eq (6)/(7).
+pub fn cpu_rate(scanner: f64, extra_ops_cycles: f64, p: &Platform) -> f64 {
+    if extra_ops_cycles > 0.0 {
+        par(&[scanner, p.cpdb / extra_ops_cycles])
+    } else {
+        scanner
+    }
+}
+
+/// Normalized end-to-end rate — eq (1).
+pub fn system_rate(disk: f64, cpu: f64) -> f64 {
+    disk.min(cpu)
+}
+
+/// Full evaluation of one store's rate on a workload.
+pub fn store_rate(bytes_per_tuple: f64, cost: &ScannerCost, extra: f64, p: &Platform) -> f64 {
+    let disk = disk_rate(bytes_per_tuple);
+    let cpu = cpu_rate(scan_rate(cost, p), extra, p);
+    system_rate(disk, cpu)
+}
+
+/// The boxed speedup formula: columns over rows.
+pub fn speedup(w: &Workload, p: &Platform) -> f64 {
+    let col = store_rate(w.col_bytes, &w.col_cost, w.extra_ops, p);
+    let row = store_rate(w.row_bytes, &w.row_cost, w.extra_ops, p);
+    if row == 0.0 {
+        f64::INFINITY
+    } else {
+        col / row
+    }
+}
+
+/// Is a store I/O-bound on this platform (disk rate below CPU rate)?
+pub fn io_bound(bytes_per_tuple: f64, cost: &ScannerCost, extra: f64, p: &Platform) -> bool {
+    disk_rate(bytes_per_tuple) <= cpu_rate(scan_rate(cost, p), extra, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cheap_cost() -> ScannerCost {
+        ScannerCost {
+            i_sys: 10.0,
+            i_user: 50.0,
+            mem_bytes: 32.0,
+        }
+    }
+
+    #[test]
+    fn par_matches_paper_example() {
+        // §5: 4 tuples/sec ∥ 6 tuples/sec = 2.4 tuples/sec.
+        assert!((par(&[4.0, 6.0]) - 2.4).abs() < 1e-12);
+        assert_eq!(par(&[f64::INFINITY, 8.0]), 8.0);
+        assert!(par(&[f64::INFINITY]).is_infinite());
+        assert_eq!(par(&[4.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn disk_bound_speedup_equals_byte_ratio() {
+        // §5: "In disk-bound systems column stores outperform row stores by
+        // the same ratio as the total bytes selected over the total size."
+        let w = Workload {
+            row_bytes: 32.0,
+            col_bytes: 8.0,
+            row_cost: cheap_cost(),
+            col_cost: cheap_cost(),
+            extra_ops: 0.0,
+        };
+        // Huge cpdb → CPU is never the bottleneck.
+        let p = Platform::new(10_000.0);
+        assert!((speedup(&w, &p) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_converges_to_one_at_full_projection() {
+        let w = Workload {
+            row_bytes: 32.0,
+            col_bytes: 32.0,
+            row_cost: cheap_cost(),
+            col_cost: cheap_cost(),
+            extra_ops: 0.0,
+        };
+        let p = Platform::new(10_000.0);
+        assert!((speedup(&w, &p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_bound_rows_can_win() {
+        // Narrow tuples + expensive column CPU + low cpdb: row store wins
+        // (the lower-left corner of Figure 2).
+        let w = Workload {
+            row_bytes: 8.0,
+            col_bytes: 4.0,
+            row_cost: ScannerCost {
+                i_sys: 12.0,
+                i_user: 60.0,
+                mem_bytes: 8.0,
+            },
+            col_cost: ScannerCost {
+                i_sys: 8.0,
+                i_user: 140.0,
+                mem_bytes: 4.0,
+            },
+            extra_ops: 0.0,
+        };
+        let p = Platform::new(9.0);
+        assert!(speedup(&w, &p) < 1.0);
+        // The same workload at high cpdb flips to the byte ratio.
+        let p = Platform::new(1_000.0);
+        assert!(speedup(&w, &p) > 1.5);
+    }
+
+    #[test]
+    fn memory_bus_can_cap_user_rate() {
+        let cost = ScannerCost {
+            i_sys: 1.0,
+            i_user: 1.0,
+            mem_bytes: 1000.0, // memory-bound
+        };
+        let p = Platform::new(100.0);
+        let r = scan_rate(&cost, &p);
+        // user_mem = 100/1000 = 0.1; sys = 100; par ≈ 0.0999.
+        assert!((r - par(&[100.0, 0.1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expensive_operator_shrinks_the_difference() {
+        // §5: "a high-cost relational operator lowers the CPU rate, and the
+        // difference between columns and rows ... becomes less noticeable."
+        let w_cheap = Workload {
+            row_bytes: 32.0,
+            col_bytes: 16.0,
+            row_cost: cheap_cost(),
+            col_cost: ScannerCost {
+                i_user: 150.0,
+                ..cheap_cost()
+            },
+            extra_ops: 0.0,
+        };
+        let mut w_heavy = w_cheap;
+        w_heavy.extra_ops = 5_000.0;
+        let p = Platform::new(30.0);
+        let s_cheap = speedup(&w_cheap, &p);
+        let s_heavy = speedup(&w_heavy, &p);
+        assert!((s_heavy - 1.0).abs() < (s_cheap - 1.0).abs());
+    }
+
+    #[test]
+    fn io_bound_detection_follows_cpdb() {
+        let cost = cheap_cost();
+        assert!(io_bound(32.0, &cost, 0.0, &Platform::new(1_000.0)));
+        assert!(!io_bound(32.0, &cost, 0.0, &Platform::new(1.0)));
+    }
+
+    #[test]
+    fn multi_file_disk_rate_matches_eq_2_through_4() {
+        // Single file degenerates to 1/width (eq 3).
+        let one = [FileSpec::row_store(1.0e6, 32.0)];
+        assert!((disk_rate_files(&one) - 1.0 / 32.0).abs() < 1e-12);
+
+        // The paper's merge-join example: File1 = 1 GB, File2 = 10 GB →
+        // one byte of File1 per ten bytes of File2. With 128 B tuples in
+        // both, rates per byte follow the size weighting.
+        let f1 = FileSpec::row_store(1.0e9 / 128.0, 128.0);
+        let f2 = FileSpec::row_store(10.0e9 / 128.0, 128.0);
+        let r = disk_rate_files(&[f1, f2]);
+        // Total tuples / total bytes: 11e9/128 tuples over 11e9 bytes.
+        assert!((r - 1.0 / 128.0).abs() < 1e-12);
+        // And the byte-share claim: File1 contributes 1/11 of the bytes.
+        assert!((f1.size() / (f1.size() + f2.size()) - 1.0 / 11.0).abs() < 1e-12);
+
+        // Eq (4): a column store reading 8 of ORDERS' 32 bytes (f = 4)
+        // produces tuples 4× faster off the same disks.
+        let col = [FileSpec {
+            rows: 1.0e6,
+            tuple_bytes: 32.0,
+            f: 4.0,
+        }];
+        assert!((disk_rate_files(&col) - 4.0 / 32.0).abs() < 1e-12);
+
+        // Empty/degenerate input.
+        assert!(disk_rate_files(&[]).is_infinite());
+    }
+
+    #[test]
+    fn paper_platform_cpdb() {
+        let p = Platform::paper_default();
+        assert!((p.cpdb - 17.78).abs() < 0.1);
+    }
+}

@@ -1,0 +1,98 @@
+//! The catalog: name → table mapping.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rodb_types::{Error, Result};
+
+use crate::table::Table;
+
+/// A registry of loaded tables.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace — e.g. after a WOS merge) a table.
+    pub fn register(&mut self, table: Table) -> Arc<Table> {
+        let arc = Arc::new(table);
+        self.tables.insert(arc.name.clone(), arc.clone());
+        arc
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownTable(name.to_string()))
+    }
+
+    /// Remove a table; returns it if present.
+    pub fn drop_table(&mut self, name: &str) -> Option<Arc<Table>> {
+        self.tables.remove(name)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{BuildLayouts, TableBuilder};
+    use rodb_types::{Column, Schema, Value};
+
+    fn tiny(name: &str) -> Table {
+        let s = Arc::new(Schema::new(vec![Column::int("a")]).unwrap());
+        let mut b = TableBuilder::new(name, s, 256, BuildLayouts::row_only()).unwrap();
+        b.push_row(&[Value::Int(1)]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn register_lookup_drop() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register(tiny("orders"));
+        c.register(tiny("lineitem"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.table_names(), vec!["lineitem", "orders"]);
+        assert_eq!(c.get("orders").unwrap().row_count, 1);
+        assert!(c.get("nope").is_err());
+        assert!(c.drop_table("orders").is_some());
+        assert!(c.get("orders").is_err());
+        assert!(c.drop_table("orders").is_none());
+    }
+
+    #[test]
+    fn replace_on_reregister() {
+        let mut c = Catalog::new();
+        c.register(tiny("t"));
+        let s = Arc::new(Schema::new(vec![Column::int("a")]).unwrap());
+        let mut b = TableBuilder::new("t", s, 256, BuildLayouts::row_only()).unwrap();
+        for i in 0..5 {
+            b.push_row(&[Value::Int(i)]).unwrap();
+        }
+        c.register(b.finish().unwrap());
+        assert_eq!(c.get("t").unwrap().row_count, 5);
+        assert_eq!(c.len(), 1);
+    }
+}

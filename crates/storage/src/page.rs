@@ -1,0 +1,412 @@
+//! Dense-packed page format (Figure 3 of the paper).
+//!
+//! Because a read-optimized store has no real-time updates, pages forego the
+//! slotted layout: they are a count followed by a tightly packed array of
+//! values — whole tuples for row data, single-attribute values for column
+//! data. Page-specific information (the page ID, which together with a
+//! tuple's position gives the Record ID, plus compression metadata) lives in
+//! a fixed-size trailer at the end of the page.
+//!
+//! ```text
+//! ROW page:    [count: u32][tuple 0][tuple 1]...[pad][trailer]
+//! COLUMN page: [count: u32][packed codes............][pad][trailer]
+//! trailer:     [page_id: u64][base: i64][flags: u64]        (24 bytes)
+//! ```
+
+use rodb_compress::{ColumnCompression, PageValues};
+use rodb_types::{DataType, Error, PageId, Result, Schema, Value};
+
+/// Bytes of the page header (the entry count).
+pub const PAGE_HEADER: usize = 4;
+/// Bytes of the page trailer (page id + compression base + flags).
+pub const PAGE_TRAILER: usize = 24;
+
+/// Usable body bytes of a page.
+#[inline]
+pub fn body_capacity(page_size: usize) -> usize {
+    page_size - PAGE_HEADER - PAGE_TRAILER
+}
+
+/// How many row-store tuples of `stored_width` bytes fit in one page.
+#[inline]
+pub fn row_tuples_per_page(page_size: usize, stored_width: usize) -> usize {
+    body_capacity(page_size) / stored_width
+}
+
+/// How many column values of `bits` bits fit in one page.
+#[inline]
+pub fn col_values_per_page(page_size: usize, bits: usize) -> usize {
+    body_capacity(page_size) * 8 / bits
+}
+
+fn write_trailer(page: &mut [u8], page_id: PageId, base: i64) {
+    let n = page.len();
+    page[n - 24..n - 16].copy_from_slice(&page_id.0.to_le_bytes());
+    page[n - 16..n - 8].copy_from_slice(&base.to_le_bytes());
+    page[n - 8..n].copy_from_slice(&0u64.to_le_bytes());
+}
+
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Common read-side page view: header/trailer decoding and body access.
+#[derive(Debug, Clone, Copy)]
+pub struct PageView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> PageView<'a> {
+    /// Wrap one page-sized byte slice.
+    pub fn new(bytes: &'a [u8]) -> Result<PageView<'a>> {
+        if bytes.len() < PAGE_HEADER + PAGE_TRAILER {
+            return Err(Error::Corrupt(format!("page of {} bytes", bytes.len())));
+        }
+        Ok(PageView { bytes })
+    }
+
+    /// Number of entries (tuples or values) stored in the page.
+    pub fn count(&self) -> usize {
+        u32::from_le_bytes([self.bytes[0], self.bytes[1], self.bytes[2], self.bytes[3]]) as usize
+    }
+
+    /// The page's ID from the trailer.
+    pub fn page_id(&self) -> PageId {
+        let n = self.bytes.len();
+        PageId(read_u64(&self.bytes[n - 24..n - 16]))
+    }
+
+    /// The compression base value from the trailer (FOR/FOR-delta).
+    pub fn base(&self) -> i64 {
+        let n = self.bytes.len();
+        read_u64(&self.bytes[n - 16..n - 8]) as i64
+    }
+
+    /// The dense body region.
+    pub fn body(&self) -> &'a [u8] {
+        &self.bytes[PAGE_HEADER..self.bytes.len() - PAGE_TRAILER]
+    }
+}
+
+/// Builds row pages from pre-encoded tuples.
+#[derive(Debug)]
+pub struct RowPageBuilder {
+    page_size: usize,
+    stored_width: usize,
+    capacity: usize,
+    buf: Vec<u8>,
+    count: usize,
+}
+
+impl RowPageBuilder {
+    pub fn new(page_size: usize, schema: &Schema) -> RowPageBuilder {
+        let stored_width = schema.stored_width();
+        RowPageBuilder {
+            page_size,
+            stored_width,
+            capacity: row_tuples_per_page(page_size, stored_width),
+            buf: Vec::with_capacity(page_size),
+            count: 0,
+        }
+    }
+
+    /// Tuples that fit per page.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.count >= self.capacity
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Append one tuple's raw bytes (logical width; padding added here).
+    pub fn push(&mut self, raw_tuple: &[u8]) -> Result<()> {
+        if self.is_full() {
+            return Err(Error::Corrupt("push into full row page".into()));
+        }
+        if raw_tuple.len() > self.stored_width {
+            return Err(Error::Corrupt(format!(
+                "tuple of {} bytes, stored width {}",
+                raw_tuple.len(),
+                self.stored_width
+            )));
+        }
+        self.buf.extend_from_slice(raw_tuple);
+        self.buf
+            .extend(std::iter::repeat_n(0u8, self.stored_width - raw_tuple.len()));
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Emit the finished page (exactly `page_size` bytes) and reset.
+    pub fn build(&mut self, page_id: PageId) -> Vec<u8> {
+        let mut page = vec![0u8; self.page_size];
+        page[0..4].copy_from_slice(&(self.count as u32).to_le_bytes());
+        page[PAGE_HEADER..PAGE_HEADER + self.buf.len()].copy_from_slice(&self.buf);
+        write_trailer(&mut page, page_id, 0);
+        self.buf.clear();
+        self.count = 0;
+        page
+    }
+}
+
+/// Read-side view of one row page.
+#[derive(Debug, Clone, Copy)]
+pub struct RowPage<'a> {
+    view: PageView<'a>,
+    stored_width: usize,
+}
+
+impl<'a> RowPage<'a> {
+    pub fn new(bytes: &'a [u8], stored_width: usize) -> Result<RowPage<'a>> {
+        let view = PageView::new(bytes)?;
+        let count = view.count();
+        if count * stored_width > view.body().len() {
+            return Err(Error::Corrupt(format!(
+                "row page claims {count} tuples of {stored_width} bytes"
+            )));
+        }
+        Ok(RowPage { view, stored_width })
+    }
+
+    pub fn count(&self) -> usize {
+        self.view.count()
+    }
+
+    pub fn page_id(&self) -> PageId {
+        self.view.page_id()
+    }
+
+    /// Raw bytes of tuple `i` (stored width, including padding).
+    #[inline]
+    pub fn tuple(&self, i: usize) -> &'a [u8] {
+        let body = self.view.body();
+        &body[i * self.stored_width..(i + 1) * self.stored_width]
+    }
+
+    /// Iterate raw tuples.
+    pub fn tuples(&self) -> impl Iterator<Item = &'a [u8]> + '_ {
+        (0..self.count()).map(move |i| self.tuple(i))
+    }
+}
+
+/// Builds column pages by buffering values and encoding them on emit.
+#[derive(Debug)]
+pub struct ColumnPageBuilder {
+    page_size: usize,
+    dtype: DataType,
+    capacity: usize,
+    values: Vec<Value>,
+}
+
+impl ColumnPageBuilder {
+    pub fn new(page_size: usize, dtype: DataType, comp: &ColumnCompression) -> ColumnPageBuilder {
+        let bits = comp.bits_per_value(dtype);
+        ColumnPageBuilder {
+            page_size,
+            dtype,
+            capacity: col_values_per_page(page_size, bits),
+            values: Vec::new(),
+        }
+    }
+
+    /// Values that fit per page under the configured codec.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.values.len() >= self.capacity
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        if self.is_full() {
+            return Err(Error::Corrupt("push into full column page".into()));
+        }
+        if !v.fits(self.dtype) {
+            return Err(Error::TypeMismatch {
+                expected: self.dtype.name(),
+                got: v.dtype().name(),
+            });
+        }
+        self.values.push(v);
+        Ok(())
+    }
+
+    /// Encode the buffered values and emit the finished page.
+    pub fn build(&mut self, comp: &ColumnCompression, page_id: PageId) -> Result<Vec<u8>> {
+        let enc = comp.encode_page(self.dtype, &self.values)?;
+        let mut page = vec![0u8; self.page_size];
+        if PAGE_HEADER + enc.data.len() > self.page_size - PAGE_TRAILER {
+            return Err(Error::Corrupt(format!(
+                "encoded column body of {} bytes exceeds page",
+                enc.data.len()
+            )));
+        }
+        page[0..4].copy_from_slice(&(self.values.len() as u32).to_le_bytes());
+        page[PAGE_HEADER..PAGE_HEADER + enc.data.len()].copy_from_slice(&enc.data);
+        write_trailer(&mut page, page_id, enc.base);
+        self.values.clear();
+        Ok(page)
+    }
+}
+
+/// Read-side view of one column page: decodes the trailer and hands back a
+/// [`PageValues`] decoder.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnPage<'a> {
+    view: PageView<'a>,
+    dtype: DataType,
+}
+
+impl<'a> ColumnPage<'a> {
+    pub fn new(bytes: &'a [u8], dtype: DataType) -> Result<ColumnPage<'a>> {
+        Ok(ColumnPage {
+            view: PageView::new(bytes)?,
+            dtype,
+        })
+    }
+
+    pub fn count(&self) -> usize {
+        self.view.count()
+    }
+
+    pub fn page_id(&self) -> PageId {
+        self.view.page_id()
+    }
+
+    /// Open the packed values with their codec.
+    pub fn values(&self, comp: &'a ColumnCompression) -> PageValues<'a> {
+        comp.open_page(self.dtype, self.view.body(), self.view.count(), self.view.base())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodb_compress::Codec;
+    use rodb_types::{tuple, Column};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::int("a"),
+            Column::text("b", 3),
+            Column::int("c"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn capacities() {
+        // 4096 - 28 = 4068 body bytes.
+        assert_eq!(body_capacity(4096), 4068);
+        assert_eq!(row_tuples_per_page(4096, 152), 26); // LINEITEM rows
+        assert_eq!(row_tuples_per_page(4096, 32), 127); // ORDERS rows
+        assert_eq!(col_values_per_page(4096, 32), 1017); // raw int column
+        assert_eq!(col_values_per_page(4096, 3), 10848); // 3-bit packed column
+    }
+
+    #[test]
+    fn row_page_roundtrip() {
+        let s = schema();
+        let mut b = RowPageBuilder::new(512, &s);
+        let cap = b.capacity();
+        assert!(cap > 0);
+        let mut raws = Vec::new();
+        for i in 0..cap {
+            let mut raw = Vec::new();
+            tuple::encode_tuple(
+                &s,
+                &[Value::Int(i as i32), Value::text("xy"), Value::Int(-(i as i32))],
+                &mut raw,
+            )
+            .unwrap();
+            b.push(&raw).unwrap();
+            raws.push(raw);
+        }
+        assert!(b.is_full());
+        assert!(b.push(&raws[0]).is_err());
+        let page = b.build(PageId(7));
+        assert_eq!(page.len(), 512);
+        assert!(b.is_empty());
+
+        let rp = RowPage::new(&page, s.stored_width()).unwrap();
+        assert_eq!(rp.count(), cap);
+        assert_eq!(rp.page_id(), PageId(7));
+        for (i, raw) in raws.iter().enumerate() {
+            assert_eq!(&rp.tuple(i)[..s.logical_width()], raw.as_slice());
+            assert_eq!(tuple::read_int(&s, rp.tuple(i), 0), i as i32);
+        }
+        assert_eq!(rp.tuples().count(), cap);
+    }
+
+    #[test]
+    fn column_page_roundtrip_compressed() {
+        let comp = ColumnCompression::new(Codec::For { bits: 12 }, None).unwrap();
+        let mut b = ColumnPageBuilder::new(4096, DataType::Int, &comp);
+        assert_eq!(b.capacity(), col_values_per_page(4096, 12));
+        let n = 100usize;
+        for i in 0..n {
+            b.push(Value::Int(5000 + (i as i32 % 97))).unwrap();
+        }
+        let page = b.build(&comp, PageId(3)).unwrap();
+        let cp = ColumnPage::new(&page, DataType::Int).unwrap();
+        assert_eq!(cp.count(), n);
+        assert_eq!(cp.page_id(), PageId(3));
+        let pv = cp.values(&comp);
+        for i in 0..n {
+            assert_eq!(pv.int_at(i).unwrap(), 5000 + (i as i32 % 97));
+        }
+    }
+
+    #[test]
+    fn column_page_negative_base_survives_trailer() {
+        let comp = ColumnCompression::new(Codec::For { bits: 8 }, None).unwrap();
+        let mut b = ColumnPageBuilder::new(256, DataType::Int, &comp);
+        b.push(Value::Int(-100)).unwrap();
+        b.push(Value::Int(-50)).unwrap();
+        let page = b.build(&comp, PageId(0)).unwrap();
+        let cp = ColumnPage::new(&page, DataType::Int).unwrap();
+        let pv = cp.values(&comp);
+        assert_eq!(pv.int_at(0).unwrap(), -100);
+        assert_eq!(pv.int_at(1).unwrap(), -50);
+    }
+
+    #[test]
+    fn type_checked_push() {
+        let comp = ColumnCompression::none();
+        let mut b = ColumnPageBuilder::new(4096, DataType::Int, &comp);
+        assert!(b.push(Value::text("oops")).is_err());
+        assert!(b.push(Value::Int(1)).is_ok());
+    }
+
+    #[test]
+    fn corrupt_pages_rejected() {
+        assert!(PageView::new(&[0u8; 8]).is_err());
+        // Claimed count larger than the body allows.
+        let mut page = vec![0u8; 128];
+        page[0..4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(RowPage::new(&page, 8).is_err());
+    }
+
+    #[test]
+    fn partial_page_preserves_count() {
+        let s = schema();
+        let mut b = RowPageBuilder::new(4096, &s);
+        let mut raw = Vec::new();
+        tuple::encode_tuple(&s, &[Value::Int(9), Value::text("ab"), Value::Int(8)], &mut raw)
+            .unwrap();
+        b.push(&raw).unwrap();
+        let page = b.build(PageId(0));
+        let rp = RowPage::new(&page, s.stored_width()).unwrap();
+        assert_eq!(rp.count(), 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Write-optimized store (WOS).
+//!
+//! Figure 1 of the paper shows a staging area where updates land, with a
+//! periodic bulk **merge** into the read-optimized store — the component the
+//! paper describes but does not implement (its dashed box). We implement the
+//! straightforward version: an in-memory row buffer that merges with an
+//! existing read-optimized [`Table`] by rebuilding its dense files, optionally
+//! keeping the table sorted on a key (as C-Store's merge does), which also
+//! keeps FOR-delta columns encodable.
+
+use std::sync::Arc;
+
+use rodb_compress::ColumnCompression;
+use rodb_types::{Error, Result, Schema, Value};
+
+use crate::loader::{BuildLayouts, TableBuilder};
+use crate::table::{Layout, Table};
+
+/// An in-memory staging area for newly arrived rows.
+#[derive(Debug, Clone)]
+pub struct WriteOptimizedStore {
+    schema: Arc<Schema>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl WriteOptimizedStore {
+    pub fn new(schema: Arc<Schema>) -> WriteOptimizedStore {
+        WriteOptimizedStore {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Buffer one inserted row.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.schema.len() {
+            return Err(Error::Corrupt(format!(
+                "insert with {} values for {}-column schema",
+                values.len(),
+                self.schema.len()
+            )));
+        }
+        for (v, c) in values.iter().zip(self.schema.columns()) {
+            if !v.fits(c.dtype) {
+                return Err(Error::TypeMismatch {
+                    expected: c.dtype.name(),
+                    got: v.dtype().name(),
+                });
+            }
+        }
+        self.rows.push(values);
+        Ok(())
+    }
+
+    /// Rows currently staged.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Merge the staged rows into `table`, producing a new read-optimized
+    /// table with the same layouts and codecs. If `sort_by` names a column,
+    /// the merged data is re-sorted on it (stable). Clears the WOS.
+    pub fn merge_into(
+        &mut self,
+        table: &Table,
+        comps: &[ColumnCompression],
+        sort_by: Option<usize>,
+    ) -> Result<Table> {
+        if !Arc::ptr_eq(&self.schema, &table.schema) && *self.schema != *table.schema {
+            return Err(Error::InvalidConfig("WOS/table schema mismatch".into()));
+        }
+        // Read the existing read-optimized contents through whichever layout
+        // exists (row preferred: cheaper to reconstruct).
+        let mut all = if table.has_layout(Layout::Row) {
+            table.read_all(Layout::Row)?
+        } else {
+            table.read_all(Layout::Column)?
+        };
+        all.append(&mut self.rows);
+        if let Some(key) = sort_by {
+            if key >= self.schema.len() {
+                return Err(Error::UnknownColumn(format!("sort key index {key}")));
+            }
+            all.sort_by(|a, b| a[key].cmp(&b[key]));
+        }
+        let layouts = BuildLayouts {
+            row: table.has_layout(Layout::Row),
+            column: table.has_layout(Layout::Column),
+        };
+        let page_size = table
+            .row
+            .as_ref()
+            .map(|r| r.page_size)
+            .or_else(|| table.col.as_ref().and_then(|c| c.columns.first().map(|c| c.page_size)))
+            .ok_or_else(|| Error::LayoutUnavailable("table with no layouts".into()))?;
+        let pax = matches!(
+            table.row.as_ref().map(|r| &r.format),
+            Some(crate::table::RowFormat::Pax)
+        );
+        let mut b = if pax {
+            TableBuilder::new_pax(table.name.clone(), table.schema.clone(), page_size, layouts)?
+        } else {
+            TableBuilder::with_compression(
+                table.name.clone(),
+                table.schema.clone(),
+                page_size,
+                layouts,
+                comps.to_vec(),
+            )?
+        };
+        for r in &all {
+            b.push_row(r)?;
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodb_compress::Codec;
+    use rodb_types::Column;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::new(vec![Column::int("k"), Column::int("v")]).unwrap())
+    }
+
+    fn base_table(schema: &Arc<Schema>, comps: &[ColumnCompression]) -> Table {
+        let mut b = TableBuilder::with_compression(
+            "t",
+            schema.clone(),
+            1024,
+            BuildLayouts::both(),
+            comps.to_vec(),
+        )
+        .unwrap();
+        for i in 0..100 {
+            b.push_row(&[Value::Int(i * 2), Value::Int(i)]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn merge_appends_and_sorts() {
+        let s = schema();
+        let comps = vec![
+            ColumnCompression::new(Codec::ForDelta { bits: 4 }, None).unwrap(),
+            ColumnCompression::none(),
+        ];
+        let t = base_table(&s, &comps);
+        let mut wos = WriteOptimizedStore::new(s.clone());
+        wos.insert(vec![Value::Int(5), Value::Int(1000)]).unwrap();
+        wos.insert(vec![Value::Int(151), Value::Int(1001)]).unwrap();
+        assert_eq!(wos.len(), 2);
+
+        // Sorting on the key keeps the FOR-delta column monotone.
+        let merged = wos.merge_into(&t, &comps, Some(0)).unwrap();
+        assert!(wos.is_empty());
+        assert_eq!(merged.row_count, 102);
+        let rows = merged.read_all(Layout::Column).unwrap();
+        assert!(rows.windows(2).all(|w| w[0][0] <= w[1][0]));
+        assert!(rows.iter().any(|r| r[1] == Value::Int(1000)));
+        // Row and column representations agree after the merge.
+        assert_eq!(rows, merged.read_all(Layout::Row).unwrap());
+    }
+
+    #[test]
+    fn unsorted_merge_without_delta_codec() {
+        let s = schema();
+        let comps = vec![ColumnCompression::none(), ColumnCompression::none()];
+        let t = base_table(&s, &comps);
+        let mut wos = WriteOptimizedStore::new(s.clone());
+        wos.insert(vec![Value::Int(-7), Value::Int(9)]).unwrap();
+        let merged = wos.merge_into(&t, &comps, None).unwrap();
+        assert_eq!(merged.row_count, 101);
+        // Appended at the end, order preserved.
+        let rows = merged.read_all(Layout::Row).unwrap();
+        assert_eq!(rows[100][0], Value::Int(-7));
+    }
+
+    #[test]
+    fn insert_validation() {
+        let s = schema();
+        let mut wos = WriteOptimizedStore::new(s);
+        assert!(wos.insert(vec![Value::Int(1)]).is_err());
+        assert!(wos
+            .insert(vec![Value::text("x"), Value::Int(1)])
+            .is_err());
+        assert!(wos.is_empty());
+    }
+
+    #[test]
+    fn bad_sort_key_rejected() {
+        let s = schema();
+        let comps = vec![ColumnCompression::none(), ColumnCompression::none()];
+        let t = base_table(&s, &comps);
+        let mut wos = WriteOptimizedStore::new(s);
+        wos.insert(vec![Value::Int(1), Value::Int(2)]).unwrap();
+        assert!(wos.merge_into(&t, &comps, Some(9)).is_err());
+    }
+}

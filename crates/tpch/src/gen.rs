@@ -1,0 +1,264 @@
+//! Deterministic, seeded row generators for the paper's two tables.
+//!
+//! The selectivity-control attributes (L_PARTKEY for LINEITEM, O_ORDERDATE
+//! for ORDERS — attribute 1 of each table, which every §4 query filters on)
+//! are generated as an exact multiplicative permutation of their domain, so a
+//! `< threshold` predicate yields a *precise* selectivity instead of a
+//! binomial approximation. All other attributes come from a SplitMix64 hash
+//! of `(seed, row, column)`, so any row is reproducible in isolation.
+
+use rodb_types::Value;
+
+use crate::schema::domains::*;
+
+/// Multiplier for the selectivity permutation (odd, coprime with both the
+/// PARTKEY and DATE_DAYS domains).
+const PERM_K: u64 = 2_654_435_761;
+
+/// SplitMix64 — small, fast, well-distributed (Steele et al., OOPSLA'14).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn field_hash(seed: u64, row: u64, col: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(row.wrapping_mul(31).wrapping_add(col)))
+}
+
+fn uniform(seed: u64, row: u64, col: u64, bound: i32) -> i32 {
+    (field_hash(seed, row, col) % bound as u64) as i32
+}
+
+fn pick<'a>(seed: u64, row: u64, col: u64, opts: &[&'a str]) -> &'a str {
+    opts[(field_hash(seed, row, col) % opts.len() as u64) as usize]
+}
+
+/// The exact-selectivity value for row `i` over `domain`.
+#[inline]
+pub fn perm_value(i: u64, domain: i32) -> i32 {
+    ((i.wrapping_mul(PERM_K)) % domain as u64) as i32
+}
+
+/// Predicate threshold on L_PARTKEY for a target selectivity (0..=1).
+pub fn partkey_threshold(selectivity: f64) -> i32 {
+    (selectivity * PARTKEY as f64).round() as i32
+}
+
+/// Predicate threshold on O_ORDERDATE for a target selectivity (0..=1).
+pub fn orderdate_threshold(selectivity: f64) -> i32 {
+    (selectivity * DATE_DAYS as f64).round() as i32
+}
+
+/// Streaming LINEITEM generator (Figure 5 left, 150-byte rows).
+pub struct LineitemGen {
+    seed: u64,
+    row: u64,
+    rows: u64,
+    orderkey: i32,
+    lines_left: i32,
+    linenumber: i32,
+}
+
+impl LineitemGen {
+    pub fn new(rows: u64, seed: u64) -> LineitemGen {
+        LineitemGen {
+            seed,
+            row: 0,
+            rows,
+            orderkey: 0,
+            lines_left: 0,
+            linenumber: 0,
+        }
+    }
+}
+
+impl Iterator for LineitemGen {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        if self.row >= self.rows {
+            return None;
+        }
+        let i = self.row;
+        let s = self.seed;
+        if self.lines_left == 0 {
+            // New order with 1–7 lines (TPC-H averages 4); the order key
+            // advances by exactly 1, keeping FOR-delta deltas in {0, 1}.
+            self.orderkey += 1;
+            self.lines_left = 1 + uniform(s, i, 100, MAX_LINENUMBER);
+            self.linenumber = 0;
+        }
+        self.lines_left -= 1;
+        self.linenumber += 1;
+
+        let shipdate = uniform(s, i, 14, DATE_DAYS - 100);
+        let row = vec![
+            Value::Int(perm_value(i, PARTKEY)),                       // 1 l_partkey
+            Value::Int(self.orderkey),                                // 2 l_orderkey
+            Value::Int(uniform(s, i, 3, SUPPKEY)),                    // 3 l_suppkey
+            Value::Int(self.linenumber),                              // 4 l_linenumber
+            Value::Int(1 + uniform(s, i, 5, MAX_QUANTITY)),           // 5 l_quantity
+            Value::Int(1 + uniform(s, i, 6, MAX_PRICE)),              // 6 l_extendedprice
+            Value::text(pick(s, i, 7, &RETURNFLAGS)),                 // 7 l_returnflag
+            Value::text(pick(s, i, 8, &LINESTATUS)),                  // 8 l_linestatus
+            Value::text(pick(s, i, 9, &SHIPINSTRUCT)),                // 9 l_shipinstruct
+            Value::text(pick(s, i, 10, &SHIPMODES)),                  // 10 l_shipmode
+            Value::text(&comment(s, i)),                              // 11 l_comment
+            Value::Int(uniform(s, i, 12, MAX_DISCOUNT + 1)),          // 12 l_discount
+            Value::Int(uniform(s, i, 13, MAX_TAX + 1)),               // 13 l_tax
+            Value::Int(shipdate),                                     // 14 l_shipdate
+            Value::Int(shipdate + uniform(s, i, 15, 60)),             // 15 l_commitdate
+            Value::Int(shipdate + uniform(s, i, 16, 30)),             // 16 l_receiptdate
+        ];
+        self.row += 1;
+        Some(row)
+    }
+}
+
+/// Two-word comment; content always fits the 28-byte TextPack of Figure 5.
+fn comment(seed: u64, row: u64) -> String {
+    let a = pick(seed, row, 11, &COMMENT_WORDS);
+    let b = pick(seed, row, 17, &COMMENT_WORDS);
+    let c = format!("{a} {b}");
+    debug_assert!(c.len() <= 28);
+    c
+}
+
+/// Streaming ORDERS generator (Figure 5 left, 32-byte rows).
+pub struct OrdersGen {
+    seed: u64,
+    row: u64,
+    rows: u64,
+}
+
+impl OrdersGen {
+    pub fn new(rows: u64, seed: u64) -> OrdersGen {
+        OrdersGen { seed, row: 0, rows }
+    }
+}
+
+impl Iterator for OrdersGen {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        if self.row >= self.rows {
+            return None;
+        }
+        let i = self.row;
+        let s = self.seed;
+        let row = vec![
+            Value::Int(perm_value(i, DATE_DAYS)),            // 1 o_orderdate
+            Value::Int(i as i32 + 1),                        // 2 o_orderkey (sorted)
+            Value::Int(uniform(s, i, 3, CUSTKEY)),           // 3 o_custkey
+            Value::text(pick(s, i, 4, &ORDERSTATUS)),        // 4 o_orderstatus
+            Value::text(pick(s, i, 5, &ORDERPRIORITY)),      // 5 o_orderpriority
+            Value::Int(1 + uniform(s, i, 6, MAX_PRICE)),     // 6 o_totalprice
+            Value::Int(0),                                   // 7 o_shippriority
+        ];
+        self.row += 1;
+        Some(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{lineitem_schema, orders_schema};
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a: Vec<_> = LineitemGen::new(100, 42).collect();
+        let b: Vec<_> = LineitemGen::new(100, 42).collect();
+        let c: Vec<_> = LineitemGen::new(100, 43).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let oa: Vec<_> = OrdersGen::new(100, 42).collect();
+        let ob: Vec<_> = OrdersGen::new(100, 42).collect();
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn rows_fit_their_schemas() {
+        let ls = lineitem_schema();
+        for row in LineitemGen::new(500, 7) {
+            assert_eq!(row.len(), ls.len());
+            for (v, c) in row.iter().zip(ls.columns()) {
+                assert!(v.fits(c.dtype), "{v} !fits {}", c.dtype);
+            }
+        }
+        let os = orders_schema();
+        for row in OrdersGen::new(500, 7) {
+            assert_eq!(row.len(), os.len());
+            for (v, c) in row.iter().zip(os.columns()) {
+                assert!(v.fits(c.dtype), "{v} !fits {}", c.dtype);
+            }
+        }
+    }
+
+    #[test]
+    fn selectivity_is_exact_on_whole_domains() {
+        // Over n = DATE_DAYS rows, the permutation hits each date once.
+        let n = DATE_DAYS as u64;
+        let t = orderdate_threshold(0.10);
+        let hits = (0..n).filter(|&i| perm_value(i, DATE_DAYS) < t).count();
+        assert_eq!(hits as i32, t);
+
+        // Over any n, error is bounded by one permutation cycle.
+        let n = 100_000u64;
+        let t = partkey_threshold(0.10);
+        let hits = (0..n).filter(|&i| perm_value(i, PARTKEY) < t).count() as f64;
+        let expect = n as f64 * 0.10;
+        assert!((hits - expect).abs() / expect < 0.05, "hits {hits} vs {expect}");
+    }
+
+    #[test]
+    fn orderkeys_are_sorted_with_small_deltas() {
+        let mut prev = 0i32;
+        for row in LineitemGen::new(2000, 9) {
+            let k = row[1].as_int().unwrap();
+            assert!(k >= prev);
+            assert!(k - prev <= 1);
+            prev = k;
+        }
+        // ORDERS keys are strictly sequential.
+        let mut prev = 0i32;
+        for row in OrdersGen::new(2000, 9) {
+            let k = row[1].as_int().unwrap();
+            assert_eq!(k, prev + 1);
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn lineitem_dates_fit_16_bits_and_orders_dates_14_bits() {
+        for row in LineitemGen::new(5000, 3) {
+            for col in [13, 14, 15] {
+                let d = row[col].as_int().unwrap();
+                assert!((0..65536).contains(&d));
+            }
+        }
+        for row in OrdersGen::new(5000, 3) {
+            let d = row[0].as_int().unwrap();
+            assert!((0..16384).contains(&d));
+        }
+    }
+
+    #[test]
+    fn lines_per_order_average_near_four() {
+        let rows: Vec<_> = LineitemGen::new(40_000, 11).collect();
+        let orders = rows.last().unwrap()[1].as_int().unwrap();
+        let avg = rows.len() as f64 / orders as f64;
+        assert!((3.0..5.0).contains(&avg), "avg lines/order {avg}");
+    }
+
+    #[test]
+    fn comments_fit_textpack() {
+        for row in LineitemGen::new(1000, 5) {
+            let c = row[10].as_text().unwrap();
+            assert!(c.len() <= 28);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! TPC-H-derived workload of the paper (§3.1).
+//!
+//! Seeded generators for the modified LINEITEM (150-byte wide tuple) and
+//! ORDERS (32-byte narrow tuple) tables, the Figure 5 compressed variants
+//! (LINEITEM-Z, ORDERS-Z), and loaders producing row and/or column
+//! representations. The selectivity-control attributes are exact
+//! permutations of their domains so the §4 experiments hit their advertised
+//! selectivities precisely.
+
+pub mod gen;
+pub mod load;
+pub mod schema;
+
+pub use gen::{orderdate_threshold, partkey_threshold, LineitemGen, OrdersGen};
+pub use load::{load_lineitem, load_orders, load_rows, load_rows_pax, Variant};
+pub use schema::{
+    compressed_bits, lineitem_schema, lineitem_z_compression, orders_schema,
+    orders_z_compression, uncompressed,
+};

@@ -1,0 +1,79 @@
+//! Attribute data types.
+//!
+//! The paper (§3.1) restricts itself to fixed-length attributes: four-byte
+//! integers (decimals and dates are stored as ints) and fixed-length text.
+//! Variable-length data would only add per-value offsets and is orthogonal to
+//! the row/column tradeoffs under study.
+
+/// The type of a single attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Four-byte signed integer (also used for decimals and dates, per §3.1).
+    Int,
+    /// Eight-byte signed integer. Not part of the paper's stored schemas;
+    /// used for aggregate outputs (a SUM over 60 M rows overflows 4 bytes).
+    Long,
+    /// Fixed-length text of exactly `n` bytes, zero-padded.
+    Text(usize),
+}
+
+impl DataType {
+    /// Uncompressed on-disk width of one value, in bytes.
+    #[inline]
+    pub fn width(self) -> usize {
+        match self {
+            DataType::Int => 4,
+            DataType::Long => 8,
+            DataType::Text(n) => n,
+        }
+    }
+
+    /// True if this is the four-byte integer type.
+    #[inline]
+    pub fn is_int(self) -> bool {
+        matches!(self, DataType::Int)
+    }
+
+    /// True for either integer width.
+    #[inline]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Long)
+    }
+
+    /// Short human-readable name, used in error messages and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "Int",
+            DataType::Long => "Long",
+            DataType::Text(_) => "Text",
+        }
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataType::Int => write!(f, "int"),
+            DataType::Long => write!(f, "long"),
+            DataType::Text(n) => write!(f, "text({n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_paper() {
+        assert_eq!(DataType::Int.width(), 4);
+        assert_eq!(DataType::Text(25).width(), 25);
+        assert_eq!(DataType::Text(1).width(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DataType::Int.to_string(), "int");
+        assert_eq!(DataType::Text(69).to_string(), "text(69)");
+    }
+}

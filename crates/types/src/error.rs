@@ -1,0 +1,85 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the storage manager, compression codecs, and query engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A value did not match the column's declared [`crate::DataType`].
+    TypeMismatch {
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// A value cannot be represented by the chosen compression scheme
+    /// (e.g. it needs more bits than the codec was configured with).
+    ValueOutOfDomain(String),
+    /// A page, file, or buffer was smaller/larger than the format requires.
+    Corrupt(String),
+    /// A schema lookup failed (unknown column name or index).
+    UnknownColumn(String),
+    /// The catalog has no table with this name.
+    UnknownTable(String),
+    /// The requested layout (row/column, plain/compressed) was not loaded
+    /// for this table.
+    LayoutUnavailable(String),
+    /// A query-plan construction error (e.g. merge join over unsorted input).
+    InvalidPlan(String),
+    /// Invalid configuration (zero disks, zero bandwidth, ...).
+    InvalidConfig(String),
+    /// Underlying I/O error, stringified (std::io::Error is not Clone).
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            Error::ValueOutOfDomain(m) => write!(f, "value out of codec domain: {m}"),
+            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            Error::UnknownColumn(m) => write!(f, "unknown column: {m}"),
+            Error::UnknownTable(m) => write!(f, "unknown table: {m}"),
+            Error::LayoutUnavailable(m) => write!(f, "layout unavailable: {m}"),
+            Error::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            Error::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::UnknownColumn("l_tax".into());
+        assert!(e.to_string().contains("l_tax"));
+        let e = Error::TypeMismatch {
+            expected: "Int",
+            got: "Text",
+        };
+        assert!(e.to_string().contains("Int"));
+        assert!(e.to_string().contains("Text"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: Error = ioe.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Identifier newtypes.
+//!
+//! The paper's read-optimized store addresses records as *(page ID, position
+//! within page)* — there is no slot indirection because pages are
+//! dense-packed and immutable (§2.2.1).
+
+/// Identifies a table within a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// Identifies a column within a table (its position in the schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(pub u32);
+
+/// Identifies a page within one storage file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// A record identifier: page plus position inside the page.
+///
+/// For column files all columns of one table share position numbering, so a
+/// `RecordId` addresses the same logical row in every column file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    pub page: PageId,
+    pub slot: u32,
+}
+
+impl RecordId {
+    pub fn new(page: u64, slot: u32) -> RecordId {
+        RecordId {
+            page: PageId(page),
+            slot,
+        }
+    }
+
+    /// Flatten to a global row ordinal given a fixed `slots_per_page`.
+    /// Only valid for fixed-capacity files (uncompressed columns).
+    pub fn ordinal(self, slots_per_page: u32) -> u64 {
+        self.page.0 * slots_per_page as u64 + self.slot as u64
+    }
+}
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rid({}, {})", self.page.0, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinal_math() {
+        let r = RecordId::new(3, 17);
+        assert_eq!(r.ordinal(100), 317);
+        assert_eq!(RecordId::new(0, 0).ordinal(1000), 0);
+    }
+
+    #[test]
+    fn ordering_is_page_major() {
+        assert!(RecordId::new(1, 99) < RecordId::new(2, 0));
+        assert!(RecordId::new(2, 1) < RecordId::new(2, 5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RecordId::new(7, 2).to_string(), "rid(7, 2)");
+    }
+}

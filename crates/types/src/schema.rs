@@ -1,0 +1,240 @@
+//! Relational schemas.
+//!
+//! A [`Schema`] is an ordered list of named, typed columns. It also fixes the
+//! *stored* row width: the paper's row store pads each dense-packed tuple to a
+//! four-byte boundary (LINEITEM is 150 bytes of attributes stored as 152,
+//! ORDERS is 32 stored as 32 — §3.1).
+
+use crate::datatype::DataType;
+use crate::error::{Error, Result};
+
+/// Row-store tuples are padded to this alignment (bytes).
+pub const ROW_ALIGN: usize = 4;
+
+/// One column: a name and a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Column {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// Shorthand for an integer column.
+    pub fn int(name: impl Into<String>) -> Column {
+        Column::new(name, DataType::Int)
+    }
+
+    /// Shorthand for a fixed-length text column.
+    pub fn text(name: impl Into<String>, width: usize) -> Column {
+        Column::new(name, DataType::Text(width))
+    }
+}
+
+/// An ordered set of columns plus derived layout information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    /// Byte offset of each column within a raw (unpadded prefix of a) tuple.
+    offsets: Vec<usize>,
+    /// Sum of attribute widths (the "tuple width" the paper quotes).
+    logical_width: usize,
+    /// `logical_width` rounded up to [`ROW_ALIGN`]; what the row store uses.
+    stored_width: usize,
+}
+
+impl Schema {
+    /// Build a schema from columns. Fails on empty or duplicate-named columns.
+    pub fn new(columns: Vec<Column>) -> Result<Schema> {
+        if columns.is_empty() {
+            return Err(Error::InvalidConfig("schema with zero columns".into()));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(Error::InvalidConfig(format!(
+                    "duplicate column name '{}'",
+                    c.name
+                )));
+            }
+            if c.dtype.width() == 0 {
+                return Err(Error::InvalidConfig(format!(
+                    "zero-width column '{}'",
+                    c.name
+                )));
+            }
+        }
+        let mut offsets = Vec::with_capacity(columns.len());
+        let mut off = 0usize;
+        for c in &columns {
+            offsets.push(off);
+            off += c.dtype.width();
+        }
+        let logical_width = off;
+        let stored_width = off.div_ceil(ROW_ALIGN) * ROW_ALIGN;
+        Ok(Schema {
+            columns,
+            offsets,
+            logical_width,
+            stored_width,
+        })
+    }
+
+    /// The columns, in declaration order.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Always false (schemas are non-empty by construction); provided to
+    /// satisfy the `len`/`is_empty` idiom.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sum of attribute widths in bytes — the "tuple width" of the paper.
+    #[inline]
+    pub fn logical_width(&self) -> usize {
+        self.logical_width
+    }
+
+    /// Row-store stored width (padded to 4 bytes, per §3.1).
+    #[inline]
+    pub fn stored_width(&self) -> usize {
+        self.stored_width
+    }
+
+    /// Byte offset of column `idx` inside a raw tuple.
+    #[inline]
+    pub fn offset(&self, idx: usize) -> usize {
+        self.offsets[idx]
+    }
+
+    /// Type of column `idx`.
+    #[inline]
+    pub fn dtype(&self, idx: usize) -> DataType {
+        self.columns[idx].dtype
+    }
+
+    /// Resolve a column name to its index.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::UnknownColumn(name.to_string()))
+    }
+
+    /// Build the schema produced by projecting the given column indices,
+    /// preserving the order of `indices`.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut cols = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let c = self
+                .columns
+                .get(i)
+                .ok_or_else(|| Error::UnknownColumn(format!("index {i}")))?;
+            cols.push(c.clone());
+        }
+        Schema::new(cols)
+    }
+
+    /// Sum of the widths of the given columns — the bytes a column store must
+    /// read per tuple for this projection ("selected bytes per tuple" on the
+    /// paper's x-axes).
+    pub fn selected_bytes(&self, indices: &[usize]) -> usize {
+        indices.iter().map(|&i| self.columns[i].dtype.width()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lineitem_like() -> Schema {
+        // 6 ints + text(1)*2 + text(25) + text(10) + text(69) + 5 ints = 150.
+        let mut cols = vec![
+            Column::int("a1"),
+            Column::int("a2"),
+            Column::int("a3"),
+            Column::int("a4"),
+            Column::int("a5"),
+            Column::int("a6"),
+            Column::text("a7", 1),
+            Column::text("a8", 1),
+            Column::text("a9", 25),
+            Column::text("a10", 10),
+            Column::text("a11", 69),
+        ];
+        for i in 12..=16 {
+            cols.push(Column::int(format!("a{i}")));
+        }
+        Schema::new(cols).unwrap()
+    }
+
+    #[test]
+    fn lineitem_widths_match_paper() {
+        let s = lineitem_like();
+        assert_eq!(s.logical_width(), 150);
+        assert_eq!(s.stored_width(), 152); // "extra 2 bytes for padding"
+        assert_eq!(s.len(), 16);
+    }
+
+    #[test]
+    fn aligned_schema_needs_no_padding() {
+        let s = Schema::new(vec![Column::int("a"), Column::int("b")]).unwrap();
+        assert_eq!(s.logical_width(), 8);
+        assert_eq!(s.stored_width(), 8);
+    }
+
+    #[test]
+    fn offsets_are_cumulative() {
+        let s = lineitem_like();
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 4);
+        assert_eq!(s.offset(6), 24); // after six ints
+        assert_eq!(s.offset(7), 25);
+        assert_eq!(s.offset(8), 26);
+        assert_eq!(s.offset(9), 51);
+        assert_eq!(s.offset(10), 61);
+        assert_eq!(s.offset(11), 130);
+    }
+
+    #[test]
+    fn rejects_bad_schemas() {
+        assert!(Schema::new(vec![]).is_err());
+        assert!(Schema::new(vec![Column::int("x"), Column::int("x")]).is_err());
+        assert!(Schema::new(vec![Column::text("x", 0)]).is_err());
+    }
+
+    #[test]
+    fn name_lookup_and_projection() {
+        let s = lineitem_like();
+        assert_eq!(s.index_of("a5").unwrap(), 4);
+        assert!(s.index_of("nope").is_err());
+        let p = s.project(&[0, 10]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.logical_width(), 4 + 69);
+        assert!(s.project(&[99]).is_err());
+    }
+
+    #[test]
+    fn selected_bytes_sums_widths() {
+        let s = lineitem_like();
+        assert_eq!(s.selected_bytes(&[0]), 4);
+        assert_eq!(s.selected_bytes(&[0, 1, 2, 3, 4, 5, 6, 7]), 26);
+        let all: Vec<usize> = (0..16).collect();
+        assert_eq!(s.selected_bytes(&all), 150);
+    }
+}
