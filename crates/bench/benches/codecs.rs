@@ -1,16 +1,28 @@
-//! Criterion microbenchmarks: real wall-clock cost of the §2.2.1 codecs.
+//! Microbenchmarks: real wall-clock cost of the §2.2.1 codecs.
 //!
 //! These check that the *relative* decode-cost ordering assumed by the CPU
 //! model (raw < bit-pack ≤ FOR < dict < FOR-delta) holds on real silicon.
+//!
+//! Uses the workspace's built-in harness (`rodb_bench::harness`) so the
+//! workspace builds offline; opt in with
+//! `cargo bench -p rodb-bench --features bench-harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
 
+use rodb_bench::harness::Group;
 use rodb_compress::{Codec, ColumnCompression, Dictionary};
 use rodb_types::{DataType, Value};
 
 const N: usize = 8192;
+
+const CODECS: [(&str, Codec); 5] = [
+    ("none", Codec::None),
+    ("bitpack", Codec::BitPack { bits: 14 }),
+    ("for", Codec::For { bits: 14 }),
+    ("fordelta", Codec::ForDelta { bits: 2 }),
+    ("dict", Codec::Dict { bits: 13 }),
+];
 
 fn values() -> Vec<Value> {
     (0..N as i32).map(|i| Value::Int(1000 + i)).collect()
@@ -26,85 +38,60 @@ fn comp(codec: Codec, vals: &[Value]) -> ColumnCompression {
     ColumnCompression::new(codec, dict).unwrap()
 }
 
-fn bench_encode(c: &mut Criterion) {
-    let vals = values();
-    let mut g = c.benchmark_group("encode");
-    g.throughput(Throughput::Elements(N as u64));
-    for (name, codec) in [
-        ("none", Codec::None),
-        ("bitpack", Codec::BitPack { bits: 14 }),
-        ("for", Codec::For { bits: 14 }),
-        ("fordelta", Codec::ForDelta { bits: 2 }),
-        ("dict", Codec::Dict { bits: 13 }),
-    ] {
-        let cc = comp(codec, &vals);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cc, |b, cc| {
-            b.iter(|| cc.encode_page(DataType::Int, black_box(&vals)).unwrap())
+fn bench_encode(vals: &[Value]) {
+    let g = Group::new("encode", N as u64);
+    for (name, codec) in CODECS {
+        let cc = comp(codec, vals);
+        g.bench(name, || {
+            cc.encode_page(DataType::Int, black_box(vals)).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_decode_sequential(c: &mut Criterion) {
-    let vals = values();
-    let mut g = c.benchmark_group("decode_seq");
-    g.throughput(Throughput::Elements(N as u64));
-    for (name, codec) in [
-        ("none", Codec::None),
-        ("bitpack", Codec::BitPack { bits: 14 }),
-        ("for", Codec::For { bits: 14 }),
-        ("fordelta", Codec::ForDelta { bits: 2 }),
-        ("dict", Codec::Dict { bits: 13 }),
-    ] {
-        let cc = comp(codec, &vals);
-        let enc = cc.encode_page(DataType::Int, &vals).unwrap();
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let pv = cc.open_page(DataType::Int, &enc.data, enc.count, enc.base);
-                let mut cur = pv.cursor();
-                let mut acc = 0i64;
-                for _ in 0..N {
-                    acc += cur.next_int().unwrap() as i64;
-                }
-                black_box(acc)
-            })
+fn bench_decode_sequential(vals: &[Value]) {
+    let g = Group::new("decode_seq", N as u64);
+    for (name, codec) in CODECS {
+        let cc = comp(codec, vals);
+        let enc = cc.encode_page(DataType::Int, vals).unwrap();
+        g.bench(name, || {
+            let pv = cc.open_page(DataType::Int, &enc.data, enc.count, enc.base);
+            let mut cur = pv.cursor();
+            let mut acc = 0i64;
+            for _ in 0..N {
+                acc += cur.next_int().unwrap() as i64;
+            }
+            black_box(acc)
         });
     }
-    g.finish();
 }
 
-fn bench_decode_random(c: &mut Criterion) {
-    let vals = values();
-    let mut g = c.benchmark_group("decode_random_1pct");
+fn bench_decode_random(vals: &[Value]) {
     // 1% of positions — where FOR-delta's lack of random access hurts.
     let positions: Vec<usize> = (0..N).step_by(100).collect();
-    g.throughput(Throughput::Elements(positions.len() as u64));
+    let g = Group::new("decode_random_1pct", positions.len() as u64);
     for (name, codec) in [
         ("bitpack", Codec::BitPack { bits: 14 }),
         ("for", Codec::For { bits: 14 }),
         ("fordelta", Codec::ForDelta { bits: 2 }),
     ] {
-        let cc = comp(codec, &vals);
-        let enc = cc.encode_page(DataType::Int, &vals).unwrap();
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let pv = cc.open_page(DataType::Int, &enc.data, enc.count, enc.base);
-                let mut cur = pv.cursor();
-                let mut acc = 0i64;
-                for &p in &positions {
-                    cur.seek(p).unwrap();
-                    acc += cur.next_int().unwrap() as i64;
-                }
-                black_box(acc)
-            })
+        let cc = comp(codec, vals);
+        let enc = cc.encode_page(DataType::Int, vals).unwrap();
+        g.bench(name, || {
+            let pv = cc.open_page(DataType::Int, &enc.data, enc.count, enc.base);
+            let mut cur = pv.cursor();
+            let mut acc = 0i64;
+            for &p in &positions {
+                cur.seek(p).unwrap();
+                acc += cur.next_int().unwrap() as i64;
+            }
+            black_box(acc)
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_encode, bench_decode_sequential, bench_decode_random
-);
-criterion_main!(benches);
+fn main() {
+    let vals = values();
+    bench_encode(&vals);
+    bench_decode_sequential(&vals);
+    bench_decode_random(&vals);
+}

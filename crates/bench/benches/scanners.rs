@@ -1,14 +1,18 @@
-//! Criterion microbenchmarks: real wall-clock scanner throughput.
+//! Microbenchmarks: real wall-clock scanner throughput.
 //!
 //! Runs the actual engine (simulated-disk accounting included) over a
 //! memory-resident ORDERS table, comparing the row scanner, the pipelined
 //! column scanner, and the single-iterator column scanner at two
 //! selectivities — the CPU-side comparison behind Figures 6–8.
+//!
+//! Uses the workspace's built-in harness (`rodb_bench::harness`) so the
+//! workspace builds offline; opt in with
+//! `cargo bench -p rodb-bench --features bench-harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
 
+use rodb_bench::harness::Group;
 use rodb_core::QueryBuilder;
 use rodb_engine::{Predicate, ScanLayout};
 use rodb_storage::{BuildLayouts, Table};
@@ -22,50 +26,47 @@ fn table(variant: Variant) -> Arc<Table> {
 }
 
 fn run(t: &Arc<Table>, layout: ScanLayout, sel: f64, attrs: usize) -> u64 {
-    let qb = QueryBuilder::new(t.clone(), HardwareConfig::default(), SystemConfig::default())
-        .layout(layout)
-        .select_first(attrs)
-        .filter_pred(Predicate::lt(0, orderdate_threshold(sel)))
-        .unwrap();
+    let qb = QueryBuilder::new(
+        t.clone(),
+        HardwareConfig::default(),
+        SystemConfig::default(),
+    )
+    .layout(layout)
+    .select_first(attrs)
+    .filter_pred(Predicate::lt(0, orderdate_threshold(sel)))
+    .unwrap();
     qb.run().unwrap().report.rows
 }
 
-fn bench_scanners(c: &mut Criterion) {
-    let plain = table(Variant::Plain);
-    let mut g = c.benchmark_group("orders_scan");
-    g.throughput(Throughput::Elements(ROWS));
+fn bench_scanners(plain: &Arc<Table>) {
+    let g = Group::new("orders_scan", ROWS);
     for (name, layout) in [
         ("row", ScanLayout::Row),
         ("column", ScanLayout::Column),
         ("column-single", ScanLayout::ColumnSingleIterator),
     ] {
         for sel in [0.001, 0.10] {
-            g.bench_function(BenchmarkId::new(name, sel), |b| {
-                b.iter(|| black_box(run(&plain, layout, sel, 7)))
+            g.bench(&format!("{name}/{sel}"), || {
+                black_box(run(plain, layout, sel, 7))
             });
         }
     }
-    g.finish();
 }
 
-fn bench_compressed(c: &mut Criterion) {
-    let z = table(Variant::Compressed);
-    let plain = table(Variant::Plain);
-    let mut g = c.benchmark_group("orders_z_scan");
-    g.throughput(Throughput::Elements(ROWS));
-    for (name, t) in [("plain", &plain), ("compressed", &z)] {
+fn bench_compressed(plain: &Arc<Table>, z: &Arc<Table>) {
+    let g = Group::new("orders_z_scan", ROWS);
+    for (name, t) in [("plain", plain), ("compressed", z)] {
         for layout in [ScanLayout::Row, ScanLayout::Column] {
-            g.bench_function(BenchmarkId::new(name, layout), |b| {
-                b.iter(|| black_box(run(t, layout, 0.10, 7)))
+            g.bench(&format!("{name}/{layout:?}"), || {
+                black_box(run(t, layout, 0.10, 7))
             });
         }
     }
-    g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_scanners, bench_compressed
-);
-criterion_main!(benches);
+fn main() {
+    let plain = table(Variant::Plain);
+    let z = table(Variant::Compressed);
+    bench_scanners(&plain);
+    bench_compressed(&plain, &z);
+}

@@ -24,12 +24,24 @@ fn main() {
     let cfg = paper_config();
     let pred = Predicate::lt(0, partkey_threshold(0.10));
     let plain = Arc::new(
-        load_lineitem(actual_rows(), seed(), 4096, BuildLayouts::both(), Variant::Plain)
-            .expect("plain loads"),
+        load_lineitem(
+            actual_rows(),
+            seed(),
+            4096,
+            BuildLayouts::both(),
+            Variant::Plain,
+        )
+        .expect("plain loads"),
     );
     let pax = Arc::new(
-        load_lineitem(actual_rows(), seed(), 4096, BuildLayouts::both(), Variant::Pax)
-            .expect("pax loads"),
+        load_lineitem(
+            actual_rows(),
+            seed(),
+            4096,
+            BuildLayouts::both(),
+            Variant::Pax,
+        )
+        .expect("pax loads"),
     );
 
     let rows = projectivity_sweep(&plain, ScanLayout::Row, &pred, &cfg).expect("rows");
@@ -38,8 +50,17 @@ fn main() {
 
     println!(
         "\n{:>6} {:>6} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
-        "attrs", "bytes", "row-io", "pax-io", "col-io", "row-cpu", "pax-cpu", "col-cpu",
-        "row-L1", "pax-L1", "col-L1"
+        "attrs",
+        "bytes",
+        "row-io",
+        "pax-io",
+        "col-io",
+        "row-cpu",
+        "pax-cpu",
+        "col-cpu",
+        "row-L1",
+        "pax-L1",
+        "col-L1"
     );
     for i in 0..rows.len() {
         let (r, p, c) = (&rows[i].report, &paxs[i].report, &cols[i].report);
@@ -72,5 +93,7 @@ fn main() {
         paxs[0].report.cpu.usr_l1, rows[0].report.cpu.usr_l1, cols[0].report.cpu.usr_l1
     );
     assert!(paxs[0].report.cpu.usr_l1 < rows[0].report.cpu.usr_l1);
-    assert!((paxs[last].report.io_s - rows[last].report.io_s).abs() / rows[last].report.io_s < 0.05);
+    assert!(
+        (paxs[last].report.io_s - rows[last].report.io_s).abs() / rows[last].report.io_s < 0.05
+    );
 }

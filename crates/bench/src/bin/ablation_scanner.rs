@@ -31,8 +31,8 @@ fn main() {
     for &sel in &sels {
         let pred = Predicate::lt(0, partkey_threshold(sel));
         let pipe = scan_report(&t, ScanLayout::Column, &proj, pred.clone(), &cfg).expect("pipe");
-        let single = scan_report(&t, ScanLayout::ColumnSingleIterator, &proj, pred, &cfg)
-            .expect("single");
+        let single =
+            scan_report(&t, ScanLayout::ColumnSingleIterator, &proj, pred, &cfg).expect("single");
         println!(
             "{:>12} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
             sel,

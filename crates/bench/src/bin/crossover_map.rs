@@ -16,10 +16,7 @@ use rodb_engine::{Predicate, ScanLayout};
 use rodb_storage::Table;
 use rodb_tpch::{orderdate_threshold, partkey_threshold, Variant};
 
-fn crossover(
-    t: &Arc<Table>,
-    pred: Predicate,
-) -> Option<f64> {
+fn crossover(t: &Arc<Table>, pred: Predicate) -> Option<f64> {
     let cfg = paper_config();
     let rows = projectivity_sweep(t, ScanLayout::Row, &pred, &cfg).expect("rows");
     let cols = projectivity_sweep(t, ScanLayout::Column, &pred, &cfg).expect("cols");
@@ -49,13 +46,7 @@ fn main() {
         let c_li = crossover(&li, Predicate::lt(0, partkey_threshold(sel)));
         let c_or = crossover(&or, Predicate::lt(0, orderdate_threshold(sel)));
         let c_oz = crossover(&or_z, Predicate::lt(0, orderdate_threshold(sel)));
-        println!(
-            "{:>11} | {} {} {}",
-            sel,
-            fmt(c_li),
-            fmt(c_or),
-            fmt(c_oz)
-        );
+        println!("{:>11} | {} {} {}", sel, fmt(c_li), fmt(c_or), fmt(c_oz));
         li_curve.push(c_li.unwrap_or(1.0));
     }
     // §4.2's claim: the crossover is (weakly) monotone left as selectivity

@@ -21,7 +21,9 @@ fn main() {
     let pred = Predicate::lt(0, orderdate_threshold(0.10));
 
     for depth in [48usize, 8, 2] {
-        let cfg = paper_config().with_prefetch_depth(depth).with_competing_scans(1);
+        let cfg = paper_config()
+            .with_prefetch_depth(depth)
+            .with_competing_scans(1);
         let rows = projectivity_sweep(&t, ScanLayout::Row, &pred, &cfg).expect("row");
         let cols = projectivity_sweep(&t, ScanLayout::Column, &pred, &cfg).expect("col");
         let slow = projectivity_sweep(&t, ScanLayout::ColumnSlow, &pred, &cfg).expect("slow");

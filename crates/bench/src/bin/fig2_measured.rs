@@ -66,8 +66,7 @@ fn main() {
             };
             let row =
                 rodb_core::scan_report(&t, ScanLayout::Row, &proj, pred.clone(), &ec).unwrap();
-            let col =
-                rodb_core::scan_report(&t, ScanLayout::Column, &proj, pred, &ec).unwrap();
+            let col = rodb_core::scan_report(&t, ScanLayout::Column, &proj, pred, &ec).unwrap();
             let measured = row.elapsed_s / col.elapsed_s;
             let model = speedup_at(&cfg, w as f64, cpdb);
             println!(

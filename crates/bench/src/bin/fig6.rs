@@ -14,7 +14,10 @@ use rodb_engine::{Predicate, ScanLayout};
 use rodb_tpch::{partkey_threshold, Variant};
 
 fn main() {
-    rodb_bench::banner("Figure 6", "LINEITEM scan, 10% selectivity, projectivity sweep");
+    rodb_bench::banner(
+        "Figure 6",
+        "LINEITEM scan, 10% selectivity, projectivity sweep",
+    );
     let t = lineitem(Variant::Plain);
     let cfg = paper_config();
     let pred = Predicate::lt(0, partkey_threshold(0.10));
@@ -31,14 +34,17 @@ fn main() {
     );
     println!(
         "{}",
-        format_breakdowns("Figure 6 (right, row store): CPU breakdown, 1 and 16 attrs", &[
-            rows[0].clone(),
-            rows[15].clone()
-        ])
+        format_breakdowns(
+            "Figure 6 (right, row store): CPU breakdown, 1 and 16 attrs",
+            &[rows[0].clone(), rows[15].clone()]
+        )
     );
     println!(
         "{}",
-        format_breakdowns("Figure 6 (right, column store): CPU breakdown, 1..16 attrs", &cols)
+        format_breakdowns(
+            "Figure 6 (right, column store): CPU breakdown, 1..16 attrs",
+            &cols
+        )
     );
 
     match crossover_fraction(&rows, &cols) {

@@ -13,7 +13,10 @@ use rodb_engine::{Predicate, ScanLayout};
 use rodb_tpch::{partkey_threshold, Variant};
 
 fn main() {
-    rodb_bench::banner("Figure 7", "LINEITEM scan, 0.1% selectivity, CPU breakdowns");
+    rodb_bench::banner(
+        "Figure 7",
+        "LINEITEM scan, 0.1% selectivity, CPU breakdowns",
+    );
     let t = lineitem(Variant::Plain);
     let cfg = paper_config();
     let pred = Predicate::lt(0, partkey_threshold(0.001));
@@ -30,10 +33,10 @@ fn main() {
     );
     println!(
         "{}",
-        format_breakdowns("Row store CPU breakdown (1 and 16 attrs)", &[
-            rows[0].clone(),
-            rows[15].clone()
-        ])
+        format_breakdowns(
+            "Row store CPU breakdown (1 and 16 attrs)",
+            &[rows[0].clone(), rows[15].clone()]
+        )
     );
     println!(
         "{}",

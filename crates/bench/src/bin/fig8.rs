@@ -13,7 +13,10 @@ use rodb_engine::{Predicate, ScanLayout};
 use rodb_tpch::{orderdate_threshold, Variant};
 
 fn main() {
-    rodb_bench::banner("Figure 8", "ORDERS (narrow 32-byte tuples), 10% selectivity");
+    rodb_bench::banner(
+        "Figure 8",
+        "ORDERS (narrow 32-byte tuples), 10% selectivity",
+    );
     let t = orders(Variant::Plain);
     let cfg = paper_config();
     let pred = Predicate::lt(0, orderdate_threshold(0.10));
@@ -30,10 +33,10 @@ fn main() {
     );
     println!(
         "{}",
-        format_breakdowns("Row store CPU breakdown (1 and 7 attrs)", &[
-            rows[0].clone(),
-            rows[6].clone()
-        ])
+        format_breakdowns(
+            "Row store CPU breakdown (1 and 7 attrs)",
+            &[rows[0].clone(), rows[6].clone()]
+        )
     );
     println!(
         "{}",

@@ -11,11 +11,11 @@
 use std::sync::Arc;
 
 use rodb_bench::{actual_rows, paper_config, seed};
+use rodb_compress::{Codec, ColumnCompression};
 use rodb_core::{format_breakdowns, format_sweep, projectivity_sweep};
 use rodb_engine::{Predicate, ScanLayout};
 use rodb_storage::BuildLayouts;
 use rodb_tpch::{load_orders, load_rows, orderdate_threshold, orders_schema, Variant};
-use rodb_compress::{Codec, ColumnCompression};
 
 fn main() {
     rodb_bench::banner("Figure 9", "ORDERS-Z (compressed), 10% selectivity");
@@ -24,8 +24,14 @@ fn main() {
 
     // Default ORDERS-Z: FOR-delta(8 bits) on O_ORDERKEY.
     let t_delta = Arc::new(
-        load_orders(actual_rows(), seed(), 4096, BuildLayouts::both(), Variant::Compressed)
-            .expect("orders-z loads"),
+        load_orders(
+            actual_rows(),
+            seed(),
+            4096,
+            BuildLayouts::both(),
+            Variant::Compressed,
+        )
+        .expect("orders-z loads"),
     );
     // FOR variant: "Plain FOR compression for that attribute ... requires
     // more space (16 bits instead of 8), but is computationally less
@@ -47,8 +53,7 @@ fn main() {
     let rows = projectivity_sweep(&t_delta, ScanLayout::Row, &pred, &cfg).expect("row sweep");
     let col_delta =
         projectivity_sweep(&t_delta, ScanLayout::Column, &pred, &cfg).expect("delta sweep");
-    let col_for =
-        projectivity_sweep(&t_for, ScanLayout::Column, &pred, &cfg).expect("FOR sweep");
+    let col_for = projectivity_sweep(&t_for, ScanLayout::Column, &pred, &cfg).expect("FOR sweep");
 
     println!(
         "\n{}",
@@ -63,14 +68,17 @@ fn main() {
     );
     println!(
         "{}",
-        format_breakdowns("Row store (packed tuples) CPU: 1 and 7 attrs", &[
-            rows[0].clone(),
-            rows[6].clone()
-        ])
+        format_breakdowns(
+            "Row store (packed tuples) CPU: 1 and 7 attrs",
+            &[rows[0].clone(), rows[6].clone()]
+        )
     );
     println!(
         "{}",
-        format_breakdowns("Column store, FOR-delta orderkey: CPU 1..7 attrs", &col_delta)
+        format_breakdowns(
+            "Column store, FOR-delta orderkey: CPU 1..7 attrs",
+            &col_delta
+        )
     );
     println!(
         "{}",
@@ -90,7 +98,11 @@ fn main() {
          (paper: the compressed column store becomes CPU-bound)",
         last.report.cpu.total(),
         last.report.io_s,
-        if last.report.io_bound() { "io-bound" } else { "cpu-bound" }
+        if last.report.io_bound() {
+            "io-bound"
+        } else {
+            "cpu-bound"
+        }
     );
     println!(
         "Row store sys time {:.2}s vs uncompressed ORDERS' ≈1.0s \
@@ -123,8 +135,6 @@ fn main() {
          {:.0}% of bytes.",
         r.elapsed_s,
         r.io_bound(),
-        100.0
-            * rodb_core::crossover_fraction(&lz_rows, &lz_cols)
-                .unwrap_or(1.0)
+        100.0 * rodb_core::crossover_fraction(&lz_rows, &lz_cols).unwrap_or(1.0)
     );
 }

@@ -17,8 +17,18 @@ fn main() {
 
     let li = lineitem_schema();
     let or = orders_schema();
-    println!("\nLINEITEM: {} attributes, {} bytes ({} stored)", li.len(), li.logical_width(), li.stored_width());
-    println!("ORDERS:   {} attributes, {} bytes ({} stored)", or.len(), or.logical_width(), or.stored_width());
+    println!(
+        "\nLINEITEM: {} attributes, {} bytes ({} stored)",
+        li.len(),
+        li.logical_width(),
+        li.stored_width()
+    );
+    println!(
+        "ORDERS:   {} attributes, {} bytes ({} stored)",
+        or.len(),
+        or.logical_width(),
+        or.stored_width()
+    );
     assert_eq!((li.logical_width(), li.stored_width()), (150, 152));
     assert_eq!((or.logical_width(), or.stored_width()), (32, 32));
 
@@ -52,8 +62,7 @@ fn main() {
 
     // Generated on-disk sizes, extrapolated to the paper's 60 M rows.
     let n = actual_rows();
-    let li_t =
-        load_lineitem(n, seed(), 4096, BuildLayouts::both(), Variant::Plain).expect("load");
+    let li_t = load_lineitem(n, seed(), 4096, BuildLayouts::both(), Variant::Plain).expect("load");
     let or_t = load_orders(n, seed(), 4096, BuildLayouts::both(), Variant::Plain).expect("load");
     let scale = 60.0e6 / n as f64;
     let li_gb = li_t.row_storage().unwrap().byte_len() as f64 * scale / 1e9;

@@ -42,12 +42,7 @@ fn classify(before: &Measured, after: &Measured) -> (Trend, Trend, Trend) {
     )
 }
 
-fn col_scan(
-    t: &Arc<Table>,
-    attrs: usize,
-    pred: Predicate,
-    cfg: &ExperimentConfig,
-) -> Measured {
+fn col_scan(t: &Arc<Table>, attrs: usize, pred: Predicate, cfg: &ExperimentConfig) -> Measured {
     let proj: Vec<usize> = (0..attrs).collect();
     measure(&scan_report(t, ScanLayout::Column, &proj, pred, cfg).expect("scan"))
 }
@@ -85,13 +80,28 @@ fn main() {
         ),
         // 5. larger prefetch: depth 2 -> 48 (ORDERS, all attrs).
         classify(
-            &col_scan(&or, 7, or_pred(0.10), &paper_config().with_prefetch_depth(2)),
-            &col_scan(&or, 7, or_pred(0.10), &paper_config().with_prefetch_depth(48)),
+            &col_scan(
+                &or,
+                7,
+                or_pred(0.10),
+                &paper_config().with_prefetch_depth(2),
+            ),
+            &col_scan(
+                &or,
+                7,
+                or_pred(0.10),
+                &paper_config().with_prefetch_depth(48),
+            ),
         ),
         // 6. more disk traffic: no competitor -> one competing scan.
         classify(
             &col_scan(&or, 7, or_pred(0.10), &cfg),
-            &col_scan(&or, 7, or_pred(0.10), &paper_config().with_competing_scans(1)),
+            &col_scan(
+                &or,
+                7,
+                or_pred(0.10),
+                &paper_config().with_competing_scans(1),
+            ),
         ),
         // 7. more CPUs / more disks: 1 disk + 1 CPU -> 3 disks + 2 CPUs.
         // §5 models extra CPUs as extra clock; the memory bus stays at the
@@ -154,8 +164,6 @@ fn main() {
             row.section
         );
     }
-    println!(
-        "\n(e = paper-expected, m = measured; '!' marks a direction mismatch)"
-    );
+    println!("\n(e = paper-expected, m = measured; '!' marks a direction mismatch)");
     println!("Direction mismatches: {mismatches} of 21 cells");
 }

@@ -1,0 +1,115 @@
+//! A minimal wall-clock microbenchmark harness (std only).
+//!
+//! The workspace builds offline, so the microbenchmarks under `benches/`
+//! use this instead of an external harness. It follows the same shape:
+//! warm up, then run timed batches until a time budget is spent, and
+//! report the median per-iteration time plus throughput.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE: Duration = Duration::from_millis(300);
+/// Warmup time per benchmark.
+const WARMUP: Duration = Duration::from_millis(100);
+
+/// One named group of benchmarks sharing a per-iteration element count
+/// (for tuples/sec or values/sec reporting).
+pub struct Group {
+    name: String,
+    elements: u64,
+}
+
+impl Group {
+    pub fn new(name: &str, elements: u64) -> Self {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_string(),
+            elements,
+        }
+    }
+
+    /// Time `f`, printing median iteration time and element throughput.
+    pub fn bench<R>(&self, id: &str, mut f: impl FnMut() -> R) -> BenchResult {
+        // Warm up and estimate a batch size that lasts ~1ms.
+        let warm_start = Instant::now();
+        let mut iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let per_iter = WARMUP.as_secs_f64() / iters.max(1) as f64;
+        let batch = ((0.001 / per_iter).ceil() as u64).max(1);
+
+        // Timed batches until the budget is spent; keep per-iter samples.
+        let mut samples = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < MEASURE {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let result = BenchResult {
+            group: self.name.clone(),
+            id: id.to_string(),
+            median_s: median,
+            elements: self.elements,
+        };
+        println!("{result}");
+        result
+    }
+}
+
+/// Median timing for one benchmark.
+pub struct BenchResult {
+    pub group: String,
+    pub id: String,
+    pub median_s: f64,
+    pub elements: u64,
+}
+
+impl BenchResult {
+    /// Elements per second at the median.
+    pub fn throughput(&self) -> f64 {
+        self.elements as f64 / self.median_s
+    }
+}
+
+impl std::fmt::Display for BenchResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>24}  {:>12}  {:>14}/s",
+            self.id,
+            fmt_duration(self.median_s),
+            fmt_count(self.throughput())
+        )
+    }
+}
+
+fn fmt_duration(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn fmt_count(n: f64) -> String {
+    if n >= 1e9 {
+        format!("{:.2} G", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.2} M", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.2} K", n / 1e3)
+    } else {
+        format!("{n:.0}")
+    }
+}

@@ -15,6 +15,8 @@ use rodb_core::ExperimentConfig;
 use rodb_storage::{BuildLayouts, Table};
 use rodb_tpch::{load_lineitem, load_orders, Variant};
 
+pub mod harness;
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()

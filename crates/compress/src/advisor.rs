@@ -118,9 +118,8 @@ pub fn candidates(dtype: DataType, sample: &[Value]) -> Result<Vec<Candidate>> {
             let content = sample
                 .iter()
                 .map(|v| {
-                    v.as_text().map(|b| {
-                        b.iter().rposition(|&c| c != 0).map_or(0, |p| p + 1)
-                    })
+                    v.as_text()
+                        .map(|b| b.iter().rposition(|&c| c != 0).map_or(0, |p| p + 1))
                 })
                 .collect::<Result<Vec<_>>>()?
                 .into_iter()
@@ -170,7 +169,10 @@ pub fn choose_codec(
             a_key.cmp(&b_key).then(a.bits.cmp(&b.bits))
         }
     });
-    let best = cands.first().expect("None candidate always present").clone();
+    let best = cands
+        .first()
+        .expect("None candidate always present")
+        .clone();
     let dict = match &best.codec {
         Codec::Dict { .. } => Some(Arc::new(Dictionary::build(dtype, sample.iter())?)),
         _ => None,
@@ -205,7 +207,9 @@ mod tests {
 
     #[test]
     fn high_cardinality_random_ints_stay_bitpacked_or_raw() {
-        let sample: Vec<Value> = (0..5000).map(|i| Value::Int(i * 7919 % 1_000_003)).collect();
+        let sample: Vec<Value> = (0..5000)
+            .map(|i| Value::Int(i * 7919 % 1_000_003))
+            .collect();
         let comp = choose_codec(DataType::Int, &sample, AdvisorGoal::DiskConstrained).unwrap();
         // Not a dictionary (too many distinct), not delta (not sorted).
         assert!(matches!(
@@ -218,8 +222,9 @@ mod tests {
     fn padded_text_gets_textpack() {
         // Content only ever uses 6 bytes of a 30-byte field, and cardinality
         // is too high for a dictionary.
-        let sample: Vec<Value> =
-            (0..5000).map(|i| Value::text(&format!("c{:05}", i))).collect();
+        let sample: Vec<Value> = (0..5000)
+            .map(|i| Value::text(&format!("c{:05}", i)))
+            .collect();
         let comp = choose_codec(DataType::Text(30), &sample, AdvisorGoal::DiskConstrained).unwrap();
         assert!(matches!(comp.codec, Codec::TextPack { bytes: 6 }));
     }

@@ -69,7 +69,11 @@ impl BitWriter {
                 self.buf.push(0);
             }
             let take = remaining.min(8 - off);
-            let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                (1u64 << take) - 1
+            };
             self.buf[byte_idx] |= ((code & mask) as u8) << off;
             code >>= take;
             self.bit_pos += take;

@@ -70,7 +70,9 @@ impl Codec {
     pub fn bits_per_value(&self, dtype: DataType) -> usize {
         match self {
             Codec::None => dtype.width() * 8,
-            Codec::BitPack { bits } | Codec::Dict { bits } | Codec::For { bits }
+            Codec::BitPack { bits }
+            | Codec::Dict { bits }
+            | Codec::For { bits }
             | Codec::ForDelta { bits } => *bits as usize,
             Codec::TextPack { bytes } => *bytes as usize * 8,
         }
@@ -140,13 +142,12 @@ impl ColumnCompression {
 
     pub fn new(codec: Codec, dict: Option<Arc<Dictionary>>) -> Result<ColumnCompression> {
         match (&codec, &dict) {
-            (Codec::Dict { bits }, Some(d))
-                if d.code_bits() > *bits => {
-                    return Err(Error::InvalidConfig(format!(
-                        "dictionary needs {} bits, codec configured with {bits}",
-                        d.code_bits()
-                    )));
-                }
+            (Codec::Dict { bits }, Some(d)) if d.code_bits() > *bits => {
+                return Err(Error::InvalidConfig(format!(
+                    "dictionary needs {} bits, codec configured with {bits}",
+                    d.code_bits()
+                )));
+            }
             (Codec::Dict { .. }, None) => {
                 return Err(Error::InvalidConfig("Dict codec without dictionary".into()));
             }
@@ -205,9 +206,7 @@ impl ColumnCompression {
                 for v in values {
                     let code = (v.as_int()? as i64 - base) as u64;
                     w.write(code, *bits).map_err(|_| {
-                        Error::ValueOutOfDomain(format!(
-                            "FOR range {code} exceeds {bits} bits"
-                        ))
+                        Error::ValueOutOfDomain(format!("FOR range {code} exceeds {bits} bits"))
                     })?;
                 }
             }
@@ -232,9 +231,7 @@ impl ColumnCompression {
                     };
                     prev = Some(iv);
                     w.write(code, *bits).map_err(|_| {
-                        Error::ValueOutOfDomain(format!(
-                            "delta {code} exceeds {bits} bits"
-                        ))
+                        Error::ValueOutOfDomain(format!("delta {code} exceeds {bits} bits"))
                     })?;
                 }
             }
@@ -649,17 +646,29 @@ mod tests {
         let long = [Value::text("this is far longer than eight")];
         assert!(comp.encode_page(DataType::Text(30), &long).is_err());
         // TextPack wider than the column is invalid.
-        assert!(Codec::TextPack { bytes: 40 }.validate_for(DataType::Text(30)).is_err());
-        assert!(Codec::TextPack { bytes: 8 }.validate_for(DataType::Int).is_err());
+        assert!(Codec::TextPack { bytes: 40 }
+            .validate_for(DataType::Text(30))
+            .is_err());
+        assert!(Codec::TextPack { bytes: 8 }
+            .validate_for(DataType::Int)
+            .is_err());
     }
 
     #[test]
     fn type_validation() {
-        assert!(Codec::BitPack { bits: 4 }.validate_for(DataType::Text(4)).is_err());
-        assert!(Codec::For { bits: 4 }.validate_for(DataType::Text(4)).is_err());
-        assert!(Codec::ForDelta { bits: 4 }.validate_for(DataType::Text(4)).is_err());
+        assert!(Codec::BitPack { bits: 4 }
+            .validate_for(DataType::Text(4))
+            .is_err());
+        assert!(Codec::For { bits: 4 }
+            .validate_for(DataType::Text(4))
+            .is_err());
+        assert!(Codec::ForDelta { bits: 4 }
+            .validate_for(DataType::Text(4))
+            .is_err());
         assert!(Codec::None.validate_for(DataType::Text(4)).is_ok());
-        assert!(Codec::Dict { bits: 4 }.validate_for(DataType::Text(4)).is_ok());
+        assert!(Codec::Dict { bits: 4 }
+            .validate_for(DataType::Text(4))
+            .is_ok());
     }
 
     #[test]

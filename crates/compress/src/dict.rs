@@ -22,7 +22,10 @@ impl Dictionary {
     /// Build a dictionary from the distinct values of a column, in first-seen
     /// order. Text values are stored at the column's declared (padded) width
     /// so decoding can hand back full-width values without re-padding.
-    pub fn build<'a>(dtype: DataType, values: impl Iterator<Item = &'a Value>) -> Result<Dictionary> {
+    pub fn build<'a>(
+        dtype: DataType,
+        values: impl Iterator<Item = &'a Value>,
+    ) -> Result<Dictionary> {
         let mut dict = Dictionary {
             values: Vec::new(),
             index: HashMap::new(),
@@ -108,11 +111,22 @@ mod tests {
     #[test]
     fn paper_example_male_female() {
         // §2.2.1: "MALE"/"FEMALE" → codes 0 and 1.
-        let vals = [Value::text("MALE"), Value::text("FEMALE"), Value::text("MALE")];
+        let vals = [
+            Value::text("MALE"),
+            Value::text("FEMALE"),
+            Value::text("MALE"),
+        ];
         let d = Dictionary::build(DataType::Text(6), vals.iter()).unwrap();
         assert_eq!(d.len(), 2);
-        assert_eq!(d.code_of(DataType::Text(6), &Value::text("MALE")).unwrap(), 0);
-        assert_eq!(d.code_of(DataType::Text(6), &Value::text("FEMALE")).unwrap(), 1);
+        assert_eq!(
+            d.code_of(DataType::Text(6), &Value::text("MALE")).unwrap(),
+            0
+        );
+        assert_eq!(
+            d.code_of(DataType::Text(6), &Value::text("FEMALE"))
+                .unwrap(),
+            1
+        );
         assert_eq!(d.code_bits(), 1);
     }
 

@@ -1,120 +1,172 @@
-//! Property tests for the compression substrate: bit-level I/O and every
-//! codec must round-trip arbitrary in-domain inputs, and the fixed-width
-//! invariants the engine relies on must hold.
+//! Property-style tests for the compression substrate: bit-level I/O and
+//! every codec must round-trip arbitrary in-domain inputs, and the
+//! fixed-width invariants the engine relies on must hold.
+//!
+//! The workspace builds offline, so instead of `proptest` these run each
+//! property over many deterministically seeded random cases.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 
 use rodb_compress::{bits_for, BitReader, BitWriter, Codec, ColumnCompression, Dictionary};
-use rodb_types::{DataType, Value};
+use rodb_types::{DataType, SplitMix64, Value};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: u64 = 256;
 
-    /// Mixed-width bit writes read back exactly, sequentially and by offset.
-    #[test]
-    fn bit_io_roundtrips_mixed_widths(
-        items in prop::collection::vec((1u8..=64, any::<u64>()), 0..200)
-    ) {
+/// Mixed-width bit writes read back exactly, sequentially and by offset.
+#[test]
+fn bit_io_roundtrips_mixed_widths() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x0B17 + case);
+        let n = rng.range_usize(0, 200);
+        let items: Vec<(u8, u64)> = (0..n)
+            .map(|_| (rng.range_usize(1, 65) as u8, rng.next_u64()))
+            .collect();
         let mut w = BitWriter::new();
         let mut expected = Vec::new();
         for (bits, raw) in &items {
-            let mask = if *bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let mask = if *bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             let code = raw & mask;
             w.write(code, *bits).unwrap();
             expected.push((*bits, code));
         }
         let total_bits: usize = items.iter().map(|(b, _)| *b as usize).sum();
-        prop_assert_eq!(w.bit_len(), total_bits);
+        assert_eq!(w.bit_len(), total_bits);
         let bytes = w.into_bytes();
-        prop_assert_eq!(bytes.len(), total_bits.div_ceil(8));
+        assert_eq!(bytes.len(), total_bits.div_ceil(8));
         let r = BitReader::new(&bytes);
         let mut off = 0usize;
         for (bits, code) in expected {
-            prop_assert_eq!(r.read_at(off, bits).unwrap(), code);
+            assert_eq!(r.read_at(off, bits).unwrap(), code);
             off += bits as usize;
         }
     }
+}
 
-    /// bits_for is the minimal width: the value fits, one bit less does not.
-    #[test]
-    fn bits_for_is_minimal(v in 1u64..) {
+/// bits_for is the minimal width: the value fits, one bit less does not.
+#[test]
+fn bits_for_is_minimal() {
+    let mut rng = SplitMix64::new(0xB175);
+    for case in 0..CASES {
+        // Cover every magnitude: scatter cases across bit widths.
+        let shift = (case % 64) as u32;
+        let v = (rng.next_u64() >> shift).max(1);
         let b = bits_for(v);
-        prop_assert!(b >= 1);
+        assert!(b >= 1);
         if b < 64 {
-            prop_assert!(v < (1u64 << b));
+            assert!(v < (1u64 << b), "v={v} b={b}");
         }
         if b > 1 {
-            prop_assert!(v >= (1u64 << (b - 1)));
+            assert!(v >= (1u64 << (b - 1)), "v={v} b={b}");
         }
     }
+}
 
-    /// BitPack roundtrips any non-negative ints under their minimal width,
-    /// sequentially and via random access.
-    #[test]
-    fn bitpack_roundtrip(vals in prop::collection::vec(0i32..=i32::MAX, 1..300)) {
+/// BitPack roundtrips any non-negative ints under their minimal width,
+/// sequentially and via random access.
+#[test]
+fn bitpack_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB1E5 + case);
+        let n = rng.range_usize(1, 300);
+        let shift = rng.range_usize(0, 31) as u32;
+        let vals: Vec<i32> = (0..n)
+            .map(|_| (rng.next_u64() as u32 >> 1 >> shift) as i32)
+            .collect();
         let max = *vals.iter().max().unwrap() as u64;
-        let comp =
-            ColumnCompression::new(Codec::BitPack { bits: bits_for(max) }, None).unwrap();
+        let comp = ColumnCompression::new(
+            Codec::BitPack {
+                bits: bits_for(max),
+            },
+            None,
+        )
+        .unwrap();
         let values: Vec<Value> = vals.iter().map(|&v| Value::Int(v)).collect();
         let enc = comp.encode_page(DataType::Int, &values).unwrap();
         let pv = comp.open_page(DataType::Int, &enc.data, enc.count, enc.base);
         for (i, &v) in vals.iter().enumerate() {
-            prop_assert_eq!(pv.int_at(i).unwrap(), v);
+            assert_eq!(pv.int_at(i).unwrap(), v);
         }
         let mut cur = pv.cursor();
         for &v in &vals {
-            prop_assert_eq!(cur.next_int().unwrap(), v);
+            assert_eq!(cur.next_int().unwrap(), v);
         }
     }
+}
 
-    /// FOR roundtrips any ints whose page range fits the width — including
-    /// negative bases.
-    #[test]
-    fn for_roundtrip(base in -1_000_000i32..1_000_000, offs in prop::collection::vec(0i32..50_000, 1..300)) {
+/// FOR roundtrips any ints whose page range fits the width — including
+/// negative bases.
+#[test]
+fn for_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xF0 + case);
+        let base = rng.range_i32(-1_000_000, 1_000_000);
+        let n = rng.range_usize(1, 300);
+        let offs: Vec<i32> = (0..n).map(|_| rng.range_i32(0, 50_000)).collect();
         let max_off = *offs.iter().max().unwrap() as u64;
-        let comp =
-            ColumnCompression::new(Codec::For { bits: bits_for(max_off) }, None).unwrap();
-        let values: Vec<Value> =
-            offs.iter().map(|&o| Value::Int(base + o)).collect();
+        let comp = ColumnCompression::new(
+            Codec::For {
+                bits: bits_for(max_off),
+            },
+            None,
+        )
+        .unwrap();
+        let values: Vec<Value> = offs.iter().map(|&o| Value::Int(base + o)).collect();
         let enc = comp.encode_page(DataType::Int, &values).unwrap();
         let pv = comp.open_page(DataType::Int, &enc.data, enc.count, enc.base);
         for (i, v) in values.iter().enumerate() {
-            prop_assert_eq!(&pv.value_at(i).unwrap(), v);
+            assert_eq!(&pv.value_at(i).unwrap(), v);
         }
     }
+}
 
-    /// FOR-delta roundtrips any non-decreasing sequence; sequential cursors
-    /// and O(i) random access agree.
-    #[test]
-    fn fordelta_roundtrip(start in -100_000i32..100_000, deltas in prop::collection::vec(0i32..255, 1..300)) {
+/// FOR-delta roundtrips any non-decreasing sequence; sequential cursors
+/// and O(i) random access agree.
+#[test]
+fn fordelta_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xDE17A + case);
+        let start = rng.range_i32(-100_000, 100_000);
+        let n = rng.range_usize(1, 300);
         let comp = ColumnCompression::new(Codec::ForDelta { bits: 8 }, None).unwrap();
         let mut vals = vec![start];
-        for &d in &deltas {
-            vals.push(vals.last().unwrap() + d);
+        for _ in 0..n {
+            vals.push(vals.last().unwrap() + rng.range_i32(0, 255));
         }
         let values: Vec<Value> = vals.iter().map(|&v| Value::Int(v)).collect();
         let enc = comp.encode_page(DataType::Int, &values).unwrap();
         let pv = comp.open_page(DataType::Int, &enc.data, enc.count, enc.base);
         let mut cur = pv.cursor();
         for (i, &v) in vals.iter().enumerate() {
-            prop_assert_eq!(cur.next_int().unwrap(), v);
-            prop_assert_eq!(pv.int_at(i).unwrap(), v);
+            assert_eq!(cur.next_int().unwrap(), v);
+            assert_eq!(pv.int_at(i).unwrap(), v);
         }
         // Cursor counted one decode per value.
-        prop_assert_eq!(cur.codes_decoded(), vals.len() as u64);
+        assert_eq!(cur.codes_decoded(), vals.len() as u64);
     }
+}
 
-    /// Dictionary codec roundtrips arbitrary low-cardinality text.
-    #[test]
-    fn dict_roundtrip(
-        words in prop::collection::vec("[a-z]{0,8}", 1..12),
-        picks in prop::collection::vec(any::<prop::sample::Index>(), 1..300),
-    ) {
+/// Dictionary codec roundtrips arbitrary low-cardinality text.
+#[test]
+fn dict_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xD1C7 + case);
+        let nwords = rng.range_usize(1, 12);
+        let words: Vec<String> = (0..nwords)
+            .map(|_| {
+                let len = rng.range_usize(0, 9);
+                (0..len)
+                    .map(|_| (b'a' + rng.below(26) as u8) as char)
+                    .collect()
+            })
+            .collect();
+        let npicks = rng.range_usize(1, 300);
         let width = 8usize;
-        let values: Vec<Value> = picks
-            .iter()
-            .map(|ix| Value::text(&words[ix.index(words.len())]))
+        let values: Vec<Value> = (0..npicks)
+            .map(|_| Value::text(&words[rng.range_usize(0, words.len())]))
             .collect();
         let dict = Arc::new(Dictionary::build(DataType::Text(width), values.iter()).unwrap());
         let bits = dict.code_bits();
@@ -122,35 +174,45 @@ proptest! {
         let enc = comp.encode_page(DataType::Text(width), &values).unwrap();
         let pv = comp.open_page(DataType::Text(width), &enc.data, enc.count, enc.base);
         for (i, v) in values.iter().enumerate() {
-            prop_assert_eq!(pv.value_at(i).unwrap().to_string(), v.to_string());
+            assert_eq!(pv.value_at(i).unwrap().to_string(), v.to_string());
         }
     }
+}
 
-    /// The advisor's pick always re-encodes its own sample losslessly and
-    /// never widens the column.
-    #[test]
-    fn advisor_pick_is_sound(vals in prop::collection::vec(0i32..10_000, 1..200)) {
-        use rodb_compress::{choose_codec, AdvisorGoal};
+/// The advisor's pick always re-encodes its own sample losslessly and
+/// never widens the column.
+#[test]
+fn advisor_pick_is_sound() {
+    use rodb_compress::{choose_codec, AdvisorGoal};
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xAD + case);
+        let n = rng.range_usize(1, 200);
+        let vals: Vec<i32> = (0..n).map(|_| rng.range_i32(0, 10_000)).collect();
         let values: Vec<Value> = vals.iter().map(|&v| Value::Int(v)).collect();
         for goal in [AdvisorGoal::DiskConstrained, AdvisorGoal::CpuConstrained] {
             let comp = choose_codec(DataType::Int, &values, goal).unwrap();
-            prop_assert!(comp.bits_per_value(DataType::Int) <= 32);
+            assert!(comp.bits_per_value(DataType::Int) <= 32);
             let enc = comp.encode_page(DataType::Int, &values).unwrap();
             let pv = comp.open_page(DataType::Int, &enc.data, enc.count, enc.base);
             let mut cur = pv.cursor();
             for &v in &vals {
-                prop_assert_eq!(cur.next_int().unwrap(), v);
+                assert_eq!(cur.next_int().unwrap(), v);
             }
         }
     }
+}
 
-    /// Encoded size equals count × fixed width, rounded to bytes — the
-    /// invariant that makes positional access possible.
-    #[test]
-    fn encoded_size_is_fixed_width(vals in prop::collection::vec(0i32..1024, 1..500)) {
+/// Encoded size equals count × fixed width, rounded to bytes — the
+/// invariant that makes positional access possible.
+#[test]
+fn encoded_size_is_fixed_width() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x517E + case);
+        let n = rng.range_usize(1, 500);
+        let vals: Vec<i32> = (0..n).map(|_| rng.range_i32(0, 1024)).collect();
         let comp = ColumnCompression::new(Codec::BitPack { bits: 10 }, None).unwrap();
         let values: Vec<Value> = vals.iter().map(|&v| Value::Int(v)).collect();
         let enc = comp.encode_page(DataType::Int, &values).unwrap();
-        prop_assert_eq!(enc.data.len(), (vals.len() * 10).div_ceil(8));
+        assert_eq!(enc.data.len(), (vals.len() * 10).div_ceil(8));
     }
 }

@@ -7,9 +7,9 @@
 //! Figure-1 compression advisor.
 
 use rodb_compress::{AdvisorGoal, ColumnCompression};
+use rodb_cpu::{CostParams, OpCosts};
 use rodb_engine::{RunReport, ScanLayout};
 use rodb_model::{self as model, ColumnSpec, Platform, Workload};
-use rodb_cpu::{CostParams, OpCosts};
 use rodb_storage::{Layout, Table};
 use rodb_types::{Result, Value};
 
@@ -71,7 +71,13 @@ pub fn predicted_speedup(
         row_bytes,
         col_bytes: model::col_bytes(&cols),
         row_cost: model::row_scanner_cost(
-            &costs, &params, 3.0, 131072.0, row_bytes, selectivity, &cols,
+            &costs,
+            &params,
+            3.0,
+            131072.0,
+            row_bytes,
+            selectivity,
+            &cols,
         ),
         col_cost: model::col_scanner_cost(&costs, &params, 3.0, 131072.0, &cols, selectivity),
         extra_ops: 0.0,
@@ -86,11 +92,13 @@ pub fn recommend_layout(
     selectivity: f64,
     cpdb: f64,
 ) -> Result<Layout> {
-    Ok(if predicted_speedup(table, projection, selectivity, cpdb)? >= 1.0 {
-        Layout::Column
-    } else {
-        Layout::Row
-    })
+    Ok(
+        if predicted_speedup(table, projection, selectivity, cpdb)? >= 1.0 {
+            Layout::Column
+        } else {
+            Layout::Row
+        },
+    )
 }
 
 /// Pick a codec per column from a sample of rows (Figure 1's compression
@@ -129,7 +137,9 @@ mod tests {
         let s = Arc::new(Schema::new(cols).unwrap());
         let mut b = TableBuilder::new("wide", s, 4096, BuildLayouts::both()).unwrap();
         for i in 0..rows {
-            let mut r: Vec<Value> = (0..8).map(|c| Value::Int((i * (c + 1)) as i32 % 1000)).collect();
+            let mut r: Vec<Value> = (0..8)
+                .map(|c| Value::Int((i * (c + 1)) as i32 % 1000))
+                .collect();
             r.push(Value::text("some payload text"));
             b.push_row(&r).unwrap();
         }

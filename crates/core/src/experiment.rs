@@ -119,7 +119,13 @@ pub fn format_sweep(title: &str, series: &[(&str, &[SweepPoint])]) -> String {
     let _ = writeln!(s, "# {title}");
     let _ = write!(s, "{:>6} {:>6}", "attrs", "bytes");
     for (name, _) in series {
-        let _ = write!(s, " {:>12} {:>10} {:>10}", format!("{name}-total"), "io_s", "cpu_s");
+        let _ = write!(
+            s,
+            " {:>12} {:>10} {:>10}",
+            format!("{name}-total"),
+            "io_s",
+            "cpu_s"
+        );
     }
     let _ = writeln!(s);
     let n = series.first().map(|(_, v)| v.len()).unwrap_or(0);

@@ -17,8 +17,7 @@ pub mod mv;
 pub mod query;
 
 pub use compare::{
-    compare_layouts, predicted_speedup, recommend_compression, recommend_layout,
-    LayoutComparison,
+    compare_layouts, predicted_speedup, recommend_compression, recommend_layout, LayoutComparison,
 };
 pub use db::Database;
 pub use experiment::{
@@ -26,4 +25,4 @@ pub use experiment::{
     ExperimentConfig, SweepPoint,
 };
 pub use mv::{materialize, recommend_vertical_partitions, MvRecommendation, QueryPattern};
-pub use query::{QueryBuilder, QueryResult};
+pub use query::{ParallelInfo, QueryBuilder, QueryResult};

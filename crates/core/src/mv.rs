@@ -90,9 +90,19 @@ fn scan_time(
     let params = CostParams::default();
     let needed_specs = col_specs(table, needed);
     let stored_specs = col_specs(table, stored);
-    let stored_bytes: f64 = stored_specs.iter().map(|c| c.raw_bytes).sum::<f64>().max(1.0);
+    let stored_bytes: f64 = stored_specs
+        .iter()
+        .map(|c| c.raw_bytes)
+        .sum::<f64>()
+        .max(1.0);
     let row_cost = model::row_scanner_cost(
-        &costs, &params, 3.0, 131072.0, stored_bytes, selectivity, &needed_specs,
+        &costs,
+        &params,
+        3.0,
+        131072.0,
+        stored_bytes,
+        selectivity,
+        &needed_specs,
     );
     let row_rate = model::store_rate(stored_bytes, &row_cost, 0.0, p);
     1.0 / row_rate.max(f64::MIN_POSITIVE)
@@ -172,9 +182,7 @@ pub fn recommend_vertical_partitions(
                     serves.push(qi);
                 }
             }
-            if benefit > 1e-12
-                && best.as_ref().map(|b| benefit > b.benefit).unwrap_or(true)
-            {
+            if benefit > 1e-12 && best.as_ref().map(|b| benefit > b.benefit).unwrap_or(true) {
                 best = Some(MvRecommendation {
                     columns: cand.clone(),
                     benefit,
@@ -219,9 +227,15 @@ pub fn materialize(table: &Table, rec: &MvRecommendation, name: &str) -> Result<
         .row
         .as_ref()
         .map(|r| r.page_size)
-        .or_else(|| table.col.as_ref().and_then(|c| c.columns.first().map(|c| c.page_size)))
+        .or_else(|| {
+            table
+                .col
+                .as_ref()
+                .and_then(|c| c.columns.first().map(|c| c.page_size))
+        })
         .unwrap_or(4096);
-    let mut b = TableBuilder::with_compression(name, schema, page_size, BuildLayouts::both(), comps)?;
+    let mut b =
+        TableBuilder::with_compression(name, schema, page_size, BuildLayouts::both(), comps)?;
     let source = if table.has_layout(Layout::Row) {
         table.read_all(Layout::Row)?
     } else {
@@ -320,13 +334,10 @@ mod tests {
     #[test]
     fn validation_errors() {
         let t = wide_table();
-        assert!(recommend_vertical_partitions(
-            &t,
-            &[QueryPattern::new(vec![], 0.1, 1.0)],
-            18.0,
-            1
-        )
-        .is_err());
+        assert!(
+            recommend_vertical_partitions(&t, &[QueryPattern::new(vec![], 0.1, 1.0)], 18.0, 1)
+                .is_err()
+        );
         assert!(recommend_vertical_partitions(
             &t,
             &[QueryPattern::new(vec![99], 0.1, 1.0)],
@@ -351,13 +362,8 @@ mod tests {
         let t = wide_table();
         // A query touching every column gains nothing from partitioning.
         let all: Vec<usize> = (0..t.schema.len()).collect();
-        let recs = recommend_vertical_partitions(
-            &t,
-            &[QueryPattern::new(all, 1.0, 1.0)],
-            18.0,
-            3,
-        )
-        .unwrap();
+        let recs = recommend_vertical_partitions(&t, &[QueryPattern::new(all, 1.0, 1.0)], 18.0, 3)
+            .unwrap();
         // The only candidate is the full table, which cannot beat itself by
         // more than float noise.
         assert!(recs.len() <= 1);

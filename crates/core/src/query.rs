@@ -23,11 +23,11 @@
 
 use std::sync::Arc;
 
-use rodb_engine::{
-    run_to_completion, AggSpec, AggStrategy, Aggregate, ExecContext, Operator, Predicate,
-    RunReport, ScanLayout, ScanSpec,
-};
 use rodb_engine::CmpOp;
+use rodb_engine::{
+    run_to_completion, AggPlan, AggSpec, AggStrategy, Aggregate, ExecContext, Operator,
+    ParallelExec, ParallelOutcome, Predicate, RunReport, ScanLayout, ScanSpec,
+};
 use rodb_storage::Table;
 use rodb_types::{Error, HardwareConfig, Result, SystemConfig, Value};
 
@@ -39,6 +39,21 @@ pub struct QueryResult {
     /// Result rows; populated by [`QueryBuilder::run_collect`], empty for
     /// the measurement-only [`QueryBuilder::run`].
     pub rows: Vec<Vec<Value>>,
+    /// Parallel-execution extras; `None` when the query ran serially.
+    pub parallel: Option<ParallelInfo>,
+}
+
+/// What a parallel run knows beyond the merged [`RunReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelInfo {
+    /// Measured wall-clock seconds of the parallel region.
+    pub wall_s: f64,
+    /// Modelled CPU critical-path seconds across the worker pool.
+    pub cpu_crit_s: f64,
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Morsels the table split into.
+    pub morsels: usize,
 }
 
 /// Fluent builder over one table.
@@ -106,8 +121,7 @@ impl QueryBuilder {
                 needed.push(p.col);
             }
         }
-        let speedup =
-            crate::compare::predicted_speedup(&self.table, &needed, sel, self.hw.cpdb())?;
+        let speedup = crate::compare::predicted_speedup(&self.table, &needed, sel, self.hw.cpdb())?;
         self.layout = if speedup >= 1.0 {
             ScanLayout::Column
         } else {
@@ -189,6 +203,17 @@ impl QueryBuilder {
         self
     }
 
+    /// Execute with `n` worker threads (morsel-driven parallel scan, with
+    /// partial aggregation when the query aggregates). `1` — the default —
+    /// is the paper's serial engine. Parallel execution supports the
+    /// [`ScanLayout::Row`] and [`ScanLayout::Column`] paths; the research
+    /// variants ([`ScanLayout::ColumnSlow`], [`ScanLayout::ColumnSingleIterator`])
+    /// always run serially.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.sys.threads = n;
+        self
+    }
+
     fn context(&self) -> Result<ExecContext> {
         let scale = match self.virtual_rows {
             Some(v) if self.table.row_count > 0 => {
@@ -238,20 +263,109 @@ impl QueryBuilder {
         }
     }
 
+    /// True when this query should take the morsel-driven parallel path.
+    fn parallel_eligible(&self) -> bool {
+        self.sys.threads > 1 && matches!(self.layout, ScanLayout::Row | ScanLayout::Column)
+    }
+
+    /// The scan spec + aggregation plan of this query, for the parallel
+    /// executor (mirrors [`QueryBuilder::build`]).
+    fn parallel_plan(&self) -> Result<(ScanSpec, Option<AggPlan>)> {
+        if self.projection.is_empty() {
+            return Err(Error::InvalidPlan("no columns selected".into()));
+        }
+        let spec = ScanSpec::new(self.table.clone(), self.layout, self.projection.clone())
+            .with_predicates(self.predicates.clone());
+        let agg = if self.aggs.is_empty() {
+            if self.group_by.is_some() {
+                return Err(Error::InvalidPlan("group_by without aggregates".into()));
+            }
+            None
+        } else {
+            let group = match self.group_by {
+                Some(base_col) => Some(
+                    self.projection
+                        .iter()
+                        .position(|&c| c == base_col)
+                        .ok_or_else(|| {
+                            Error::InvalidPlan("group_by column must be selected".into())
+                        })?,
+                ),
+                None => None,
+            };
+            Some(AggPlan {
+                group_by: group,
+                specs: self.aggs.clone(),
+                strategy: self.agg_strategy,
+            })
+        };
+        Ok((spec, agg))
+    }
+
+    fn row_scale(&self) -> f64 {
+        match self.virtual_rows {
+            Some(v) if self.table.row_count > 0 => {
+                (v as f64 / self.table.row_count as f64).max(1.0)
+            }
+            _ => 1.0,
+        }
+    }
+
+    fn run_parallel(&self, collect: bool) -> Result<QueryResult> {
+        let (spec, agg) = self.parallel_plan()?;
+        let exec = ParallelExec::new(self.sys.threads);
+        let out: ParallelOutcome = if collect {
+            exec.run_collect(
+                &spec,
+                agg.as_ref(),
+                &self.hw,
+                &self.sys,
+                self.row_scale(),
+                self.competing_scans,
+            )?
+        } else {
+            exec.run(
+                &spec,
+                agg.as_ref(),
+                &self.hw,
+                &self.sys,
+                self.row_scale(),
+                self.competing_scans,
+            )?
+        };
+        Ok(QueryResult {
+            report: out.report,
+            rows: out.rows,
+            parallel: Some(ParallelInfo {
+                wall_s: out.wall_s,
+                cpu_crit_s: out.cpu_crit_s,
+                threads: out.threads,
+                morsels: out.morsels,
+            }),
+        })
+    }
+
     /// Execute for measurement only (results are produced and discarded,
     /// exactly like the paper's queries).
     pub fn run(&self) -> Result<QueryResult> {
+        if self.parallel_eligible() {
+            return self.run_parallel(false);
+        }
         let ctx = self.context()?;
         let mut op = self.build(&ctx)?;
         let report = run_to_completion(op.as_mut(), &ctx)?;
         Ok(QueryResult {
             report,
             rows: Vec::new(),
+            parallel: None,
         })
     }
 
     /// Execute and materialize the result rows (small results only).
     pub fn run_collect(&self) -> Result<QueryResult> {
+        if self.parallel_eligible() {
+            return self.run_parallel(true);
+        }
         let ctx = self.context()?;
         let mut op = self.build(&ctx)?;
         let mut rows = Vec::new();
@@ -264,7 +378,11 @@ impl QueryBuilder {
         let mut report = run_to_completion(op.as_mut(), &ctx)?;
         report.rows = rows.len() as u64;
         report.blocks = blocks;
-        Ok(QueryResult { report, rows })
+        Ok(QueryResult {
+            report,
+            rows,
+            parallel: None,
+        })
     }
 
     /// Column indices this query projects (resolved).
@@ -429,7 +547,7 @@ mod tests {
             .unwrap()
             .filter("t", CmpOp::Lt, 5)
             .is_err()); // type mismatch
-        // group_by on an unselected column.
+                        // group_by on an unselected column.
         assert!(db
             .query("tab")
             .unwrap()

@@ -37,11 +37,7 @@ impl CpuBreakdown {
     }
 
     /// Compute the breakdown from counters on a given platform.
-    pub fn from_counters(
-        c: &CpuCounters,
-        hw: &HardwareConfig,
-        costs: &CostParams,
-    ) -> CpuBreakdown {
+    pub fn from_counters(c: &CpuCounters, hw: &HardwareConfig, costs: &CostParams) -> CpuBreakdown {
         let clock = hw.clock_hz;
         let usr_uop = c.uops / hw.uops_per_cycle / clock;
 

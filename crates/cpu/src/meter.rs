@@ -54,6 +54,13 @@ impl CpuMeter {
         CpuBreakdown::from_counters(&self.counters, hw, &self.params)
     }
 
+    /// Fold another meter's counters into this one (merging the per-worker
+    /// meters of a parallel execution into one query-wide meter). Cost
+    /// tables are taken from `self`; workers of one query share them.
+    pub fn merge(&mut self, other: &CpuMeter) {
+        self.counters.add(&other.counters);
+    }
+
     // ----- raw events ------------------------------------------------------
 
     pub fn add_uops(&mut self, n: f64) {

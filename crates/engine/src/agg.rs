@@ -7,9 +7,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use rodb_types::{Column, DataType, Error, Result, Schema};
 #[cfg(test)]
 use rodb_types::Value;
+use rodb_types::{Column, DataType, Error, Result, Schema};
 
 use crate::block::TupleBlock;
 use crate::op::{ExecContext, Operator};
@@ -107,6 +107,14 @@ impl Acc {
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
+    /// Fold another worker's accumulator for the same group into this one.
+    /// Exact for every [`AggFunc`]: AVG is derived from merged sum/count.
+    fn merge(&mut self, other: &Acc) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
     fn result(&self, f: AggFunc) -> i64 {
         match f {
             AggFunc::Count => self.count,
@@ -122,6 +130,96 @@ impl Acc {
             }
         }
     }
+}
+
+/// One worker's partial aggregation state: the grouped accumulators it
+/// built over its morsels, detached from the operator so it can cross
+/// threads (plain data — `Send`). Produced by [`Aggregate::into_partial`],
+/// combined by [`merge_partials`], re-attached by
+/// [`Aggregate::install_partial`].
+pub struct AggPartial {
+    groups: Vec<(Vec<u8>, Vec<Acc>)>,
+    strategy: AggStrategy,
+}
+
+impl AggPartial {
+    /// Number of distinct groups in this partial.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Combine per-worker partials into one final state equal to what a serial
+/// aggregation over the concatenated input would hold.
+///
+/// * `Hash`: groups are unioned, same-key accumulators merged, and the
+///   result sorted by key bytes — the serial hash path's output order.
+/// * `Sorted`: partials must arrive in morsel order; runs that span a
+///   morsel boundary (last group of one partial = first group of the next)
+///   are merged, and any other key reappearance is rejected exactly like
+///   the serial path rejects ungrouped input.
+pub fn merge_partials(partials: Vec<AggPartial>) -> Result<AggPartial> {
+    let strategy = match partials.first() {
+        Some(p) => p.strategy,
+        None => {
+            return Ok(AggPartial {
+                groups: Vec::new(),
+                strategy: AggStrategy::Hash,
+            })
+        }
+    };
+    if partials.iter().any(|p| p.strategy != strategy) {
+        return Err(Error::InvalidPlan(
+            "cannot merge partials of mixed aggregation strategies".into(),
+        ));
+    }
+    let mut out: Vec<(Vec<u8>, Vec<Acc>)> = Vec::new();
+    match strategy {
+        AggStrategy::Hash => {
+            let mut table: HashMap<Vec<u8>, usize> = HashMap::new();
+            for p in partials {
+                for (key, accs) in p.groups {
+                    match table.get(&key) {
+                        Some(&idx) => {
+                            for (a, b) in out[idx].1.iter_mut().zip(&accs) {
+                                a.merge(b);
+                            }
+                        }
+                        None => {
+                            table.insert(key.clone(), out.len());
+                            out.push((key, accs));
+                        }
+                    }
+                }
+            }
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        AggStrategy::Sorted => {
+            for p in partials {
+                for (key, accs) in p.groups {
+                    match out.last_mut() {
+                        Some((k, a)) if *k == key => {
+                            for (x, y) in a.iter_mut().zip(&accs) {
+                                x.merge(y);
+                            }
+                        }
+                        _ => {
+                            if out.iter().any(|(k, _)| *k == key) {
+                                return Err(Error::InvalidPlan(
+                                    "sorted aggregation over ungrouped input".into(),
+                                ));
+                            }
+                            out.push((key, accs));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(AggPartial {
+        groups: out,
+        strategy,
+    })
 }
 
 /// Grouped (or scalar) aggregation over one child.
@@ -201,9 +299,7 @@ impl Aggregate {
         match block.schema().dtype(col) {
             DataType::Int => Ok(block.int(i, col) as i64),
             DataType::Long => block.value(i, col)?.as_num(),
-            DataType::Text(_) => Err(Error::InvalidPlan(
-                "aggregate over text column".into(),
-            )),
+            DataType::Text(_) => Err(Error::InvalidPlan("aggregate over text column".into())),
         }
     }
 
@@ -300,6 +396,35 @@ impl Aggregate {
         self.ctx.meter.borrow_mut().add_uops(total_rows.max(1.0));
         self.results = Some(results);
         Ok(())
+    }
+
+    /// Run the child to completion and hand back this worker's grouped
+    /// accumulators instead of emitting final rows — the worker half of a
+    /// parallel partial aggregation. All scan/aggregation CPU and I/O has
+    /// been charged to this operator's context when this returns.
+    pub fn into_partial(mut self) -> Result<AggPartial> {
+        if self.results.is_none() {
+            self.materialize()?;
+        }
+        Ok(AggPartial {
+            groups: self.results.take().expect("materialized"),
+            strategy: self.strategy,
+        })
+    }
+
+    /// Install a merged partial as this operator's final state; subsequent
+    /// [`Operator::next`] calls emit it without pulling the child. Charges
+    /// the final-merge CPU (one accumulator fold per group per function) to
+    /// this operator's context.
+    pub fn install_partial(&mut self, p: AggPartial) {
+        let n = p.groups.len() as f64;
+        {
+            let mut meter = self.ctx.meter.borrow_mut();
+            meter.key_compare(n);
+            meter.agg_update(n * self.specs.len() as f64);
+        }
+        self.results = Some(p.groups);
+        self.emit_idx = 0;
     }
 }
 

@@ -180,8 +180,7 @@ mod tests {
 
     fn encode(a: i32, t: &str, b: i32, s: &Schema) -> Vec<u8> {
         let mut raw = Vec::new();
-        tuple::encode_tuple(s, &[Value::Int(a), Value::text(t), Value::Int(b)], &mut raw)
-            .unwrap();
+        tuple::encode_tuple(s, &[Value::Int(a), Value::text(t), Value::Int(b)], &mut raw).unwrap();
         raw
     }
 

@@ -132,8 +132,7 @@ mod tests {
     fn row_scale_scales_both_meters() {
         let t = table(10_000);
         let run = |scale: f64| {
-            let ctx =
-                ExecContext::new(Default::default(), SystemConfig::default(), scale).unwrap();
+            let ctx = ExecContext::new(Default::default(), SystemConfig::default(), scale).unwrap();
             let mut s = ColumnScanner::new(
                 t.clone(),
                 vec![0, 1],

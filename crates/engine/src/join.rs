@@ -73,11 +73,17 @@ impl Cursor {
     }
 
     fn current(&self) -> &[u8] {
-        self.block.as_ref().expect("ensure() checked").tuple(self.idx)
+        self.block
+            .as_ref()
+            .expect("ensure() checked")
+            .tuple(self.idx)
     }
 
     fn current_key(&self) -> &[u8] {
-        self.block.as_ref().expect("ensure() checked").field(self.idx, self.key)
+        self.block
+            .as_ref()
+            .expect("ensure() checked")
+            .field(self.idx, self.key)
     }
 
     fn advance(&mut self, dt: DataType) -> Result<()> {
@@ -211,7 +217,11 @@ impl Operator for MergeJoin {
                     break 'outer;
                 }
                 compares += 1.0;
-                match cmp_key(self.key_dt, self.left.current_key(), self.right.current_key()) {
+                match cmp_key(
+                    self.key_dt,
+                    self.left.current_key(),
+                    self.right.current_key(),
+                ) {
                     Ordering::Less => self.left.advance(self.key_dt)?,
                     Ordering::Greater => self.right.advance(self.key_dt)?,
                     Ordering::Equal => {
@@ -220,11 +230,8 @@ impl Operator for MergeJoin {
                         self.run.clear();
                         self.run_pos = 0;
                         while self.right.ensure()?
-                            && cmp_key(
-                                self.key_dt,
-                                self.right.current_key(),
-                                &self.run_key,
-                            ) == Ordering::Equal
+                            && cmp_key(self.key_dt, self.right.current_key(), &self.run_key)
+                                == Ordering::Equal
                         {
                             self.run.push(self.right.current().to_vec());
                             self.right.advance(self.key_dt)?;
@@ -286,15 +293,11 @@ mod tests {
         Box::new(RowScanner::new(t.clone(), vec![0, 1], vec![], ctx).unwrap())
     }
 
-    fn join_rows(
-        l: &[(i32, i32)],
-        r: &[(i32, i32)],
-    ) -> Vec<Vec<Value>> {
+    fn join_rows(l: &[(i32, i32)], r: &[(i32, i32)]) -> Vec<Vec<Value>> {
         let lt = table("l", l);
         let rt = table("r", r);
         let ctx = ExecContext::default_ctx();
-        let mut j =
-            MergeJoin::new(scan(&lt, &ctx), 0, scan(&rt, &ctx), 0, &ctx).unwrap();
+        let mut j = MergeJoin::new(scan(&lt, &ctx), 0, scan(&rt, &ctx), 0, &ctx).unwrap();
         collect_rows(&mut j).unwrap()
     }
 
@@ -337,8 +340,7 @@ mod tests {
     fn fk_join_like_orders_lineitem() {
         // 1 order : 4 lineitems, as in TPC-H.
         let orders: Vec<(i32, i32)> = (0..50).map(|i| (i, i * 1000)).collect();
-        let lineitems: Vec<(i32, i32)> =
-            (0..200).map(|i| (i / 4, i)).collect();
+        let lineitems: Vec<(i32, i32)> = (0..200).map(|i| (i / 4, i)).collect();
         let rows = join_rows(&orders, &lineitems);
         assert_eq!(rows.len(), 200);
         for r in &rows {
@@ -375,7 +377,12 @@ mod tests {
         let rt = table("x", &[(1, 1)]);
         let ctx = ExecContext::default_ctx();
         let j = MergeJoin::new(scan(&lt, &ctx), 0, scan(&rt, &ctx), 0, &ctx).unwrap();
-        let names: Vec<&str> = j.schema().columns().iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = j
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(names, vec!["x_k", "x_v", "x_k_r", "x_v_r"]);
     }
 

@@ -10,6 +10,7 @@ pub mod block;
 pub mod exec;
 pub mod join;
 pub mod op;
+pub mod par;
 pub mod plan;
 pub mod predicate;
 pub mod scan_col;
@@ -18,15 +19,16 @@ pub mod scan_row;
 pub mod scan_shared;
 pub mod sort;
 
-pub use agg::{AggFunc, AggSpec, AggStrategy, Aggregate};
-pub use join::MergeJoin;
-pub use plan::{ScanLayout, ScanSpec};
-pub use sort::Sort;
+pub use agg::{merge_partials, AggFunc, AggPartial, AggSpec, AggStrategy, Aggregate};
 pub use block::TupleBlock;
 pub use exec::{run_to_completion, RunReport};
+pub use join::MergeJoin;
 pub use op::{ExecContext, Operator};
+pub use par::{AggPlan, ParallelExec, ParallelOutcome};
+pub use plan::{ScanLayout, ScanSpec};
 pub use predicate::{CmpOp, Predicate};
 pub use scan_col::{ColumnScanMode, ColumnScanner};
 pub use scan_col_single::SingleIteratorColumnScanner;
 pub use scan_row::RowScanner;
 pub use scan_shared::{shared_row_scan, SharedScanOutput, SharedScanQuery};
+pub use sort::Sort;

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use rodb_storage::Table;
-use rodb_types::Result;
+use rodb_types::{Error, Result};
 
 use crate::agg::{AggSpec, AggStrategy, Aggregate};
 use crate::op::{ExecContext, Operator};
@@ -49,6 +49,9 @@ pub struct ScanSpec {
     pub layout: ScanLayout,
     pub projection: Vec<usize>,
     pub predicates: Vec<Predicate>,
+    /// Restrict the scan to row ordinals `[start, end)` — one morsel of a
+    /// parallel scan. `None` scans the whole table.
+    pub row_range: Option<(u64, u64)>,
 }
 
 impl ScanSpec {
@@ -58,6 +61,7 @@ impl ScanSpec {
             layout,
             projection,
             predicates: Vec::new(),
+            row_range: None,
         }
     }
 
@@ -66,21 +70,41 @@ impl ScanSpec {
         self
     }
 
+    /// Restrict the scan to the row-ordinal window `[start, end)`. Only the
+    /// [`ScanLayout::Row`] and [`ScanLayout::Column`] paths support ranges.
+    pub fn with_row_range(mut self, start: u64, end: u64) -> ScanSpec {
+        self.row_range = Some((start, end));
+        self
+    }
+
     /// Build the scan operator.
     pub fn build(self, ctx: &ExecContext) -> Result<Box<dyn Operator>> {
+        if self.row_range.is_some()
+            && matches!(
+                self.layout,
+                ScanLayout::ColumnSlow | ScanLayout::ColumnSingleIterator
+            )
+        {
+            return Err(Error::InvalidPlan(format!(
+                "row ranges are not supported by the {} layout",
+                self.layout
+            )));
+        }
         Ok(match self.layout {
-            ScanLayout::Row => Box::new(RowScanner::new(
+            ScanLayout::Row => Box::new(RowScanner::new_range(
                 self.table,
                 self.projection,
                 self.predicates,
                 ctx,
+                self.row_range,
             )?),
-            ScanLayout::Column => Box::new(ColumnScanner::new(
+            ScanLayout::Column => Box::new(ColumnScanner::new_range(
                 self.table,
                 self.projection,
                 self.predicates,
                 ColumnScanMode::Pipelined,
                 ctx,
+                self.row_range,
             )?),
             ScanLayout::ColumnSlow => Box::new(ColumnScanner::new(
                 self.table,
@@ -107,7 +131,9 @@ impl ScanSpec {
         ctx: &ExecContext,
     ) -> Result<Box<dyn Operator>> {
         let scan = self.build(ctx)?;
-        Ok(Box::new(Aggregate::new(scan, group_by, specs, strategy, ctx)?))
+        Ok(Box::new(Aggregate::new(
+            scan, group_by, specs, strategy, ctx,
+        )?))
     }
 }
 

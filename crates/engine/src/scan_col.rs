@@ -160,6 +160,8 @@ pub struct ColumnScanner {
     pending: Pending,
     node0_eof: bool,
     node0_next_row: u64,
+    /// Row-ordinal window `[start, end)` this scanner is responsible for.
+    range: (u64, u64),
     done: bool,
     mode: ColumnScanMode,
     scratch: Vec<u8>,
@@ -173,6 +175,21 @@ impl ColumnScanner {
         mode: ColumnScanMode,
         ctx: &ExecContext,
     ) -> Result<ColumnScanner> {
+        ColumnScanner::new_range(table, projection, predicates, mode, ctx, None)
+    }
+
+    /// Build a column scanner restricted to the row-ordinal range
+    /// `[start, end)` — one morsel of a parallel scan. Every scan node's
+    /// stream is clamped to the pages of its column holding the range, so a
+    /// worker pays I/O only for its window. `None` scans the whole table.
+    pub fn new_range(
+        table: Arc<Table>,
+        projection: Vec<usize>,
+        predicates: Vec<Predicate>,
+        mode: ColumnScanMode,
+        ctx: &ExecContext,
+        range: Option<(u64, u64)>,
+    ) -> Result<ColumnScanner> {
         if projection.is_empty() {
             return Err(Error::InvalidPlan("empty projection".into()));
         }
@@ -181,6 +198,10 @@ impl ColumnScanner {
         }
         let out_schema = Arc::new(table.schema.project(&projection)?);
         let cs = table.col_storage()?;
+        let range = match range {
+            Some((s, e)) => (s.min(table.row_count), e.min(table.row_count)),
+            None => (0, table.row_count),
+        };
 
         // Node order: predicate columns first (deepest), in predicate order,
         // then remaining projected columns in projection order.
@@ -197,27 +218,44 @@ impl ColumnScanner {
         }
 
         let mut nodes = Vec::with_capacity(node_cols.len());
+        let mut node0_first_row = 0u64;
         for &col in &node_cols {
             let storage = &cs.columns[col];
-            let stream = FileStream::new(
+            let mut stream = FileStream::new(
                 ctx.disk.clone(),
                 ctx.next_file_id(),
                 storage.file.clone(),
                 storage.page_size,
             )?;
+            // Clamp each node's stream to the pages of its column that hold
+            // the row range (columns pack different value counts per page, so
+            // the window is computed per column).
+            let vpp = storage.values_per_page.max(1) as u64;
+            let first_page = (range.0 / vpp) as usize;
+            let end_page = ((range.1.div_ceil(vpp)) as usize)
+                .min(storage.pages)
+                .max(first_page);
+            stream.set_window(first_page, end_page);
+            if nodes.is_empty() {
+                node0_first_row = first_page as u64 * vpp;
+            }
             nodes.push(ColNode {
                 col,
                 dtype: table.schema.dtype(col),
                 width: table.schema.dtype(col).width(),
                 comp: storage.comp.clone(),
-                preds: predicates.iter().filter(|p| p.col == col).cloned().collect(),
+                preds: predicates
+                    .iter()
+                    .filter(|p| p.col == col)
+                    .cloned()
+                    .collect(),
                 out_col: projection.iter().position(|&c| c == col),
                 stream,
                 page: None,
-                page_first_row: 0,
+                page_first_row: first_page as u64 * vpp,
                 page_count: 0,
                 decoded: Vec::new(),
-                file_bytes: storage.byte_len() as f64,
+                file_bytes: ((end_page - first_page) * storage.page_size) as f64,
                 values_decoded: 0,
                 positions_seen: 0,
                 pred_evals: 0,
@@ -241,7 +279,8 @@ impl ColumnScanner {
             nodes,
             pending: Pending::default(),
             node0_eof: false,
-            node0_next_row: 0,
+            node0_next_row: node0_first_row,
+            range,
             done: false,
             mode,
             scratch: Vec::new(),
@@ -270,6 +309,13 @@ impl ColumnScanner {
         for slot in 0..count {
             self.scratch.clear();
             cur.next_raw(&mut self.scratch)?;
+            let pos = first_row + slot as u64;
+            if pos < self.range.0 || pos >= self.range.1 {
+                // Boundary page of a morsel: slots outside the window belong
+                // to a neighbouring worker (decode cost is still paid — the
+                // cursor walked over them).
+                continue;
+            }
             let mut pass = true;
             for p in &node.preds {
                 node.pred_evals += 1;
@@ -282,7 +328,7 @@ impl ColumnScanner {
             }
             if pass {
                 node.positions_seen += 1; // {position, value} pair created
-                self.pending.positions.push(first_row + slot as u64);
+                self.pending.positions.push(pos);
                 self.pending.values.extend_from_slice(&self.scratch);
             }
         }
@@ -456,9 +502,7 @@ mod tests {
     }
 
     fn compressed_table(n: usize) -> Arc<Table> {
-        let s = Arc::new(
-            Schema::new(vec![Column::int("id"), Column::int("val")]).unwrap(),
-        );
+        let s = Arc::new(Schema::new(vec![Column::int("id"), Column::int("val")]).unwrap());
         let comps = vec![
             ColumnCompression::new(Codec::ForDelta { bits: 2 }, None).unwrap(),
             ColumnCompression::new(Codec::BitPack { bits: 7 }, None).unwrap(),
@@ -494,8 +538,8 @@ mod tests {
                 .unwrap();
                 let col_rows = collect_rows(&mut cs).unwrap();
                 let ctx2 = ExecContext::default_ctx();
-                let mut rs = RowScanner::new(t.clone(), proj.clone(), preds.clone(), &ctx2)
-                    .unwrap();
+                let mut rs =
+                    RowScanner::new(t.clone(), proj.clone(), preds.clone(), &ctx2).unwrap();
                 let row_rows = collect_rows(&mut rs).unwrap();
                 assert_eq!(col_rows, row_rows, "proj {proj:?} preds {preds:?}");
             }
@@ -601,9 +645,14 @@ mod tests {
         let t = table(5000);
         let read_with = |preds: Vec<Predicate>| {
             let ctx = ExecContext::default_ctx();
-            let mut cs =
-                ColumnScanner::new(t.clone(), vec![0, 2], preds, ColumnScanMode::Pipelined, &ctx)
-                    .unwrap();
+            let mut cs = ColumnScanner::new(
+                t.clone(),
+                vec![0, 2],
+                preds,
+                ColumnScanMode::Pipelined,
+                &ctx,
+            )
+            .unwrap();
             while cs.next().unwrap().is_some() {}
             let read = ctx.disk.borrow().stats().bytes_read;
             read
@@ -636,14 +685,8 @@ mod tests {
     fn slow_mode_sets_strict_interleave() {
         let t = table(100);
         let ctx = ExecContext::default_ctx();
-        let cs = ColumnScanner::new(
-            t.clone(),
-            vec![0, 1],
-            vec![],
-            ColumnScanMode::Slow,
-            &ctx,
-        )
-        .unwrap();
+        let cs =
+            ColumnScanner::new(t.clone(), vec![0, 1], vec![], ColumnScanMode::Slow, &ctx).unwrap();
         assert_eq!(cs.mode(), ColumnScanMode::Slow);
         // Behavioural check: under competition, slow mode is slower.
         let elapsed = |mode: ColumnScanMode| {
@@ -679,11 +722,8 @@ mod tests {
         let t = table(10);
         let ctx = ExecContext::default_ctx();
         assert!(
-            ColumnScanner::new(t.clone(), vec![], vec![], ColumnScanMode::Pipelined, &ctx)
-                .is_err()
+            ColumnScanner::new(t.clone(), vec![], vec![], ColumnScanMode::Pipelined, &ctx).is_err()
         );
-        assert!(
-            ColumnScanner::new(t, vec![9], vec![], ColumnScanMode::Pipelined, &ctx).is_err()
-        );
+        assert!(ColumnScanner::new(t, vec![9], vec![], ColumnScanMode::Pipelined, &ctx).is_err());
     }
 }

@@ -124,7 +124,11 @@ impl SingleIteratorColumnScanner {
                 dtype: table.schema.dtype(col),
                 width: table.schema.dtype(col).width(),
                 comp: storage.comp.clone(),
-                preds: predicates.iter().filter(|p| p.col == col).cloned().collect(),
+                preds: predicates
+                    .iter()
+                    .filter(|p| p.col == col)
+                    .cloned()
+                    .collect(),
                 out_col: projection.iter().position(|&c| c == col),
                 stream: FileStream::new(
                     ctx.disk.clone(),
@@ -276,7 +280,11 @@ mod tests {
     #[test]
     fn matches_pipelined_scanner_results() {
         let t = table(3000);
-        for preds in [vec![], vec![Predicate::lt(1, 10)], vec![Predicate::eq(2, "bb")]] {
+        for preds in [
+            vec![],
+            vec![Predicate::lt(1, 10)],
+            vec![Predicate::eq(2, "bb")],
+        ] {
             let ctx = ExecContext::default_ctx();
             let mut single =
                 SingleIteratorColumnScanner::new(t.clone(), vec![0, 1, 2], preds.clone(), &ctx)
@@ -359,8 +367,7 @@ mod tests {
         let cs = t.col_storage().unwrap();
         let expect = (cs.columns[0].byte_len() + cs.columns[1].byte_len()) as f64;
         let ctx = ExecContext::default_ctx();
-        let mut s =
-            SingleIteratorColumnScanner::new(t.clone(), vec![0, 1], vec![], &ctx).unwrap();
+        let mut s = SingleIteratorColumnScanner::new(t.clone(), vec![0, 1], vec![], &ctx).unwrap();
         while s.next().unwrap().is_some() {}
         assert!((ctx.disk.borrow().stats().bytes_read - expect).abs() < 1.0);
     }

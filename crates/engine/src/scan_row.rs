@@ -33,6 +33,11 @@ pub struct RowScanner {
     stream: FileStream,
     row_ordinal: u64,
     done: bool,
+    /// Row-ordinal range `[start, end)` this scanner covers (whole table by
+    /// default; a morsel of it under parallel execution).
+    range: (u64, u64),
+    /// File bytes inside this scanner's page window (for memory accounting).
+    window_bytes: f64,
     /// Bytes of the fields the projection copies per qualifying tuple.
     proj_bytes: usize,
     /// Qualifying projected tuples not yet emitted (strided by out width).
@@ -51,6 +56,18 @@ impl RowScanner {
         predicates: Vec<Predicate>,
         ctx: &ExecContext,
     ) -> Result<RowScanner> {
+        RowScanner::new_range(table, projection, predicates, ctx, None)
+    }
+
+    /// Build a row scanner restricted to the row-ordinal range `[start, end)`
+    /// — one morsel of a parallel scan. `None` scans the whole table.
+    pub fn new_range(
+        table: Arc<Table>,
+        projection: Vec<usize>,
+        predicates: Vec<Predicate>,
+        ctx: &ExecContext,
+        range: Option<(u64, u64)>,
+    ) -> Result<RowScanner> {
         if projection.is_empty() {
             return Err(Error::InvalidPlan("empty projection".into()));
         }
@@ -59,12 +76,23 @@ impl RowScanner {
         }
         let out_schema = Arc::new(table.schema.project(&projection)?);
         let rs = table.row_storage()?;
-        let stream = FileStream::new(
+        let mut stream = FileStream::new(
             ctx.disk.clone(),
             ctx.next_file_id(),
             rs.file.clone(),
             rs.page_size,
         )?;
+        let range = match range {
+            Some((s, e)) => (s.min(table.row_count), e.min(table.row_count)),
+            None => (0, table.row_count),
+        };
+        // Clamp the stream to the pages holding the range; the scanner never
+        // touches (or pays I/O for) the rest of the file.
+        let tpp = rs.tuples_per_page.max(1) as u64;
+        let first_page = (range.0 / tpp) as usize;
+        let end_page = (range.1.div_ceil(tpp) as usize).min(rs.pages);
+        stream.set_window(first_page, end_page);
+        let window_bytes = end_page.saturating_sub(first_page) as f64 * rs.page_size as f64;
         // A single sequential scan keeps one request outstanding.
         ctx.disk.borrow_mut().set_interleave(1);
         let proj_bytes = table.schema.selected_bytes(&projection);
@@ -75,8 +103,10 @@ impl RowScanner {
             predicates,
             out_schema,
             stream,
-            row_ordinal: 0,
+            row_ordinal: first_page as u64 * tpp,
             done: false,
+            range,
+            window_bytes,
             proj_bytes,
             pending: Vec::new(),
             pending_pos: Vec::new(),
@@ -109,6 +139,10 @@ impl RowScanner {
             RowFormat::Plain { stored_width } => {
                 let page = RowPage::new(pref.bytes(), *stored_width)?;
                 for raw in page.tuples() {
+                    if self.row_ordinal < self.range.0 || self.row_ordinal >= self.range.1 {
+                        self.row_ordinal += 1;
+                        continue;
+                    }
                     visited += 1;
                     let mut pass = true;
                     for (pi, pred) in self.predicates.iter().enumerate() {
@@ -141,6 +175,10 @@ impl RowScanner {
                 dense_l1 = true;
                 let page = PaxPage::new(pref.bytes(), &schema)?;
                 for i in 0..page.count() {
+                    if self.row_ordinal < self.range.0 || self.row_ordinal >= self.range.1 {
+                        self.row_ordinal += 1;
+                        continue;
+                    }
                     visited += 1;
                     let mut pass = true;
                     for (pi, pred) in self.predicates.iter().enumerate() {
@@ -166,10 +204,19 @@ impl RowScanner {
             RowFormat::Packed { comps, .. } => {
                 let page = rs.packed_page(pref.page_index)?;
                 let mut cur = page.cursor(&schema, comps);
-                let delta_cols =
-                    comps.iter().filter(|c| matches!(c.codec, Codec::ForDelta { .. })).count();
+                let delta_cols = comps
+                    .iter()
+                    .filter(|c| matches!(c.codec, Codec::ForDelta { .. }))
+                    .count();
                 let mut scratch = std::mem::take(&mut self.scratch);
                 while cur.advance()? {
+                    if self.row_ordinal < self.range.0 || self.row_ordinal >= self.range.1 {
+                        // Out-of-range rows on a shared boundary page: the
+                        // cursor still decodes past them (FOR-delta is
+                        // sequential) but they are not visited.
+                        self.row_ordinal += 1;
+                        continue;
+                    }
                     visited += 1;
                     let mut pass = true;
                     for (pi, pred) in self.predicates.iter().enumerate() {
@@ -210,10 +257,7 @@ impl RowScanner {
             }
         }
 
-        debug_assert_eq!(
-            self.pending.len(),
-            (self.pending_pos.len()) * out_width
-        );
+        debug_assert_eq!(self.pending.len(), (self.pending_pos.len()) * out_width);
 
         // Common CPU accounting for the page.
         {
@@ -242,15 +286,15 @@ impl RowScanner {
         Ok(true)
     }
 
-    /// End-of-scan memory accounting: the whole file streamed through the
-    /// memory bus (dense sequential access → hardware prefetched).
+    /// End-of-scan memory accounting: the scanner's page window streamed
+    /// through the memory bus (dense sequential access → hardware
+    /// prefetched). A whole-table scan streams the whole file.
     fn finish(&mut self) {
         if self.done {
             return;
         }
         self.done = true;
-        let rs = self.table.row_storage().expect("checked in new");
-        self.ctx.meter.borrow_mut().seq_region(rs.byte_len() as f64);
+        self.ctx.meter.borrow_mut().seq_region(self.window_bytes);
     }
 }
 
@@ -278,10 +322,7 @@ impl Operator for RowScanner {
         let mut block = TupleBlock::new(self.out_schema.clone(), take);
         for k in 0..take {
             let idx = self.pending_taken + k;
-            block.push_tuple(
-                &self.pending[idx * w..(idx + 1) * w],
-                self.pending_pos[idx],
-            )?;
+            block.push_tuple(&self.pending[idx * w..(idx + 1) * w], self.pending_pos[idx])?;
         }
         self.pending_taken += take;
         if self.pending_taken == self.pending_pos.len() {
@@ -376,8 +417,7 @@ mod tests {
     fn predicate_filters_and_positions_track_source() {
         let t = table(1000);
         let ctx = ExecContext::default_ctx();
-        let mut s =
-            RowScanner::new(t, vec![1], vec![Predicate::lt(1, 10)], &ctx).unwrap();
+        let mut s = RowScanner::new(t, vec![1], vec![Predicate::lt(1, 10)], &ctx).unwrap();
         let mut total = 0;
         while let Some(b) = s.next().unwrap() {
             for i in 0..b.count() {
@@ -394,7 +434,11 @@ mod tests {
     fn packed_rows_scan_like_plain_rows() {
         let plain = table(3000);
         let packed = packed_table(3000);
-        for preds in [vec![], vec![Predicate::lt(1, 10)], vec![Predicate::eq(2, "bb")]] {
+        for preds in [
+            vec![],
+            vec![Predicate::lt(1, 10)],
+            vec![Predicate::eq(2, "bb")],
+        ] {
             for proj in [vec![0, 1, 2], vec![2, 0], vec![1]] {
                 let ctx = ExecContext::default_ctx();
                 let mut a =
@@ -417,9 +461,8 @@ mod tests {
         let packed = packed_table(20_000);
         let run = |t: &Arc<Table>| {
             let ctx = ExecContext::default_ctx();
-            let mut s =
-                RowScanner::new(t.clone(), vec![0, 1, 2], vec![Predicate::lt(1, 10)], &ctx)
-                    .unwrap();
+            let mut s = RowScanner::new(t.clone(), vec![0, 1, 2], vec![Predicate::lt(1, 10)], &ctx)
+                .unwrap();
             while s.next().unwrap().is_some() {}
             let bytes = ctx.disk.borrow().stats().bytes_read;
             let uops = ctx.meter.borrow().counters().uops;

@@ -180,13 +180,9 @@ mod tests {
         let shared = shared_row_scan(&t, &queries(), &ctx).unwrap();
         for (q, out) in queries().iter().zip(&shared) {
             let ctx2 = ExecContext::default_ctx();
-            let mut solo = RowScanner::new(
-                t.clone(),
-                q.projection.clone(),
-                q.predicates.clone(),
-                &ctx2,
-            )
-            .unwrap();
+            let mut solo =
+                RowScanner::new(t.clone(), q.projection.clone(), q.predicates.clone(), &ctx2)
+                    .unwrap();
             assert_eq!(out.rows, collect_rows(&mut solo).unwrap());
         }
     }
@@ -215,8 +211,7 @@ mod tests {
         let mut solo_uops = 0.0;
         for q in queries() {
             let ctx2 = ExecContext::default_ctx();
-            let mut s =
-                RowScanner::new(t.clone(), q.projection, q.predicates, &ctx2).unwrap();
+            let mut s = RowScanner::new(t.clone(), q.projection, q.predicates, &ctx2).unwrap();
             while s.next().unwrap().is_some() {}
             solo_uops += ctx2.meter.borrow().counters().uops;
         }
@@ -231,12 +226,7 @@ mod tests {
         let t = table(10);
         let ctx = ExecContext::default_ctx();
         assert!(shared_row_scan(&t, &[], &ctx).is_err());
-        assert!(shared_row_scan(
-            &t,
-            &[SharedScanQuery::new(vec![], vec![])],
-            &ctx
-        )
-        .is_err());
+        assert!(shared_row_scan(&t, &[SharedScanQuery::new(vec![], vec![])], &ctx).is_err());
         assert!(shared_row_scan(
             &t,
             &[SharedScanQuery::new(vec![0], vec![Predicate::lt(9, 1)])],

@@ -125,9 +125,7 @@ mod tests {
     use rodb_types::{Column, Value};
 
     fn scan(n: usize, ctx: &ExecContext) -> Box<dyn Operator> {
-        let s = Arc::new(
-            Schema::new(vec![Column::int("k"), Column::text("t", 4)]).unwrap(),
-        );
+        let s = Arc::new(Schema::new(vec![Column::int("k"), Column::text("t", 4)]).unwrap());
         let mut b = TableBuilder::new("t", s, 4096, BuildLayouts::row_only()).unwrap();
         for i in 0..n {
             // Reverse order so sorting has work to do.

@@ -4,9 +4,7 @@
 
 use std::sync::Arc;
 
-use rodb_engine::{
-    run_to_completion, ExecContext, Predicate, ScanLayout, ScanSpec,
-};
+use rodb_engine::{run_to_completion, ExecContext, Predicate, ScanLayout, ScanSpec};
 use rodb_storage::{BuildLayouts, Table, TableBuilder};
 use rodb_types::{Column, HardwareConfig, Schema, SystemConfig, Value};
 
@@ -91,7 +89,13 @@ fn breakdown_total_is_sum_of_parts_and_nonnegative() {
         ScanLayout::ColumnSlow,
         ScanLayout::ColumnSingleIterator,
     ] {
-        let r = run(&t, layout, vec![0, 1, 2], vec![Predicate::lt(0, 100)], 100.0);
+        let r = run(
+            &t,
+            layout,
+            vec![0, 1, 2],
+            vec![Predicate::lt(0, 100)],
+            100.0,
+        );
         let b = &r.cpu;
         for part in [b.sys, b.usr_uop, b.usr_l2, b.usr_l1, b.usr_rest] {
             assert!(part >= 0.0, "{layout}: negative component");
@@ -106,8 +110,20 @@ fn breakdown_total_is_sum_of_parts_and_nonnegative() {
 fn equal_work_same_counters_across_runs() {
     // Determinism: identical queries meter identically.
     let t = table(10_000);
-    let a = run(&t, ScanLayout::Column, vec![0, 3], vec![Predicate::lt(0, 77)], 10.0);
-    let b = run(&t, ScanLayout::Column, vec![0, 3], vec![Predicate::lt(0, 77)], 10.0);
+    let a = run(
+        &t,
+        ScanLayout::Column,
+        vec![0, 3],
+        vec![Predicate::lt(0, 77)],
+        10.0,
+    );
+    let b = run(
+        &t,
+        ScanLayout::Column,
+        vec![0, 3],
+        vec![Predicate::lt(0, 77)],
+        10.0,
+    );
     assert_eq!(a.rows, b.rows);
     assert_eq!(a.io.seeks, b.io.seeks);
     assert!((a.io_s - b.io_s).abs() < 1e-12);
@@ -137,7 +153,13 @@ fn projecting_more_columns_never_reduces_work() {
 #[test]
 fn selectivity_moves_cpu_not_io() {
     let t = table(20_000);
-    let lo = run(&t, ScanLayout::Column, vec![0, 1, 2, 3], vec![Predicate::lt(0, 1)], 60.0);
+    let lo = run(
+        &t,
+        ScanLayout::Column,
+        vec![0, 1, 2, 3],
+        vec![Predicate::lt(0, 1)],
+        60.0,
+    );
     let hi = run(
         &t,
         ScanLayout::Column,
@@ -172,9 +194,13 @@ fn io_settlement_is_idempotent_across_runs_on_one_context() {
     // every call, double-counting kernel CPU when a context was reused.
     let t = table(20_000);
     let ctx = ExecContext::new(HardwareConfig::default(), SystemConfig::default(), 60.0).unwrap();
-    let mut op1 = ScanSpec::new(t.clone(), ScanLayout::Row, vec![0]).build(&ctx).unwrap();
+    let mut op1 = ScanSpec::new(t.clone(), ScanLayout::Row, vec![0])
+        .build(&ctx)
+        .unwrap();
     let r1 = run_to_completion(op1.as_mut(), &ctx).unwrap();
-    let mut op2 = ScanSpec::new(t.clone(), ScanLayout::Row, vec![0]).build(&ctx).unwrap();
+    let mut op2 = ScanSpec::new(t.clone(), ScanLayout::Row, vec![0])
+        .build(&ctx)
+        .unwrap();
     let r2 = run_to_completion(op2.as_mut(), &ctx).unwrap();
     // The second report includes both runs' work, but sys must grow by
     // roughly one run's worth (plus a few multi-stream seeks for the second

@@ -44,7 +44,11 @@ fn ctx_with_block(block_tuples: usize) -> ExecContext {
 fn one_tuple_blocks_still_agree() {
     let t = table(257, 4096);
     let mut results = Vec::new();
-    for layout in [ScanLayout::Row, ScanLayout::Column, ScanLayout::ColumnSingleIterator] {
+    for layout in [
+        ScanLayout::Row,
+        ScanLayout::Column,
+        ScanLayout::ColumnSingleIterator,
+    ] {
         let ctx = ctx_with_block(1);
         let mut op = ScanSpec::new(t.clone(), layout, vec![0, 2])
             .with_predicates(vec![Predicate::gt(2, 50)])
@@ -80,12 +84,20 @@ fn empty_table_through_every_operator() {
             .unwrap(),
     );
     let ctx = ExecContext::default_ctx();
-    for layout in [ScanLayout::Row, ScanLayout::Column, ScanLayout::ColumnSingleIterator] {
-        let scan = ScanSpec::new(t.clone(), layout, vec![0, 1]).build(&ctx).unwrap();
+    for layout in [
+        ScanLayout::Row,
+        ScanLayout::Column,
+        ScanLayout::ColumnSingleIterator,
+    ] {
+        let scan = ScanSpec::new(t.clone(), layout, vec![0, 1])
+            .build(&ctx)
+            .unwrap();
         let mut sorted = Sort::new(scan, vec![0], &ctx).unwrap();
         assert!(sorted.next().unwrap().is_none());
 
-        let scan = ScanSpec::new(t.clone(), layout, vec![0, 1]).build(&ctx).unwrap();
+        let scan = ScanSpec::new(t.clone(), layout, vec![0, 1])
+            .build(&ctx)
+            .unwrap();
         let mut agg = Aggregate::new(
             scan,
             Some(0),
@@ -96,8 +108,12 @@ fn empty_table_through_every_operator() {
         .unwrap();
         assert!(agg.next().unwrap().is_none());
     }
-    let l = ScanSpec::new(t.clone(), ScanLayout::Row, vec![0]).build(&ctx).unwrap();
-    let r = ScanSpec::new(t.clone(), ScanLayout::Column, vec![0]).build(&ctx).unwrap();
+    let l = ScanSpec::new(t.clone(), ScanLayout::Row, vec![0])
+        .build(&ctx)
+        .unwrap();
+    let r = ScanSpec::new(t.clone(), ScanLayout::Column, vec![0])
+        .build(&ctx)
+        .unwrap();
     let mut j = MergeJoin::new(l, 0, r, 0, &ctx).unwrap();
     assert!(j.next().unwrap().is_none());
 }
@@ -121,7 +137,11 @@ fn all_comparison_operators_on_text_and_int() {
             .with_predicates(vec![p])
             .build(&ctx)
             .unwrap();
-        assert_eq!(collect_rows(scan.as_mut()).unwrap().len(), expect, "{op:?} int");
+        assert_eq!(
+            collect_rows(scan.as_mut()).unwrap().len(),
+            expect,
+            "{op:?} int"
+        );
     }
     for (op, lit) in [
         (CmpOp::Eq, Value::text("cd")),
@@ -130,16 +150,17 @@ fn all_comparison_operators_on_text_and_int() {
         (CmpOp::Ge, Value::text("ab")),
     ] {
         let p = Predicate::new(1, op, lit);
-        let expect = oracle
-            .iter()
-            .filter(|r| p.eval_value(&r[1]))
-            .count();
+        let expect = oracle.iter().filter(|r| p.eval_value(&r[1])).count();
         let ctx = ExecContext::default_ctx();
         let mut scan = ScanSpec::new(t.clone(), ScanLayout::Row, vec![1])
             .with_predicates(vec![p])
             .build(&ctx)
             .unwrap();
-        assert_eq!(collect_rows(scan.as_mut()).unwrap().len(), expect, "{op:?} text");
+        assert_eq!(
+            collect_rows(scan.as_mut()).unwrap().len(),
+            expect,
+            "{op:?} text"
+        );
     }
 }
 
@@ -186,7 +207,9 @@ fn sort_then_sorted_aggregation_pipeline() {
 
     // Hash agg over the same input agrees.
     let ctx2 = ExecContext::default_ctx();
-    let scan = ScanSpec::new(t, ScanLayout::Column, vec![1, 2]).build(&ctx2).unwrap();
+    let scan = ScanSpec::new(t, ScanLayout::Column, vec![1, 2])
+        .build(&ctx2)
+        .unwrap();
     let mut hash = Aggregate::new(
         scan,
         Some(0),
@@ -202,8 +225,12 @@ fn sort_then_sorted_aggregation_pipeline() {
 fn self_merge_join_is_identity_sized() {
     let t = table(150, 4096);
     let ctx = ExecContext::default_ctx();
-    let l = ScanSpec::new(t.clone(), ScanLayout::Row, vec![0, 2]).build(&ctx).unwrap();
-    let r = ScanSpec::new(t.clone(), ScanLayout::Column, vec![0]).build(&ctx).unwrap();
+    let l = ScanSpec::new(t.clone(), ScanLayout::Row, vec![0, 2])
+        .build(&ctx)
+        .unwrap();
+    let r = ScanSpec::new(t.clone(), ScanLayout::Column, vec![0])
+        .build(&ctx)
+        .unwrap();
     let mut j = MergeJoin::new(l, 0, r, 0, &ctx).unwrap();
     let rows = collect_rows(&mut j).unwrap();
     // k is unique → exactly one match per row.

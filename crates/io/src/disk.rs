@@ -218,6 +218,32 @@ impl DiskArray {
     }
 }
 
+/// The merged disk view of a morsel-driven parallel scan, where `workers`
+/// per-worker streams shared one physical array.
+///
+/// The array is a single head assembly: it serves one stream at a time, so
+/// per-worker transfer (and competitor) seconds **sum** — parallel workers
+/// never add disk bandwidth. Seeks are where sharing costs: with two or
+/// more concurrent streams the head interleaves their burst requests, so
+/// *every* foreground burst re-positions the head and pays the paper's
+/// per-switch seek penalty (the same rule [`DiskArray`] applies when one
+/// query interleaves several column files). A single worker keeps the
+/// serial accounting untouched.
+pub fn merge_parallel(per_worker: &[IoStats], workers: usize, seek_s: f64) -> IoStats {
+    let mut merged = IoStats::default();
+    for s in per_worker {
+        merged.merge(s);
+    }
+    if workers >= 2 {
+        // Each burst ends with the head moving to another worker's stream;
+        // re-charge so every burst pays one switch seek.
+        let switch_seeks = merged.bursts.max(merged.seeks);
+        merged.seek_s += (switch_seeks - merged.seeks) as f64 * seek_s;
+        merged.seeks = switch_seeks;
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

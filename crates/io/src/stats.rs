@@ -27,6 +27,17 @@ impl IoStats {
     pub fn total_s(&self) -> f64 {
         self.transfer_s + self.seek_s + self.comp_s
     }
+
+    /// Element-wise accumulate (merging per-worker stats of a parallel scan).
+    pub fn merge(&mut self, other: &IoStats) {
+        self.bytes_read += other.bytes_read;
+        self.seeks += other.seeks;
+        self.bursts += other.bursts;
+        self.comp_bursts += other.comp_bursts;
+        self.transfer_s += other.transfer_s;
+        self.seek_s += other.seek_s;
+        self.comp_s += other.comp_s;
+    }
 }
 
 #[cfg(test)]

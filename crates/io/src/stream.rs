@@ -90,11 +90,12 @@ impl FileStream {
             return None;
         }
         let page_end = ((self.next_page + 1) * self.page_size) as f64;
-        let file_len = self.data.len() as f64;
+        // Never fetch past the stream's window (== file end when unwindowed).
+        let limit = (self.pages * self.page_size) as f64;
         while self.fetched < page_end {
             let mut disk = self.disk.borrow_mut();
             let burst = disk.burst_bytes().max(1.0);
-            let take = burst.min(file_len - self.fetched);
+            let take = burst.min(limit - self.fetched);
             disk.read(self.file_id, self.fetched, take);
             self.fetched += take;
         }
@@ -106,6 +107,16 @@ impl FileStream {
             len: self.page_size,
             page_index: idx,
         })
+    }
+
+    /// Restrict the stream to the page window `[first, end)`: pages before
+    /// `first` are skipped without I/O (a worker's window starts mid-file —
+    /// the bytes before it belong to another worker), and pages at or past
+    /// `end` read as EOF. Morsel-driven parallel scans give each worker a
+    /// disjoint window so together they read the file exactly once.
+    pub fn set_window(&mut self, first: usize, end: usize) {
+        self.pages = end.min(self.pages);
+        self.skip_pages(first.min(self.pages));
     }
 
     /// Skip ahead without reading (used by position-driven scan nodes when a

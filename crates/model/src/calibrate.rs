@@ -59,10 +59,11 @@ pub fn row_scanner_cost(
     let decode: f64 = proj.iter().map(|c| costs.decode(c.codec)).sum();
     let uops = costs.row_iter
         + costs.predicate
-        + sel * (proj.len() as f64 * costs.project_attr
-            + proj_bytes * costs.copy_byte
-            + decode
-            + costs.block_call / 100.0);
+        + sel
+            * (proj.len() as f64 * costs.project_attr
+                + proj_bytes * costs.copy_byte
+                + decode
+                + costs.block_call / 100.0);
     ScannerCost {
         i_sys: sys_cycles(stored_width, params, io_unit),
         i_user: uops_to_cycles(uops, params, uops_per_cycle),
@@ -96,7 +97,11 @@ pub fn col_scanner_cost(
         } else {
             // Driven nodes handle only qualifying positions — except
             // FOR-delta, which decodes every code on the page (§4.4).
-            let decode_frac = if c.codec == CodecKind::ForDelta { 1.0 } else { sel };
+            let decode_frac = if c.codec == CodecKind::ForDelta {
+                1.0
+            } else {
+                sel
+            };
             uops += decode_frac * costs.decode(c.codec)
                 + sel
                     * (costs.col_iter

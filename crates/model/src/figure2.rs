@@ -58,15 +58,7 @@ pub fn speedup_at(cfg: &Figure2Config, width: f64, cpdb: f64) -> f64 {
     let w = Workload {
         row_bytes: width,
         col_bytes: col_bytes(&cols),
-        row_cost: row_scanner_cost(
-            &costs,
-            &params,
-            3.0,
-            io_unit,
-            width,
-            cfg.selectivity,
-            &cols,
-        ),
+        row_cost: row_scanner_cost(&costs, &params, 3.0, io_unit, width, cfg.selectivity, &cols),
         col_cost: col_scanner_cost(&costs, &params, 3.0, io_unit, &cols, cfg.selectivity),
         extra_ops: 0.0,
     };

@@ -112,11 +112,7 @@ mod tests {
     #[test]
     fn costs_scale_linearly_in_n() {
         let cfg = IndexScanConfig::paper_example();
-        assert!(
-            (cfg.sequential_time(2.0e6) - 2.0 * cfg.sequential_time(1.0e6)).abs() < 1e-12
-        );
-        assert!(
-            (cfg.index_time(2.0e6, 0.001) - 2.0 * cfg.index_time(1.0e6, 0.001)).abs() < 1e-9
-        );
+        assert!((cfg.sequential_time(2.0e6) - 2.0 * cfg.sequential_time(1.0e6)).abs() < 1e-12);
+        assert!((cfg.index_time(2.0e6, 0.001) - 2.0 * cfg.index_time(1.0e6, 0.001)).abs() < 1e-9);
     }
 }

@@ -19,5 +19,5 @@ pub use loader::{BuildLayouts, TableBuilder};
 pub use page::{ColumnPage, ColumnPageBuilder, PageView, RowPage, RowPageBuilder};
 pub use page_packed::{PackedRowPage, PackedRowPageBuilder};
 pub use page_pax::{PaxPage, PaxPageBuilder};
-pub use table::{ColStorage, ColumnStorage, Layout, RowFormat, RowStorage, Table};
+pub use table::{ColStorage, ColumnStorage, Layout, Morsel, RowFormat, RowStorage, Table};
 pub use wos::WriteOptimizedStore;

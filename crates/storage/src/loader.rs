@@ -27,13 +27,22 @@ pub struct BuildLayouts {
 
 impl BuildLayouts {
     pub fn both() -> Self {
-        BuildLayouts { row: true, column: true }
+        BuildLayouts {
+            row: true,
+            column: true,
+        }
     }
     pub fn row_only() -> Self {
-        BuildLayouts { row: true, column: false }
+        BuildLayouts {
+            row: true,
+            column: false,
+        }
     }
     pub fn column_only() -> Self {
-        BuildLayouts { row: false, column: true }
+        BuildLayouts {
+            row: false,
+            column: true,
+        }
     }
 }
 
@@ -130,7 +139,11 @@ impl TableBuilder {
                 .zip(&comps)
                 .map(|(col, comp)| ColumnPageBuilder::new(page_size, col.dtype, comp))
                 .collect::<Vec<_>>();
-            (builders, vec![Vec::new(); schema.len()], vec![0; schema.len()])
+            (
+                builders,
+                vec![Vec::new(); schema.len()],
+                vec![0; schema.len()],
+            )
         } else {
             (Vec::new(), Vec::new(), Vec::new())
         };
@@ -349,7 +362,12 @@ mod tests {
         let dict = Arc::new(
             rodb_compress::Dictionary::build(
                 DataType::Text(10),
-                [Value::text("AIR"), Value::text("SHIP"), Value::text("TRUCK")].iter(),
+                [
+                    Value::text("AIR"),
+                    Value::text("SHIP"),
+                    Value::text("TRUCK"),
+                ]
+                .iter(),
             )
             .unwrap(),
         );
@@ -431,13 +449,7 @@ mod tests {
         let s = schema();
         let mut b = TableBuilder::new("t", s, 1024, BuildLayouts::both()).unwrap();
         assert!(b.push_row(&[Value::Int(1)]).is_err());
-        let mut b2 = TableBuilder::new(
-            "t2",
-            schema(),
-            1024,
-            BuildLayouts::column_only(),
-        )
-        .unwrap();
+        let mut b2 = TableBuilder::new("t2", schema(), 1024, BuildLayouts::column_only()).unwrap();
         assert!(b2.push_row(&[Value::Int(1)]).is_err());
     }
 

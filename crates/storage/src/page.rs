@@ -136,8 +136,10 @@ impl RowPageBuilder {
             )));
         }
         self.buf.extend_from_slice(raw_tuple);
-        self.buf
-            .extend(std::iter::repeat_n(0u8, self.stored_width - raw_tuple.len()));
+        self.buf.extend(std::iter::repeat_n(
+            0u8,
+            self.stored_width - raw_tuple.len(),
+        ));
         self.count += 1;
         Ok(())
     }
@@ -285,7 +287,12 @@ impl<'a> ColumnPage<'a> {
 
     /// Open the packed values with their codec.
     pub fn values(&self, comp: &'a ColumnCompression) -> PageValues<'a> {
-        comp.open_page(self.dtype, self.view.body(), self.view.count(), self.view.base())
+        comp.open_page(
+            self.dtype,
+            self.view.body(),
+            self.view.count(),
+            self.view.base(),
+        )
     }
 }
 
@@ -325,7 +332,11 @@ mod tests {
             let mut raw = Vec::new();
             tuple::encode_tuple(
                 &s,
-                &[Value::Int(i as i32), Value::text("xy"), Value::Int(-(i as i32))],
+                &[
+                    Value::Int(i as i32),
+                    Value::text("xy"),
+                    Value::Int(-(i as i32)),
+                ],
                 &mut raw,
             )
             .unwrap();
@@ -402,8 +413,12 @@ mod tests {
         let s = schema();
         let mut b = RowPageBuilder::new(4096, &s);
         let mut raw = Vec::new();
-        tuple::encode_tuple(&s, &[Value::Int(9), Value::text("ab"), Value::Int(8)], &mut raw)
-            .unwrap();
+        tuple::encode_tuple(
+            &s,
+            &[Value::Int(9), Value::text("ab"), Value::Int(8)],
+            &mut raw,
+        )
+        .unwrap();
         b.push(&raw).unwrap();
         let page = b.build(PageId(0));
         let rp = RowPage::new(&page, s.stored_width()).unwrap();

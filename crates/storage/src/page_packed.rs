@@ -233,8 +233,7 @@ impl<'a> PackedRowPage<'a> {
         if bytes.len() < PAGE_HEADER + PAGE_TRAILER {
             return Err(Error::Corrupt("short packed row page".into()));
         }
-        let count =
-            u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        let count = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
         let n_bases = base_columns(comps).len();
         let mut bases = Vec::with_capacity(n_bases);
         for k in 0..n_bases {
@@ -243,7 +242,11 @@ impl<'a> PackedRowPage<'a> {
                 bytes[off..off + 8].try_into().expect("8 bytes"),
             ));
         }
-        Ok(PackedRowPage { bytes, count, bases })
+        Ok(PackedRowPage {
+            bytes,
+            count,
+            bases,
+        })
     }
 
     pub fn count(&self) -> usize {

@@ -185,7 +185,8 @@ mod tests {
         let s = schema(); // 13 B logical, 16 B stored
         assert_eq!(pax_tuples_per_page(4096, &s), 4068 / 13);
         assert!(
-            pax_tuples_per_page(4096, &s) > crate::page::row_tuples_per_page(4096, s.stored_width())
+            pax_tuples_per_page(4096, &s)
+                > crate::page::row_tuples_per_page(4096, s.stored_width())
         );
     }
 

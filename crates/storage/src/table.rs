@@ -87,9 +87,7 @@ impl RowStorage {
     /// Borrow plain page `i` (error for packed row files).
     pub fn page(&self, i: usize) -> Result<RowPage<'_>> {
         match &self.format {
-            RowFormat::Plain { stored_width } => {
-                RowPage::new(self.page_slice(i)?, *stored_width)
-            }
+            RowFormat::Plain { stored_width } => RowPage::new(self.page_slice(i)?, *stored_width),
             _ => Err(Error::LayoutUnavailable(
                 "plain page view of a non-plain row file".into(),
             )),
@@ -109,9 +107,7 @@ impl RowStorage {
     /// Borrow packed page `i` (error for plain row files).
     pub fn packed_page(&self, i: usize) -> Result<PackedRowPage<'_>> {
         match &self.format {
-            RowFormat::Packed { comps, .. } => {
-                PackedRowPage::new(self.page_slice(i)?, comps)
-            }
+            RowFormat::Packed { comps, .. } => PackedRowPage::new(self.page_slice(i)?, comps),
             _ => Err(Error::LayoutUnavailable(
                 "packed page view of a non-packed row file".into(),
             )),
@@ -177,6 +173,27 @@ impl ColStorage {
     }
 }
 
+/// One work unit of a morsel-driven parallel scan: a half-open range of
+/// global row ordinals `[start, end)`. Morsels partition the table — they
+/// are disjoint and cover every row — so workers can scan them
+/// independently and results merged in morsel order equal a serial scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    pub start: u64,
+    pub end: u64,
+}
+
+impl Morsel {
+    /// Rows in this morsel.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
 /// A catalog table: schema plus loaded physical representations.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -220,6 +237,48 @@ impl Table {
                 })
             }
         }
+    }
+
+    /// Split the table into up to `n` disjoint [`Morsel`]s covering every
+    /// row, for morsel-driven parallel scans.
+    ///
+    /// Boundaries are aligned to storage-page boundaries where a natural
+    /// alignment exists — the row file's tuples-per-page if the table has a
+    /// row representation, otherwise the first column's values-per-page —
+    /// so adjacent workers rarely touch the same page. Alignment is a
+    /// performance nicety, not a correctness requirement: scanners accept
+    /// arbitrary ranges. Returns fewer than `n` morsels when the table is
+    /// too small to split (empty tables yield no morsels).
+    pub fn morsels(&self, n: usize) -> Vec<Morsel> {
+        let rows = self.row_count;
+        if rows == 0 || n == 0 {
+            return Vec::new();
+        }
+        let align = self
+            .row
+            .as_ref()
+            .map(|rs| rs.tuples_per_page)
+            .or_else(|| {
+                self.col
+                    .as_ref()
+                    .and_then(|cs| cs.columns.first())
+                    .map(|c| c.values_per_page)
+            })
+            .unwrap_or(1)
+            .max(1) as u64;
+        let n = n as u64;
+        let per = rows.div_ceil(n);
+        // Round the chunk size up to the alignment so boundaries land on
+        // page edges of the aligning layout.
+        let per = per.div_ceil(align) * align;
+        let mut out = Vec::new();
+        let mut start = 0u64;
+        while start < rows {
+            let end = (start + per).min(rows);
+            out.push(Morsel { start, end });
+            start = end;
+        }
+        out
     }
 
     /// Materialize every row through the given layout — a correctness oracle

@@ -95,7 +95,12 @@ impl WriteOptimizedStore {
             .row
             .as_ref()
             .map(|r| r.page_size)
-            .or_else(|| table.col.as_ref().and_then(|c| c.columns.first().map(|c| c.page_size)))
+            .or_else(|| {
+                table
+                    .col
+                    .as_ref()
+                    .and_then(|c| c.columns.first().map(|c| c.page_size))
+            })
             .ok_or_else(|| Error::LayoutUnavailable("table with no layouts".into()))?;
         let pax = matches!(
             table.row.as_ref().map(|r| &r.format),
@@ -187,9 +192,7 @@ mod tests {
         let s = schema();
         let mut wos = WriteOptimizedStore::new(s);
         assert!(wos.insert(vec![Value::Int(1)]).is_err());
-        assert!(wos
-            .insert(vec![Value::text("x"), Value::Int(1)])
-            .is_err());
+        assert!(wos.insert(vec![Value::text("x"), Value::Int(1)]).is_err());
         assert!(wos.is_empty());
     }
 

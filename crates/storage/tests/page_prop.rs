@@ -1,7 +1,8 @@
-//! Property tests for the storage substrate: page capacity invariants,
-//! builder/reader roundtrips, and the loader's page-accounting arithmetic.
+//! Property-style tests for the storage substrate: page capacity
+//! invariants, builder/reader roundtrips, and the loader's page-accounting
+//! arithmetic — run over many deterministically seeded random cases (the
+//! offline build has no `proptest`).
 
-use proptest::prelude::*;
 use std::sync::Arc;
 
 use rodb_compress::{Codec, ColumnCompression};
@@ -10,28 +11,34 @@ use rodb_storage::{
     page_packed::{packed_tuple_bits, packed_tuples_per_page},
     BuildLayouts, Layout, TableBuilder,
 };
-use rodb_types::{tuple, Column, PageId, Schema, Value};
+use rodb_types::{tuple, Column, PageId, Schema, SplitMix64, Value};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    /// Capacity formulas never overflow the page body.
-    #[test]
-    fn capacities_fit_the_body(
-        page_size in 64usize..16384,
-        width in 1usize..256,
-        bits in 1usize..256,
-    ) {
-        prop_assume!(page_size >= 64);
+/// Capacity formulas never overflow the page body.
+#[test]
+fn capacities_fit_the_body() {
+    let mut rng = SplitMix64::new(0xCAFE);
+    for _ in 0..CASES {
+        let page_size = rng.range_usize(64, 16384);
+        let width = rng.range_usize(1, 256);
+        let bits = rng.range_usize(1, 256);
         let body = body_capacity(page_size);
-        prop_assert_eq!(body, page_size - 28);
-        prop_assert!(row_tuples_per_page(page_size, width) * width <= body);
-        prop_assert!(col_values_per_page(page_size, bits) * bits <= body * 8);
+        assert_eq!(body, page_size - 28);
+        assert!(row_tuples_per_page(page_size, width) * width <= body);
+        assert!(col_values_per_page(page_size, bits) * bits <= body * 8);
     }
+}
 
-    /// Row pages roundtrip any tuple mix and preserve order and count.
-    #[test]
-    fn row_page_roundtrip(rows in prop::collection::vec((any::<i32>(), 0u8..255), 1..50)) {
+/// Row pages roundtrip any tuple mix and preserve order and count.
+#[test]
+fn row_page_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x0707 + case);
+        let n = rng.range_usize(1, 50);
+        let rows: Vec<(i32, u8)> = (0..n)
+            .map(|_| (rng.next_u64() as i32, rng.below(255) as u8))
+            .collect();
         let schema = Schema::new(vec![Column::int("a"), Column::text("t", 3)]).unwrap();
         let mut b = rodb_storage::RowPageBuilder::new(4096, &schema);
         let cap = b.capacity();
@@ -50,20 +57,23 @@ proptest! {
         }
         let page = b.build(PageId(1));
         let rp = rodb_storage::RowPage::new(&page, schema.stored_width()).unwrap();
-        prop_assert_eq!(rp.count(), take);
+        assert_eq!(rp.count(), take);
         for (i, raw) in raws.iter().enumerate() {
-            prop_assert_eq!(&rp.tuple(i)[..schema.logical_width()], raw.as_slice());
+            assert_eq!(&rp.tuple(i)[..schema.logical_width()], raw.as_slice());
         }
     }
+}
 
-    /// The loader's page math: pages × capacity covers exactly row_count,
-    /// with only the final page partial, in every representation.
-    #[test]
-    fn loader_page_accounting(n in 0usize..3000, page_size_k in 1usize..4) {
-        let page_size = page_size_k * 1024;
-        let schema = Arc::new(
-            Schema::new(vec![Column::int("a"), Column::text("t", 7)]).unwrap(),
-        );
+/// The loader's page math: pages × capacity covers exactly row_count,
+/// with only the final page partial, in every representation.
+#[test]
+fn loader_page_accounting() {
+    // Fewer cases — each one loads a full table twice.
+    for case in 0..32 {
+        let mut rng = SplitMix64::new(0x10AD + case);
+        let n = rng.range_usize(0, 3000);
+        let page_size = rng.range_usize(1, 4) * 1024;
+        let schema = Arc::new(Schema::new(vec![Column::int("a"), Column::text("t", 7)]).unwrap());
         let comps = vec![
             ColumnCompression::new(Codec::BitPack { bits: 12 }, None).unwrap(),
             ColumnCompression::none(),
@@ -77,28 +87,37 @@ proptest! {
         )
         .unwrap();
         for i in 0..n {
-            b.push_row(&[Value::Int((i % 4096) as i32), Value::text("abc")]).unwrap();
+            b.push_row(&[Value::Int((i % 4096) as i32), Value::text("abc")])
+                .unwrap();
         }
         let t = b.finish().unwrap();
-        prop_assert_eq!(t.row_count as usize, n);
+        assert_eq!(t.row_count as usize, n);
 
         let rs = t.row_storage().unwrap();
-        prop_assert_eq!(rs.pages, n.div_ceil(rs.tuples_per_page.max(1)));
-        prop_assert_eq!(rs.file.len(), rs.pages * page_size);
+        assert_eq!(rs.pages, n.div_ceil(rs.tuples_per_page.max(1)));
+        assert_eq!(rs.file.len(), rs.pages * page_size);
 
         for col in &t.col_storage().unwrap().columns {
-            prop_assert_eq!(col.pages, n.div_ceil(col.values_per_page.max(1)));
-            prop_assert_eq!(col.file.len(), col.pages * page_size);
+            assert_eq!(col.pages, n.div_ceil(col.values_per_page.max(1)));
+            assert_eq!(col.file.len(), col.pages * page_size);
         }
 
         // And the data reads back equal through both layouts.
-        prop_assert_eq!(t.read_all(Layout::Row).unwrap(), t.read_all(Layout::Column).unwrap());
+        assert_eq!(
+            t.read_all(Layout::Row).unwrap(),
+            t.read_all(Layout::Column).unwrap()
+        );
     }
+}
 
-    /// Packed tuple width is the exact sum of the codec widths, and page
-    /// capacity accounts for the per-column base slots.
-    #[test]
-    fn packed_row_capacity(bits_a in 1u8..32, text_w in 1usize..30) {
+/// Packed tuple width is the exact sum of the codec widths, and page
+/// capacity accounts for the per-column base slots.
+#[test]
+fn packed_row_capacity() {
+    let mut rng = SplitMix64::new(0x9AC0);
+    for _ in 0..CASES {
+        let bits_a = rng.range_usize(1, 32) as u8;
+        let text_w = rng.range_usize(1, 30);
         let schema = Schema::new(vec![
             Column::int("a"),
             Column::int("b"),
@@ -111,20 +130,29 @@ proptest! {
             ColumnCompression::none(),
         ];
         let bits = packed_tuple_bits(&schema, &comps);
-        prop_assert_eq!(bits, bits_a as usize + 8 + text_w * 8);
+        assert_eq!(bits, bits_a as usize + 8 + text_w * 8);
         let cap = packed_tuples_per_page(4096, &schema, &comps);
         // One FOR-delta base (8 bytes) reserved from the body.
-        prop_assert_eq!(cap, (4096 - 28 - 8) * 8 / bits);
-        prop_assert!(cap > 0);
+        assert_eq!(cap, (4096 - 28 - 8) * 8 / bits);
+        assert!(cap > 0);
     }
+}
 
-    /// WOS merge at arbitrary sizes keeps row/column agreement.
-    #[test]
-    fn wos_merge_any_sizes(base_n in 0usize..500, extra_n in 0usize..100) {
+/// WOS merge at arbitrary sizes keeps row/column agreement.
+#[test]
+fn wos_merge_any_sizes() {
+    for case in 0..64 {
+        let mut rng = SplitMix64::new(0x3035 + case);
+        let base_n = rng.range_usize(0, 500);
+        let extra_n = rng.range_usize(0, 100);
         let schema = Arc::new(Schema::new(vec![Column::int("k")]).unwrap());
         let comps = vec![ColumnCompression::none()];
         let mut b = TableBuilder::with_compression(
-            "t", schema.clone(), 1024, BuildLayouts::both(), comps.clone(),
+            "t",
+            schema.clone(),
+            1024,
+            BuildLayouts::both(),
+            comps.clone(),
         )
         .unwrap();
         for i in 0..base_n {
@@ -136,11 +164,11 @@ proptest! {
             wos.insert(vec![Value::Int(i as i32 * 2 + 1)]).unwrap();
         }
         let merged = wos.merge_into(&t, &comps, Some(0)).unwrap();
-        prop_assert_eq!(merged.row_count as usize, base_n + extra_n);
+        assert_eq!(merged.row_count as usize, base_n + extra_n);
         let rows = merged.read_all(Layout::Row).unwrap();
-        prop_assert_eq!(&rows, &merged.read_all(Layout::Column).unwrap());
+        assert_eq!(&rows, &merged.read_all(Layout::Column).unwrap());
         for w in rows.windows(2) {
-            prop_assert!(w[0][0] <= w[1][0]);
+            assert!(w[0][0] <= w[1][0]);
         }
     }
 }

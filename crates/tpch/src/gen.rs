@@ -96,22 +96,22 @@ impl Iterator for LineitemGen {
 
         let shipdate = uniform(s, i, 14, DATE_DAYS - 100);
         let row = vec![
-            Value::Int(perm_value(i, PARTKEY)),                       // 1 l_partkey
-            Value::Int(self.orderkey),                                // 2 l_orderkey
-            Value::Int(uniform(s, i, 3, SUPPKEY)),                    // 3 l_suppkey
-            Value::Int(self.linenumber),                              // 4 l_linenumber
-            Value::Int(1 + uniform(s, i, 5, MAX_QUANTITY)),           // 5 l_quantity
-            Value::Int(1 + uniform(s, i, 6, MAX_PRICE)),              // 6 l_extendedprice
-            Value::text(pick(s, i, 7, &RETURNFLAGS)),                 // 7 l_returnflag
-            Value::text(pick(s, i, 8, &LINESTATUS)),                  // 8 l_linestatus
-            Value::text(pick(s, i, 9, &SHIPINSTRUCT)),                // 9 l_shipinstruct
-            Value::text(pick(s, i, 10, &SHIPMODES)),                  // 10 l_shipmode
-            Value::text(&comment(s, i)),                              // 11 l_comment
-            Value::Int(uniform(s, i, 12, MAX_DISCOUNT + 1)),          // 12 l_discount
-            Value::Int(uniform(s, i, 13, MAX_TAX + 1)),               // 13 l_tax
-            Value::Int(shipdate),                                     // 14 l_shipdate
-            Value::Int(shipdate + uniform(s, i, 15, 60)),             // 15 l_commitdate
-            Value::Int(shipdate + uniform(s, i, 16, 30)),             // 16 l_receiptdate
+            Value::Int(perm_value(i, PARTKEY)),              // 1 l_partkey
+            Value::Int(self.orderkey),                       // 2 l_orderkey
+            Value::Int(uniform(s, i, 3, SUPPKEY)),           // 3 l_suppkey
+            Value::Int(self.linenumber),                     // 4 l_linenumber
+            Value::Int(1 + uniform(s, i, 5, MAX_QUANTITY)),  // 5 l_quantity
+            Value::Int(1 + uniform(s, i, 6, MAX_PRICE)),     // 6 l_extendedprice
+            Value::text(pick(s, i, 7, &RETURNFLAGS)),        // 7 l_returnflag
+            Value::text(pick(s, i, 8, &LINESTATUS)),         // 8 l_linestatus
+            Value::text(pick(s, i, 9, &SHIPINSTRUCT)),       // 9 l_shipinstruct
+            Value::text(pick(s, i, 10, &SHIPMODES)),         // 10 l_shipmode
+            Value::text(&comment(s, i)),                     // 11 l_comment
+            Value::Int(uniform(s, i, 12, MAX_DISCOUNT + 1)), // 12 l_discount
+            Value::Int(uniform(s, i, 13, MAX_TAX + 1)),      // 13 l_tax
+            Value::Int(shipdate),                            // 14 l_shipdate
+            Value::Int(shipdate + uniform(s, i, 15, 60)),    // 15 l_commitdate
+            Value::Int(shipdate + uniform(s, i, 16, 30)),    // 16 l_receiptdate
         ];
         self.row += 1;
         Some(row)
@@ -150,13 +150,13 @@ impl Iterator for OrdersGen {
         let i = self.row;
         let s = self.seed;
         let row = vec![
-            Value::Int(perm_value(i, DATE_DAYS)),            // 1 o_orderdate
-            Value::Int(i as i32 + 1),                        // 2 o_orderkey (sorted)
-            Value::Int(uniform(s, i, 3, CUSTKEY)),           // 3 o_custkey
-            Value::text(pick(s, i, 4, &ORDERSTATUS)),        // 4 o_orderstatus
-            Value::text(pick(s, i, 5, &ORDERPRIORITY)),      // 5 o_orderpriority
-            Value::Int(1 + uniform(s, i, 6, MAX_PRICE)),     // 6 o_totalprice
-            Value::Int(0),                                   // 7 o_shippriority
+            Value::Int(perm_value(i, DATE_DAYS)),        // 1 o_orderdate
+            Value::Int(i as i32 + 1),                    // 2 o_orderkey (sorted)
+            Value::Int(uniform(s, i, 3, CUSTKEY)),       // 3 o_custkey
+            Value::text(pick(s, i, 4, &ORDERSTATUS)),    // 4 o_orderstatus
+            Value::text(pick(s, i, 5, &ORDERPRIORITY)),  // 5 o_orderpriority
+            Value::Int(1 + uniform(s, i, 6, MAX_PRICE)), // 6 o_totalprice
+            Value::Int(0),                               // 7 o_shippriority
         ];
         self.row += 1;
         Some(row)
@@ -211,7 +211,10 @@ mod tests {
         let t = partkey_threshold(0.10);
         let hits = (0..n).filter(|&i| perm_value(i, PARTKEY) < t).count() as f64;
         let expect = n as f64 * 0.10;
-        assert!((hits - expect).abs() / expect < 0.05, "hits {hits} vs {expect}");
+        assert!(
+            (hits - expect).abs() / expect < 0.05,
+            "hits {hits} vs {expect}"
+        );
     }
 
     #[test]

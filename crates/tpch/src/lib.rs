@@ -14,6 +14,6 @@ pub mod schema;
 pub use gen::{orderdate_threshold, partkey_threshold, LineitemGen, OrdersGen};
 pub use load::{load_lineitem, load_orders, load_rows, load_rows_pax, Variant};
 pub use schema::{
-    compressed_bits, lineitem_schema, lineitem_z_compression, orders_schema,
-    orders_z_compression, uncompressed,
+    compressed_bits, lineitem_schema, lineitem_z_compression, orders_schema, orders_z_compression,
+    uncompressed,
 };

@@ -131,9 +131,14 @@ mod tests {
         let via_col = plain.read_all(Layout::Column).unwrap();
         assert_eq!(via_row, via_col);
 
-        let z =
-            load_lineitem(2000, 1, 4096, BuildLayouts::column_only(), Variant::Compressed)
-                .unwrap();
+        let z = load_lineitem(
+            2000,
+            1,
+            4096,
+            BuildLayouts::column_only(),
+            Variant::Compressed,
+        )
+        .unwrap();
         let via_z = z.read_all(Layout::Column).unwrap();
         assert_eq!(via_row, via_z, "compression must be lossless");
     }
@@ -142,8 +147,7 @@ mod tests {
     fn orders_loads_and_roundtrips_both_variants() {
         let plain = load_orders(3000, 1, 4096, BuildLayouts::both(), Variant::Plain).unwrap();
         let via_row = plain.read_all(Layout::Row).unwrap();
-        let z =
-            load_orders(3000, 1, 4096, BuildLayouts::both(), Variant::Compressed).unwrap();
+        let z = load_orders(3000, 1, 4096, BuildLayouts::both(), Variant::Compressed).unwrap();
         assert_eq!(via_row, z.read_all(Layout::Column).unwrap());
         assert_eq!(via_row, z.read_all(Layout::Row).unwrap());
     }
@@ -166,10 +170,8 @@ mod tests {
     #[test]
     fn compression_shrinks_orders_by_figure5_ratio() {
         let n = 20_000u64;
-        let plain =
-            load_orders(n, 1, 4096, BuildLayouts::column_only(), Variant::Plain).unwrap();
-        let z =
-            load_orders(n, 1, 4096, BuildLayouts::column_only(), Variant::Compressed).unwrap();
+        let plain = load_orders(n, 1, 4096, BuildLayouts::column_only(), Variant::Plain).unwrap();
+        let z = load_orders(n, 1, 4096, BuildLayouts::column_only(), Variant::Compressed).unwrap();
         let pb = plain.col_storage().unwrap().byte_len() as f64;
         let zb = z.col_storage().unwrap().byte_len() as f64;
         // 32 bytes → 11.5 bytes of payload: ~2.8× smaller.

@@ -33,20 +33,36 @@ pub mod domains {
 
     pub const RETURNFLAGS: [&str; 3] = ["A", "N", "R"];
     pub const LINESTATUS: [&str; 2] = ["O", "F"];
-    pub const SHIPINSTRUCT: [&str; 4] =
-        ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+    pub const SHIPINSTRUCT: [&str; 4] = [
+        "DELIVER IN PERSON",
+        "COLLECT COD",
+        "NONE",
+        "TAKE BACK RETURN",
+    ];
     pub const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
     /// Discounts 0..=10 percent (11 distinct, "dict, 4 bits").
     pub const MAX_DISCOUNT: i32 = 10;
     /// Taxes 0..=8 percent (9 distinct, "dict, 4 bits").
     pub const MAX_TAX: i32 = 8;
     pub const ORDERSTATUS: [&str; 3] = ["F", "O", "P"];
-    pub const ORDERPRIORITY: [&str; 5] =
-        ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
+    pub const ORDERPRIORITY: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"];
     /// Comment vocabulary; any two words + a space fit the 28-byte pack.
     pub const COMMENT_WORDS: [&str; 16] = [
-        "carefully", "quickly", "furiously", "slyly", "deposits", "requests", "packages",
-        "accounts", "pending", "final", "ironic", "regular", "express", "special", "bold",
+        "carefully",
+        "quickly",
+        "furiously",
+        "slyly",
+        "deposits",
+        "requests",
+        "packages",
+        "accounts",
+        "pending",
+        "final",
+        "ironic",
+        "regular",
+        "express",
+        "special",
+        "bold",
         "even",
     ];
 }
@@ -55,22 +71,22 @@ pub mod domains {
 pub fn lineitem_schema() -> Arc<Schema> {
     Arc::new(
         Schema::new(vec![
-            Column::int("l_partkey"),      // 1
-            Column::int("l_orderkey"),     // 2
-            Column::int("l_suppkey"),      // 3
-            Column::int("l_linenumber"),   // 4
-            Column::int("l_quantity"),     // 5
-            Column::int("l_extendedprice"),// 6
-            Column::text("l_returnflag", 1),   // 7
-            Column::text("l_linestatus", 1),   // 8
-            Column::text("l_shipinstruct", 25),// 9
-            Column::text("l_shipmode", 10),    // 10
-            Column::text("l_comment", 69),     // 11
-            Column::int("l_discount"),     // 12
-            Column::int("l_tax"),          // 13
-            Column::int("l_shipdate"),     // 14
-            Column::int("l_commitdate"),   // 15
-            Column::int("l_receiptdate"),  // 16
+            Column::int("l_partkey"),           // 1
+            Column::int("l_orderkey"),          // 2
+            Column::int("l_suppkey"),           // 3
+            Column::int("l_linenumber"),        // 4
+            Column::int("l_quantity"),          // 5
+            Column::int("l_extendedprice"),     // 6
+            Column::text("l_returnflag", 1),    // 7
+            Column::text("l_linestatus", 1),    // 8
+            Column::text("l_shipinstruct", 25), // 9
+            Column::text("l_shipmode", 10),     // 10
+            Column::text("l_comment", 69),      // 11
+            Column::int("l_discount"),          // 12
+            Column::int("l_tax"),               // 13
+            Column::int("l_shipdate"),          // 14
+            Column::int("l_commitdate"),        // 15
+            Column::int("l_receiptdate"),       // 16
         ])
         .expect("static schema is valid"),
     )
@@ -99,7 +115,10 @@ fn int_dict(range: std::ops::RangeInclusive<i32>) -> Result<Arc<Dictionary>> {
 
 fn text_dict(width: usize, vals: &[&str]) -> Result<Arc<Dictionary>> {
     let vals: Vec<Value> = vals.iter().map(|s| Value::text(s)).collect();
-    Ok(Arc::new(Dictionary::build(DataType::Text(width), vals.iter())?))
+    Ok(Arc::new(Dictionary::build(
+        DataType::Text(width),
+        vals.iter(),
+    )?))
 }
 
 /// Per-column codecs of **LINEITEM-Z** (Figure 5 right, 52 bytes):
@@ -108,22 +127,22 @@ fn text_dict(width: usize, vals: &[&str]) -> Result<Arc<Dictionary>> {
 pub fn lineitem_z_compression() -> Result<Vec<ColumnCompression>> {
     use domains::*;
     Ok(vec![
-        ColumnCompression::none(),                                            // 1
-        ColumnCompression::new(Codec::ForDelta { bits: 8 }, None)?,           // 2Z
-        ColumnCompression::none(),                                            // 3
-        ColumnCompression::new(Codec::BitPack { bits: 3 }, None)?,            // 4Z
-        ColumnCompression::new(Codec::BitPack { bits: 6 }, None)?,            // 5Z
-        ColumnCompression::none(),                                            // 6
+        ColumnCompression::none(),                                  // 1
+        ColumnCompression::new(Codec::ForDelta { bits: 8 }, None)?, // 2Z
+        ColumnCompression::none(),                                  // 3
+        ColumnCompression::new(Codec::BitPack { bits: 3 }, None)?,  // 4Z
+        ColumnCompression::new(Codec::BitPack { bits: 6 }, None)?,  // 5Z
+        ColumnCompression::none(),                                  // 6
         ColumnCompression::new(Codec::Dict { bits: 2 }, Some(text_dict(1, &RETURNFLAGS)?))?, // 7Z
-        ColumnCompression::none(),                                            // 8
+        ColumnCompression::none(),                                  // 8
         ColumnCompression::new(Codec::Dict { bits: 2 }, Some(text_dict(25, &SHIPINSTRUCT)?))?, // 9Z
         ColumnCompression::new(Codec::Dict { bits: 3 }, Some(text_dict(10, &SHIPMODES)?))?, // 10Z
-        ColumnCompression::new(Codec::TextPack { bytes: 28 }, None)?,         // 11Z
+        ColumnCompression::new(Codec::TextPack { bytes: 28 }, None)?, // 11Z
         ColumnCompression::new(Codec::Dict { bits: 4 }, Some(int_dict(0..=MAX_DISCOUNT)?))?, // 12Z
         ColumnCompression::new(Codec::Dict { bits: 4 }, Some(int_dict(0..=MAX_TAX)?))?, // 13Z
-        ColumnCompression::new(Codec::BitPack { bits: 16 }, None)?,           // 14Z
-        ColumnCompression::new(Codec::BitPack { bits: 16 }, None)?,           // 15Z
-        ColumnCompression::new(Codec::BitPack { bits: 16 }, None)?,           // 16Z
+        ColumnCompression::new(Codec::BitPack { bits: 16 }, None)?, // 14Z
+        ColumnCompression::new(Codec::BitPack { bits: 16 }, None)?, // 15Z
+        ColumnCompression::new(Codec::BitPack { bits: 16 }, None)?, // 16Z
     ])
 }
 
@@ -132,13 +151,16 @@ pub fn lineitem_z_compression() -> Result<Vec<ColumnCompression>> {
 pub fn orders_z_compression() -> Result<Vec<ColumnCompression>> {
     use domains::*;
     Ok(vec![
-        ColumnCompression::new(Codec::BitPack { bits: 14 }, None)?,           // 1Z
-        ColumnCompression::new(Codec::ForDelta { bits: 8 }, None)?,           // 2Z
-        ColumnCompression::none(),                                            // 3
+        ColumnCompression::new(Codec::BitPack { bits: 14 }, None)?, // 1Z
+        ColumnCompression::new(Codec::ForDelta { bits: 8 }, None)?, // 2Z
+        ColumnCompression::none(),                                  // 3
         ColumnCompression::new(Codec::Dict { bits: 2 }, Some(text_dict(1, &ORDERSTATUS)?))?, // 4Z
-        ColumnCompression::new(Codec::Dict { bits: 3 }, Some(text_dict(11, &ORDERPRIORITY)?))?, // 5Z
-        ColumnCompression::none(),                                            // 6
-        ColumnCompression::new(Codec::BitPack { bits: 1 }, None)?,            // 7Z
+        ColumnCompression::new(
+            Codec::Dict { bits: 3 },
+            Some(text_dict(11, &ORDERPRIORITY)?),
+        )?, // 5Z
+        ColumnCompression::none(),                                  // 6
+        ColumnCompression::new(Codec::BitPack { bits: 1 }, None)?,  // 7Z
     ])
 }
 

@@ -20,6 +20,10 @@ pub struct SystemConfig {
     pub prefetch_depth: usize,
     /// Tuples per engine block — sized so a block fits in L1 (paper: 100).
     pub block_tuples: usize,
+    /// Worker threads for morsel-driven parallel execution (1 = the paper's
+    /// serial engine; the paper's testbed CPU is single-core, so >1 models a
+    /// multi-core variant of the platform).
+    pub threads: usize,
 }
 
 impl Default for SystemConfig {
@@ -29,6 +33,7 @@ impl Default for SystemConfig {
             io_unit: 128 * 1024,
             prefetch_depth: 48,
             block_tuples: 100,
+            threads: 1,
         }
     }
 }
@@ -50,6 +55,9 @@ impl SystemConfig {
         if self.block_tuples == 0 {
             return Err(Error::InvalidConfig("block_tuples == 0".into()));
         }
+        if self.threads == 0 {
+            return Err(Error::InvalidConfig("threads == 0".into()));
+        }
         Ok(())
     }
 
@@ -57,6 +65,12 @@ impl SystemConfig {
     /// prefetch depth (Figures 10 and 11 sweep this).
     pub fn with_prefetch_depth(mut self, depth: usize) -> Self {
         self.prefetch_depth = depth;
+        self
+    }
+
+    /// Convenience: the same config with a different worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -211,6 +225,9 @@ mod tests {
         assert!(sc.validate().is_err());
         let sc = SystemConfig::default().with_prefetch_depth(0);
         assert!(sc.validate().is_err());
+        let sc = SystemConfig::default().with_threads(0);
+        assert!(sc.validate().is_err());
+        assert!(SystemConfig::default().with_threads(8).validate().is_ok());
     }
 
     #[test]

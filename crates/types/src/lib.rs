@@ -19,6 +19,7 @@ pub mod config;
 pub mod datatype;
 pub mod error;
 pub mod ids;
+pub mod rng;
 pub mod schema;
 pub mod tuple;
 pub mod value;
@@ -27,5 +28,6 @@ pub use config::{HardwareConfig, SystemConfig};
 pub use datatype::DataType;
 pub use error::{Error, Result};
 pub use ids::{ColumnId, PageId, RecordId, TableId};
+pub use rng::SplitMix64;
 pub use schema::{Column, Schema};
 pub use value::Value;

@@ -1,0 +1,97 @@
+//! A tiny deterministic PRNG for tests, generators, and benchmarks.
+//!
+//! The workspace builds offline, so it cannot depend on the `rand` crate;
+//! everything that needs reproducible pseudo-random data (property-style
+//! tests, the TPC-H generators' shuffles, benchmark harnesses) uses this
+//! SplitMix64 generator instead. SplitMix64 passes BigCrush, is seedable
+//! from any `u64`, and is four lines of code — exactly enough for
+//! deterministic test data, and explicitly **not** for cryptography.
+
+/// SplitMix64 deterministic pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded construction; the same seed always yields the same stream.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift range reduction (Lemire); bias is < 2^-64 × n,
+        // irrelevant for test-data generation.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform `i32` in `[lo, hi)`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        debug_assert!(lo < hi);
+        lo + self.below((hi as i64 - lo as i64) as u64) as i32
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_full_range() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(7);
+        let mut seen_high = false;
+        let mut seen_low = false;
+        for _ in 0..1000 {
+            let v = c.below(100);
+            assert!(v < 100);
+            seen_high |= v >= 90;
+            seen_low |= v < 10;
+        }
+        assert!(seen_high && seen_low);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let v = r.range_i32(-50, 50);
+            assert!((-50..50).contains(&v));
+            let u = r.range_usize(3, 9);
+            assert!((3..9).contains(&u));
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -37,7 +37,9 @@ pub fn decode_tuple(schema: &Schema, raw: &[u8]) -> Result<Vec<Value>> {
             schema.logical_width()
         )));
     }
-    (0..schema.len()).map(|i| decode_field(schema, raw, i)).collect()
+    (0..schema.len())
+        .map(|i| decode_field(schema, raw, i))
+        .collect()
 }
 
 /// Decode a single attribute from a raw tuple.

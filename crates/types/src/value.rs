@@ -211,8 +211,12 @@ mod tests {
     #[test]
     fn type_mismatch_rejected() {
         let mut buf = Vec::new();
-        assert!(Value::Int(1).encode_into(DataType::Text(4), &mut buf).is_err());
-        assert!(Value::text("x").encode_into(DataType::Int, &mut buf).is_err());
+        assert!(Value::Int(1)
+            .encode_into(DataType::Text(4), &mut buf)
+            .is_err());
+        assert!(Value::text("x")
+            .encode_into(DataType::Int, &mut buf)
+            .is_err());
         assert!(Value::Int(1).as_text().is_err());
         assert!(Value::text("x").as_int().is_err());
     }

@@ -46,10 +46,7 @@ fn main() -> Result<()> {
                 ..HardwareConfig::default()
             },
         ),
-        (
-            "paper testbed: 1 CPU / 3 disks",
-            HardwareConfig::default(),
-        ),
+        ("paper testbed: 1 CPU / 3 disks", HardwareConfig::default()),
         (
             "dual CPU / 1 disk (≈108 cpdb)",
             HardwareConfig {

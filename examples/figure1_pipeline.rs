@@ -21,8 +21,8 @@ fn main() -> Result<()> {
 
     // ---- 1. Bulk load the read-optimized store ---------------------------
     let schema = Arc::new(Schema::new(vec![
-        Column::int("day"),      // sorted — a natural FOR-delta key
-        Column::int("shop"),     // low cardinality
+        Column::int("day"),  // sorted — a natural FOR-delta key
+        Column::int("shop"), // low cardinality
         Column::int("sku"),
         Column::int("units"),
         Column::int("cents"),
@@ -32,7 +32,7 @@ fn main() -> Result<()> {
     let mut loader = TableBuilder::new("sales", schema.clone(), 4096, BuildLayouts::both())?;
     for i in 0..120_000i32 {
         loader.push_row(&[
-            Value::Int(i / 100),            // 100 sales/day
+            Value::Int(i / 100), // 100 sales/day
             Value::Int(i % 40),
             Value::Int((i * 17) % 9_000),
             Value::Int(1 + i % 7),
@@ -74,10 +74,16 @@ fn main() -> Result<()> {
             Value::text(channels[(i % 3) as usize]),
         ])?;
     }
-    println!("\nstaged {} inserts in the write-optimized store", wos.len());
+    println!(
+        "\nstaged {} inserts in the write-optimized store",
+        wos.len()
+    );
     let comps = vec![ColumnCompression::none(); schema.len()];
     let merged = db.merge_wos("sales", &mut wos, &comps, Some(0))?;
-    println!("merged → read store now {} rows (sorted by day)", merged.row_count);
+    println!(
+        "merged → read store now {} rows (sorted by day)",
+        merged.row_count
+    );
     let after_merge = daily(&db)?;
     println!(
         "daily-revenue sees the new days: {} groups (was {})",

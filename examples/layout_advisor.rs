@@ -85,8 +85,13 @@ fn main() -> Result<()> {
     }
 
     // Rebuild the table with the recommended codecs and measure the win.
-    let mut loader =
-        TableBuilder::with_compression("events_z", schema.clone(), 4096, BuildLayouts::both(), comps)?;
+    let mut loader = TableBuilder::with_compression(
+        "events_z",
+        schema.clone(),
+        4096,
+        BuildLayouts::both(),
+        comps,
+    )?;
     for row in table.read_all(Layout::Row)? {
         loader.push_row(&row)?;
     }

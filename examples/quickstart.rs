@@ -46,10 +46,18 @@ fn main() -> Result<()> {
 
     // 4. Run it through the ROW store and the COLUMN store.
     let cmp = compare_layouts(&query)?;
-    println!("\nrow store:    {:>8.2} simulated s  (io {:>6.2}s, cpu {:>6.2}s)",
-        cmp.row.elapsed_s, cmp.row.io_s, cmp.row.cpu.total());
-    println!("column store: {:>8.2} simulated s  (io {:>6.2}s, cpu {:>6.2}s)",
-        cmp.column.elapsed_s, cmp.column.io_s, cmp.column.cpu.total());
+    println!(
+        "\nrow store:    {:>8.2} simulated s  (io {:>6.2}s, cpu {:>6.2}s)",
+        cmp.row.elapsed_s,
+        cmp.row.io_s,
+        cmp.row.cpu.total()
+    );
+    println!(
+        "column store: {:>8.2} simulated s  (io {:>6.2}s, cpu {:>6.2}s)",
+        cmp.column.elapsed_s,
+        cmp.column.io_s,
+        cmp.column.cpu.total()
+    );
     println!("column-over-row speedup: {:.2}x", cmp.speedup());
 
     // 5. The paper's CPU-time breakdown (Figure 6 right).
@@ -69,7 +77,10 @@ fn main() -> Result<()> {
         .aggregate(AggSpec::count())
         .aggregate(AggSpec::sum(1))
         .run_collect()?;
-    println!("\nrevenue by store (first 3 of {} groups):", result.rows.len());
+    println!(
+        "\nrevenue by store (first 3 of {} groups):",
+        result.rows.len()
+    );
     for r in result.rows.iter().take(3) {
         println!("  store {:>2}: {:>6} sales, {:>12} cents", r[0], r[1], r[2]);
     }

@@ -17,8 +17,20 @@ const VIRTUAL_ROWS: u64 = 60_000_000;
 fn main() -> Result<()> {
     let mut db = Database::new();
     println!("loading LINEITEM + ORDERS ({ROWS} rows each, seed 1)...");
-    db.register(load_lineitem(ROWS, 1, 4096, BuildLayouts::both(), Variant::Plain)?);
-    db.register(load_orders(ROWS, 1, 4096, BuildLayouts::both(), Variant::Plain)?);
+    db.register(load_lineitem(
+        ROWS,
+        1,
+        4096,
+        BuildLayouts::both(),
+        Variant::Plain,
+    )?);
+    db.register(load_orders(
+        ROWS,
+        1,
+        4096,
+        BuildLayouts::both(),
+        Variant::Plain,
+    )?);
 
     // --- Q1: pricing summary over the fact table -------------------------
     // SELECT l_returnflag, count(*), sum(l_quantity), avg(l_extendedprice)
@@ -28,7 +40,12 @@ fn main() -> Result<()> {
         let q = db
             .query("lineitem")?
             .layout(layout)
-            .select(&["l_returnflag", "l_quantity", "l_extendedprice", "l_shipdate"])?
+            .select(&[
+                "l_returnflag",
+                "l_quantity",
+                "l_extendedprice",
+                "l_shipdate",
+            ])?
             .filter("l_shipdate", CmpOp::Lt, 2_070)?
             .group_by("l_returnflag")?
             .aggregate(AggSpec::count())
@@ -36,7 +53,11 @@ fn main() -> Result<()> {
             .aggregate(AggSpec::avg(2))
             .scale_to_rows(VIRTUAL_ROWS);
         let res = q.run_collect()?;
-        println!("  {layout:>6}: {:>7.2} simulated s, {} groups", res.report.elapsed_s, res.rows.len());
+        println!(
+            "  {layout:>6}: {:>7.2} simulated s, {} groups",
+            res.report.elapsed_s,
+            res.rows.len()
+        );
         if layout == ScanLayout::Column {
             for r in &res.rows {
                 println!(

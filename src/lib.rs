@@ -27,20 +27,19 @@ pub use rodb_types as types;
 pub mod prelude {
     pub use rodb_compress::{choose_codec, AdvisorGoal, Codec, ColumnCompression, Dictionary};
     pub use rodb_core::{
-        compare_layouts, materialize, predicted_speedup, recommend_compression,
-        recommend_layout, recommend_vertical_partitions, projectivity_sweep, Database,
-        ExperimentConfig, LayoutComparison, MvRecommendation, QueryBuilder, QueryPattern,
-        QueryResult,
-    };
-    pub use rodb_engine::{
-        AggFunc, AggSpec, AggStrategy, Aggregate, CmpOp, ColumnScanMode, ColumnScanner,
-        ExecContext, MergeJoin, Operator, Predicate, RowScanner, RunReport, ScanLayout,
-        ScanSpec, Sort, TupleBlock,
+        compare_layouts, materialize, predicted_speedup, projectivity_sweep, recommend_compression,
+        recommend_layout, recommend_vertical_partitions, Database, ExperimentConfig,
+        LayoutComparison, MvRecommendation, ParallelInfo, QueryBuilder, QueryPattern, QueryResult,
     };
     pub use rodb_engine::{shared_row_scan, SharedScanOutput, SharedScanQuery};
+    pub use rodb_engine::{
+        AggFunc, AggPlan, AggSpec, AggStrategy, Aggregate, CmpOp, ColumnScanMode, ColumnScanner,
+        ExecContext, MergeJoin, Operator, ParallelExec, ParallelOutcome, Predicate, RowScanner,
+        RunReport, ScanLayout, ScanSpec, Sort, TupleBlock,
+    };
     pub use rodb_model::{speedup_at, surface, Figure2Config, Platform, Workload};
     pub use rodb_storage::{
-        BuildLayouts, Catalog, Layout, Table, TableBuilder, WriteOptimizedStore,
+        BuildLayouts, Catalog, Layout, Morsel, Table, TableBuilder, WriteOptimizedStore,
     };
     pub use rodb_tpch::{
         load_lineitem, load_orders, orderdate_threshold, partkey_threshold, Variant,

@@ -23,9 +23,13 @@ fn collect(
     proj: &[usize],
     preds: Vec<Predicate>,
 ) -> Vec<Vec<Value>> {
-    let q = QueryBuilder::new(t.clone(), HardwareConfig::default(), SystemConfig::default())
-        .layout(layout)
-        .select_indices(proj);
+    let q = QueryBuilder::new(
+        t.clone(),
+        HardwareConfig::default(),
+        SystemConfig::default(),
+    )
+    .layout(layout)
+    .select_indices(proj);
     let q = preds
         .into_iter()
         .fold(q, |q, p| q.filter_pred(p).expect("valid predicate"));
@@ -34,12 +38,15 @@ fn collect(
 
 #[test]
 fn lineitem_all_layouts_agree_across_selectivities() {
-    let t = Arc::new(
-        load_lineitem(ROWS, 7, 4096, BuildLayouts::both(), Variant::Plain).unwrap(),
-    );
+    let t = Arc::new(load_lineitem(ROWS, 7, 4096, BuildLayouts::both(), Variant::Plain).unwrap());
     for sel in [0.0, 0.001, 0.1, 0.5, 1.0] {
         let preds = vec![Predicate::lt(0, partkey_threshold(sel))];
-        for proj in [vec![0], vec![0, 1, 5], vec![10, 6, 0], (0..16).collect::<Vec<_>>()] {
+        for proj in [
+            vec![0],
+            vec![0, 1, 5],
+            vec![10, 6, 0],
+            (0..16).collect::<Vec<_>>(),
+        ] {
             let baseline = collect(&t, ScanLayout::Row, &proj, preds.clone());
             for layout in all_layouts() {
                 let got = collect(&t, layout, &proj, preds.clone());
@@ -51,19 +58,19 @@ fn lineitem_all_layouts_agree_across_selectivities() {
 
 #[test]
 fn compressed_tables_agree_with_plain() {
-    let plain = Arc::new(
-        load_orders(ROWS, 3, 4096, BuildLayouts::both(), Variant::Plain).unwrap(),
-    );
-    let z = Arc::new(
-        load_orders(ROWS, 3, 4096, BuildLayouts::both(), Variant::Compressed).unwrap(),
-    );
+    let plain = Arc::new(load_orders(ROWS, 3, 4096, BuildLayouts::both(), Variant::Plain).unwrap());
+    let z =
+        Arc::new(load_orders(ROWS, 3, 4096, BuildLayouts::both(), Variant::Compressed).unwrap());
     for sel in [0.01, 0.25, 1.0] {
         let preds = vec![Predicate::lt(0, orderdate_threshold(sel))];
         for proj in [vec![0, 1], vec![3, 4, 0], (0..7).collect::<Vec<_>>()] {
             let baseline = collect(&plain, ScanLayout::Row, &proj, preds.clone());
             for layout in all_layouts() {
                 let got = collect(&z, layout, &proj, preds.clone());
-                assert_eq!(got, baseline, "sel {sel} proj {proj:?} layout {layout} (-Z)");
+                assert_eq!(
+                    got, baseline,
+                    "sel {sel} proj {proj:?} layout {layout} (-Z)"
+                );
             }
         }
     }
@@ -71,12 +78,9 @@ fn compressed_tables_agree_with_plain() {
 
 #[test]
 fn pax_rows_agree_with_plain_rows_and_columns() {
-    let plain = Arc::new(
-        load_lineitem(ROWS, 4, 4096, BuildLayouts::both(), Variant::Plain).unwrap(),
-    );
-    let pax = Arc::new(
-        load_lineitem(ROWS, 4, 4096, BuildLayouts::both(), Variant::Pax).unwrap(),
-    );
+    let plain =
+        Arc::new(load_lineitem(ROWS, 4, 4096, BuildLayouts::both(), Variant::Plain).unwrap());
+    let pax = Arc::new(load_lineitem(ROWS, 4, 4096, BuildLayouts::both(), Variant::Pax).unwrap());
     for sel in [0.01, 0.5] {
         let preds = vec![Predicate::lt(0, partkey_threshold(sel))];
         for proj in [vec![0usize, 5], vec![10, 0], (0..16).collect::<Vec<_>>()] {
@@ -97,9 +101,8 @@ fn pax_rows_agree_with_plain_rows_and_columns() {
 
 #[test]
 fn lineitem_z_row_and_column_agree() {
-    let z = Arc::new(
-        load_lineitem(ROWS, 5, 4096, BuildLayouts::both(), Variant::Compressed).unwrap(),
-    );
+    let z =
+        Arc::new(load_lineitem(ROWS, 5, 4096, BuildLayouts::both(), Variant::Compressed).unwrap());
     let preds = vec![Predicate::lt(0, partkey_threshold(0.05))];
     let proj: Vec<usize> = (0..16).collect();
     let row = collect(&z, ScanLayout::Row, &proj, preds.clone());
@@ -110,9 +113,7 @@ fn lineitem_z_row_and_column_agree() {
 
 #[test]
 fn aggregates_agree_across_layouts_and_strategies() {
-    let t = Arc::new(
-        load_lineitem(ROWS, 11, 4096, BuildLayouts::both(), Variant::Plain).unwrap(),
-    );
+    let t = Arc::new(load_lineitem(ROWS, 11, 4096, BuildLayouts::both(), Variant::Plain).unwrap());
     let mut results = Vec::new();
     for layout in all_layouts() {
         let q = QueryBuilder::new(
@@ -152,15 +153,16 @@ fn aggregates_agree_across_layouts_and_strategies() {
 
 #[test]
 fn merge_join_agrees_with_nested_loop_oracle() {
-    let orders = Arc::new(
-        load_orders(500, 2, 4096, BuildLayouts::both(), Variant::Plain).unwrap(),
-    );
-    let lineitem = Arc::new(
-        load_lineitem(2_000, 2, 4096, BuildLayouts::both(), Variant::Plain).unwrap(),
-    );
+    let orders = Arc::new(load_orders(500, 2, 4096, BuildLayouts::both(), Variant::Plain).unwrap());
+    let lineitem =
+        Arc::new(load_lineitem(2_000, 2, 4096, BuildLayouts::both(), Variant::Plain).unwrap());
     let ctx = ExecContext::default_ctx();
-    let o_scan = ScanSpec::new(orders.clone(), ScanLayout::Column, vec![1, 0]).build(&ctx).unwrap();
-    let l_scan = ScanSpec::new(lineitem.clone(), ScanLayout::Column, vec![1, 4]).build(&ctx).unwrap();
+    let o_scan = ScanSpec::new(orders.clone(), ScanLayout::Column, vec![1, 0])
+        .build(&ctx)
+        .unwrap();
+    let l_scan = ScanSpec::new(lineitem.clone(), ScanLayout::Column, vec![1, 4])
+        .build(&ctx)
+        .unwrap();
     let mut join = MergeJoin::new(o_scan, 0, l_scan, 0, &ctx).unwrap();
     let mut got = Vec::new();
     while let Some(b) = join.next().unwrap() {
@@ -185,9 +187,7 @@ fn merge_join_agrees_with_nested_loop_oracle() {
 
 #[test]
 fn block_positions_point_back_at_source_rows() {
-    let t = Arc::new(
-        load_orders(3_000, 9, 4096, BuildLayouts::both(), Variant::Plain).unwrap(),
-    );
+    let t = Arc::new(load_orders(3_000, 9, 4096, BuildLayouts::both(), Variant::Plain).unwrap());
     let all = t.read_all(Layout::Row).unwrap();
     let ctx = ExecContext::default_ctx();
     let mut scan = ScanSpec::new(t.clone(), ScanLayout::Column, vec![2, 5])

@@ -1,45 +1,55 @@
-//! Property tests on the Section-5 analytical model: structural invariants
-//! the equations must satisfy for any parameterization.
+//! Property-style tests on the Section-5 analytical model: structural
+//! invariants the equations must satisfy for any parameterization, checked
+//! over many deterministically seeded random cases (no `proptest` in the
+//! offline build).
 
-use proptest::prelude::*;
 use rodb::prelude::*;
-use rodb_model::{self as model, ColumnSpec, ScannerCost};
 use rodb_cpu::{CostParams, OpCosts};
+use rodb_model::{self as model, ColumnSpec, ScannerCost};
+use rodb_types::SplitMix64;
 
-fn cost_strategy() -> impl Strategy<Value = ScannerCost> {
-    (1.0f64..500.0, 1.0f64..2000.0, 0.0f64..512.0).prop_map(|(i_sys, i_user, mem_bytes)| {
-        ScannerCost {
-            i_sys,
-            i_user,
-            mem_bytes,
-        }
-    })
+const CASES: u64 = 256;
+
+fn random_cost(rng: &mut SplitMix64) -> ScannerCost {
+    ScannerCost {
+        i_sys: 1.0 + rng.f64() * 499.0,
+        i_user: 1.0 + rng.f64() * 1999.0,
+        mem_bytes: rng.f64() * 512.0,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn log_uniform(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    (lo.ln() + rng.f64() * (hi.ln() - lo.ln())).exp()
+}
 
-    /// The parallel-resistor combination is commutative, bounded by its
-    /// smallest input, and monotone.
-    #[test]
-    fn par_is_sane(a in 0.001f64..1e6, b in 0.001f64..1e6, c in 0.001f64..1e6) {
+/// The parallel-resistor combination is commutative, bounded by its
+/// smallest input, and monotone.
+#[test]
+fn par_is_sane() {
+    let mut rng = SplitMix64::new(0x9A9);
+    for _ in 0..CASES {
+        let a = log_uniform(&mut rng, 0.001, 1e6);
+        let b = log_uniform(&mut rng, 0.001, 1e6);
+        let c = log_uniform(&mut rng, 0.001, 1e6);
         let ab = model::par(&[a, b]);
-        prop_assert!((ab - model::par(&[b, a])).abs() < 1e-9);
-        prop_assert!(ab <= a.min(b) + 1e-12);
-        prop_assert!(ab > 0.0);
+        assert!((ab - model::par(&[b, a])).abs() < 1e-9);
+        assert!(ab <= a.min(b) + 1e-12);
+        assert!(ab > 0.0);
         // Adding a stage can only slow the cascade down (eq 5).
-        prop_assert!(model::par(&[a, b, c]) <= ab + 1e-12);
+        assert!(model::par(&[a, b, c]) <= ab + 1e-12);
     }
+}
 
-    /// Disk-bound speedup equals the byte ratio; it never exceeds it.
-    #[test]
-    fn speedup_bounded_by_byte_ratio(
-        row_bytes in 8.0f64..256.0,
-        frac in 0.05f64..1.0,
-        row_cost in cost_strategy(),
-        col_cost in cost_strategy(),
-        cpdb in 5.0f64..500.0,
-    ) {
+/// Disk-bound speedup equals the byte ratio; it never exceeds it.
+#[test]
+fn speedup_bounded_by_byte_ratio() {
+    let mut rng = SplitMix64::new(0x5BB);
+    for _ in 0..CASES {
+        let row_bytes = 8.0 + rng.f64() * 248.0;
+        let frac = 0.05 + rng.f64() * 0.95;
+        let row_cost = random_cost(&mut rng);
+        let col_cost = random_cost(&mut rng);
+        let cpdb = 5.0 + rng.f64() * 495.0;
         let w = model::Workload {
             row_bytes,
             col_bytes: row_bytes * frac,
@@ -48,80 +58,101 @@ proptest! {
             extra_ops: 0.0,
         };
         let s = model::speedup(&w, &Platform::new(cpdb));
-        prop_assert!(s > 0.0);
+        assert!(s > 0.0);
         // Column CPU can make it smaller, disk can cap it, but the byte
         // ratio is the ceiling only when CPU favors columns no more than
         // bytes do; the universal ceiling is byte_ratio × cpu_ratio-ish —
         // check the clean disk-bound case instead:
         let huge = model::speedup(&w, &Platform::new(1e9));
-        prop_assert!((huge - 1.0 / frac).abs() < 1e-6);
+        assert!((huge - 1.0 / frac).abs() < 1e-6);
     }
+}
 
-    /// Raising cpdb (more CPU per disk byte) never hurts either store.
-    #[test]
-    fn store_rate_monotone_in_cpdb(
-        bytes in 1.0f64..256.0,
-        cost in cost_strategy(),
-        cpdb in 5.0f64..500.0,
-    ) {
+/// Raising cpdb (more CPU per disk byte) never hurts either store.
+#[test]
+fn store_rate_monotone_in_cpdb() {
+    let mut rng = SplitMix64::new(0x50a7);
+    for _ in 0..CASES {
+        let bytes = 1.0 + rng.f64() * 255.0;
+        let cost = random_cost(&mut rng);
+        let cpdb = 5.0 + rng.f64() * 495.0;
         let r1 = model::store_rate(bytes, &cost, 0.0, &Platform::new(cpdb));
         let r2 = model::store_rate(bytes, &cost, 0.0, &Platform::new(cpdb * 2.0));
-        prop_assert!(r2 >= r1 - 1e-12);
+        assert!(r2 >= r1 - 1e-12);
     }
+}
 
-    /// A store is io_bound at high cpdb and cpu-bound at low cpdb, with a
-    /// single transition.
-    #[test]
-    fn io_bound_transition_is_monotone(
-        bytes in 1.0f64..256.0,
-        cost in cost_strategy(),
-    ) {
+/// A store is io_bound at high cpdb and cpu-bound at low cpdb, with a
+/// single transition.
+#[test]
+fn io_bound_transition_is_monotone() {
+    let mut rng = SplitMix64::new(0x10b);
+    for _ in 0..CASES {
+        let bytes = 1.0 + rng.f64() * 255.0;
+        let cost = random_cost(&mut rng);
         let mut was_io_bound = false;
         for cpdb in [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 1e5] {
             let now = model::io_bound(bytes, &cost, 0.0, &Platform::new(cpdb));
             if was_io_bound {
-                prop_assert!(now, "lost io-bound status as cpdb grew");
+                assert!(now, "lost io-bound status as cpdb grew");
             }
             was_io_bound = now;
         }
-        prop_assert!(was_io_bound, "must become io-bound eventually");
+        assert!(was_io_bound, "must become io-bound eventually");
     }
+}
 
-    /// Calibrated scanner costs are positive, grow with projection width,
-    /// and shrink with selectivity.
-    #[test]
-    fn calibrated_costs_behave(
-        ncols in 1usize..16,
-        sel in 0.0f64..1.0,
-        width in 1.0f64..64.0,
-    ) {
+/// Calibrated scanner costs are positive, grow with projection width,
+/// and shrink with selectivity.
+#[test]
+fn calibrated_costs_behave() {
+    let mut rng = SplitMix64::new(0xCA1);
+    for _ in 0..CASES {
+        let ncols = rng.range_usize(1, 16);
+        let sel = rng.f64();
+        let width = 1.0 + rng.f64() * 63.0;
         let costs = OpCosts::default();
         let params = CostParams::default();
         let cols: Vec<ColumnSpec> = vec![ColumnSpec::raw(width); ncols];
         let c = model::col_scanner_cost(&costs, &params, 3.0, 131072.0, &cols, sel);
-        prop_assert!(c.i_sys > 0.0 && c.i_user > 0.0 && c.mem_bytes >= 0.0);
+        assert!(c.i_sys > 0.0 && c.i_user > 0.0 && c.mem_bytes >= 0.0);
         let more = model::col_scanner_cost(
-            &costs, &params, 3.0, 131072.0,
-            &vec![ColumnSpec::raw(width); ncols + 1], sel,
+            &costs,
+            &params,
+            3.0,
+            131072.0,
+            &vec![ColumnSpec::raw(width); ncols + 1],
+            sel,
         );
-        prop_assert!(more.i_user >= c.i_user);
-        prop_assert!(more.i_sys > c.i_sys);
+        assert!(more.i_user >= c.i_user);
+        assert!(more.i_sys > c.i_sys);
         let r = model::row_scanner_cost(
-            &costs, &params, 3.0, 131072.0, width * ncols as f64, sel, &cols,
+            &costs,
+            &params,
+            3.0,
+            131072.0,
+            width * ncols as f64,
+            sel,
+            &cols,
         );
-        prop_assert!(r.i_user > 0.0);
+        assert!(r.i_user > 0.0);
         // Row memory traffic is the whole tuple regardless of projection.
-        prop_assert!((r.mem_bytes - width * ncols as f64).abs() < 1e-9);
+        assert!((r.mem_bytes - width * ncols as f64).abs() < 1e-9);
     }
+}
 
-    /// Figure 2 cells are finite, positive, and capped by the projection's
-    /// byte ratio (2× at 50%).
-    #[test]
-    fn figure2_cells_bounded(width in 8.0f64..64.0, cpdb in 5.0f64..300.0) {
+/// Figure 2 cells are finite, positive, and capped by the projection's
+/// byte ratio (2× at 50%).
+#[test]
+fn figure2_cells_bounded() {
+    let mut rng = SplitMix64::new(0xF16);
+    for _ in 0..CASES {
+        let width = 8.0 + rng.f64() * 56.0;
+        let cpdb = 5.0 + rng.f64() * 295.0;
         let cfg = Figure2Config::default();
         let s = speedup_at(&cfg, width, cpdb);
-        prop_assert!(s.is_finite());
-        prop_assert!(s > 0.0);
-        prop_assert!(s <= 2.0 + 1e-9);
+        assert!(s.is_finite());
+        assert!(s > 0.0);
+        assert!(s <= 2.0 + 1e-9);
     }
 }

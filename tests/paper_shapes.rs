@@ -107,11 +107,17 @@ fn fig9_compression_makes_columns_cpu_bound_and_for_beats_delta_on_cpu() {
     let pred = Predicate::lt(0, orderdate_threshold(0.10));
     let cols = projectivity_sweep(&z, ScanLayout::Column, &pred, &cfg()).unwrap();
     // CPU-bound at full projection (crossover moved left).
-    assert!(!cols[6].report.io_bound(), "compressed column scan must be CPU-bound");
+    assert!(
+        !cols[6].report.io_bound(),
+        "compressed column scan must be CPU-bound"
+    );
     // The FOR-delta order key column causes a CPU jump at attribute 2.
     let jump = cols[1].report.cpu.user() - cols[0].report.cpu.user();
     let later = cols[2].report.cpu.user() - cols[1].report.cpu.user();
-    assert!(jump > 1.5 * later, "delta jump {jump} vs later step {later}");
+    assert!(
+        jump > 1.5 * later,
+        "delta jump {jump} vs later step {later}"
+    );
     // Compressed row store is cheaper on disk but dearer on user CPU than
     // the plain one.
     let plain = orders(Variant::Plain);

@@ -1,0 +1,282 @@
+//! Morsel-driven parallel execution must be indistinguishable from the
+//! serial engine in its *results* — for every layout, predicate shape,
+//! aggregation strategy and thread count — and its merged accounting must
+//! equal the sum of its parts.
+
+use rodb::cpu::CpuMeter;
+use rodb::io::{merge_parallel, IoStats};
+use rodb::prelude::*;
+use std::sync::Arc;
+
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+fn db(n: usize) -> Database {
+    let schema = Arc::new(
+        Schema::new(vec![
+            Column::int("id"),
+            Column::int("grp"),
+            Column::int("val"),
+            Column::text("tag", 6),
+        ])
+        .unwrap(),
+    );
+    let mut b = TableBuilder::new("t", schema, 4096, BuildLayouts::both()).unwrap();
+    for i in 0..n {
+        b.push_row(&[
+            Value::Int(i as i32),
+            // Nondecreasing in row order, so sorted aggregation over a plain
+            // scan is legal both serially and per morsel.
+            Value::Int((i / 512) as i32),
+            Value::Int((i % 997) as i32),
+            Value::text(["aa", "bb", "cc"][i % 3]),
+        ])
+        .unwrap();
+    }
+    let mut db = Database::new();
+    db.register(b.finish().unwrap());
+    db
+}
+
+fn scan_query(db: &Database, layout: ScanLayout) -> QueryBuilder {
+    db.query("t")
+        .unwrap()
+        .layout(layout)
+        .select(&["id", "val", "tag"])
+        .unwrap()
+        .filter("val", CmpOp::Lt, 400)
+        .unwrap()
+        .filter("tag", CmpOp::Ne, "bb")
+        .unwrap()
+}
+
+#[test]
+fn parallel_row_scan_equals_serial() {
+    let db = db(20_000);
+    let serial = scan_query(&db, ScanLayout::Row).run_collect().unwrap();
+    assert!(serial.parallel.is_none());
+    for t in THREADS {
+        let par = scan_query(&db, ScanLayout::Row)
+            .threads(t)
+            .run_collect()
+            .unwrap();
+        assert_eq!(par.rows, serial.rows, "row scan, {t} threads");
+        assert_eq!(par.report.rows, serial.report.rows);
+        assert_eq!(par.parallel.is_some(), t > 1);
+    }
+}
+
+#[test]
+fn parallel_column_scan_equals_serial() {
+    let db = db(20_000);
+    let serial = scan_query(&db, ScanLayout::Column).run_collect().unwrap();
+    for t in THREADS {
+        let par = scan_query(&db, ScanLayout::Column)
+            .threads(t)
+            .run_collect()
+            .unwrap();
+        assert_eq!(par.rows, serial.rows, "column scan, {t} threads");
+    }
+}
+
+#[test]
+fn parallel_hash_aggregation_equals_serial() {
+    let db = db(30_000);
+    let q = |threads: usize| {
+        db.query("t")
+            .unwrap()
+            .layout(ScanLayout::Column)
+            .select(&["grp", "val"])
+            .unwrap()
+            .group_by("grp")
+            .unwrap()
+            .aggregate(AggSpec::count())
+            .aggregate(AggSpec::sum(1))
+            .aggregate(AggSpec::min(1))
+            .aggregate(AggSpec::max(1))
+            .aggregate(AggSpec::avg(1))
+            .threads(threads)
+            .run_collect()
+            .unwrap()
+    };
+    let serial = q(1);
+    assert!(!serial.rows.is_empty());
+    for t in THREADS {
+        let par = q(t);
+        assert_eq!(par.rows, serial.rows, "hash agg, {t} threads");
+    }
+}
+
+#[test]
+fn parallel_sorted_aggregation_equals_serial() {
+    let db = db(30_000);
+    // grp is nondecreasing in row order, so the sorted strategy accepts a
+    // plain scan; morsel boundaries split group runs, which the partial
+    // merge must stitch back together.
+    let q = |layout: ScanLayout, threads: usize| {
+        db.query("t")
+            .unwrap()
+            .layout(layout)
+            .select(&["grp", "val"])
+            .unwrap()
+            .group_by("grp")
+            .unwrap()
+            .aggregate(AggSpec::count())
+            .aggregate(AggSpec::sum(1))
+            .sorted_aggregation()
+            .threads(threads)
+            .run_collect()
+            .unwrap()
+    };
+    for layout in [ScanLayout::Row, ScanLayout::Column] {
+        let serial = q(layout, 1);
+        assert_eq!(serial.rows.len(), 30_000 / 512 + 1);
+        for t in THREADS {
+            let par = q(layout, t);
+            assert_eq!(par.rows, serial.rows, "sorted agg, {layout}, {t} threads");
+        }
+    }
+}
+
+#[test]
+fn research_layouts_fall_back_to_serial() {
+    let db = db(5_000);
+    for layout in [ScanLayout::ColumnSlow, ScanLayout::ColumnSingleIterator] {
+        let serial = scan_query(&db, layout).run_collect().unwrap();
+        let par = scan_query(&db, layout).threads(4).run_collect().unwrap();
+        assert_eq!(par.rows, serial.rows);
+        assert!(par.parallel.is_none(), "{layout} must not parallelize");
+    }
+}
+
+#[test]
+fn parallel_report_is_coherent() {
+    let db = db(100_000);
+    let serial = scan_query(&db, ScanLayout::Column).run().unwrap();
+    let par = scan_query(&db, ScanLayout::Column)
+        .threads(4)
+        .run()
+        .unwrap();
+    let info = par.parallel.expect("parallel run");
+    assert_eq!(info.threads, 4);
+    assert!(info.morsels >= 4);
+    assert!(info.wall_s > 0.0);
+    assert!(info.cpu_crit_s > 0.0);
+    // User-mode CPU work is parallelism-invariant up to re-decoding the
+    // boundary page each morsel window shares with its neighbour.
+    let (a, b) = (par.report.cpu.user(), serial.report.cpu.user());
+    assert!(a >= b - 1e-12, "parallel lost work: {a} vs {b}");
+    assert!((a - b) / b < 0.15, "cpu user {a} vs {b}");
+    // Same data is read, plus at most those boundary pages.
+    assert!(par.report.io.bytes_read >= serial.report.io.bytes_read - 1.0);
+    assert!(par.report.io.bytes_read < serial.report.io.bytes_read * 1.25);
+    // Interleaved workers pay extra head switches (and the kernel work that
+    // goes with them): the parallel run never reports fewer seeks or less
+    // sys time than the serial one.
+    assert!(par.report.io.seeks >= serial.report.io.seeks);
+    assert!(par.report.cpu.sys >= serial.report.cpu.sys);
+    assert!(par.report.elapsed_s > 0.0);
+}
+
+// ---- accounting-merge units -------------------------------------------
+
+#[test]
+fn cpu_meter_merge_equals_single_meter() {
+    let hw = HardwareConfig::default();
+    // Split the same event stream across three meters.
+    let mut parts = [
+        CpuMeter::default(),
+        CpuMeter::default(),
+        CpuMeter::default(),
+    ];
+    let mut whole = CpuMeter::default();
+    let events: [&dyn Fn(&mut CpuMeter); 5] = [
+        &|m| m.row_iter(10_000.0),
+        &|m| m.predicate(10_000.0, 700.0),
+        &|m| m.io_kernel_work(5.0e8, 128 * 1024, 12.0),
+        &|m| m.memory_access(&HardwareConfig::default(), 4.0e6, 1.0e6, 4.0),
+        &|m| m.project(700.0, 3.0, 8_400.0),
+    ];
+    for (i, ev) in events.iter().enumerate() {
+        ev(&mut parts[i % parts.len()]);
+        ev(&mut whole);
+    }
+    let mut merged = CpuMeter::default();
+    for p in &parts {
+        merged.merge(p);
+    }
+    assert_eq!(merged.counters(), whole.counters());
+    let (m, w) = (merged.breakdown(&hw), whole.breakdown(&hw));
+    assert!((m.total() - w.total()).abs() < 1e-12);
+    assert!((m.sys - w.sys).abs() < 1e-12);
+}
+
+#[test]
+fn io_stats_merge_sums_every_field() {
+    let a = IoStats {
+        bytes_read: 1.0e6,
+        seeks: 3,
+        bursts: 5,
+        comp_bursts: 1,
+        transfer_s: 0.5,
+        seek_s: 0.015,
+        comp_s: 0.1,
+    };
+    let b = IoStats {
+        bytes_read: 2.0e6,
+        seeks: 4,
+        bursts: 7,
+        comp_bursts: 2,
+        transfer_s: 1.0,
+        seek_s: 0.020,
+        comp_s: 0.2,
+    };
+    let mut m = a;
+    m.merge(&b);
+    assert_eq!(m.bytes_read, 3.0e6);
+    assert_eq!(m.seeks, 7);
+    assert_eq!(m.bursts, 12);
+    assert_eq!(m.comp_bursts, 3);
+    assert!((m.transfer_s - 1.5).abs() < 1e-12);
+    assert!((m.seek_s - 0.035).abs() < 1e-12);
+    assert!((m.comp_s - 0.3).abs() < 1e-12);
+    assert!((m.total_s() - (a.total_s() + b.total_s())).abs() < 1e-12);
+}
+
+#[test]
+fn merge_parallel_charges_switch_seeks_only_with_real_parallelism() {
+    let seek_s = 0.005;
+    let w = IoStats {
+        bytes_read: 1.0e6,
+        seeks: 2,
+        bursts: 10,
+        transfer_s: 0.5,
+        seek_s: 2.0 * seek_s,
+        ..Default::default()
+    };
+    // One worker: a plain sum, nothing recharged.
+    let solo = merge_parallel(&[w], 1, seek_s);
+    assert_eq!(solo.seeks, 2);
+    assert!((solo.seek_s - w.seek_s).abs() < 1e-12);
+    // Two workers sharing the array: every burst pays a head switch.
+    let duo = merge_parallel(&[w, w], 2, seek_s);
+    assert_eq!(duo.seeks, 20); // max(bursts, seeks) of the summed stats
+    let expected = 2.0 * w.seek_s + (20 - 4) as f64 * seek_s;
+    assert!((duo.seek_s - expected).abs() < 1e-12, "{}", duo.seek_s);
+    assert_eq!(duo.bytes_read, 2.0e6);
+}
+
+#[test]
+fn settle_io_kernel_work_is_idempotent() {
+    let db = db(10_000);
+    let t = db.table("t").unwrap();
+    let ctx = ExecContext::default_ctx();
+    let mut scan = RowScanner::new(t, vec![0, 1], vec![], &ctx).unwrap();
+    while scan.next().unwrap().is_some() {}
+    ctx.settle_io_kernel_work();
+    let after_first = *ctx.meter.borrow().counters();
+    assert!(after_first.io_bytes > 0.0);
+    // Settling again without new disk traffic must change nothing.
+    ctx.settle_io_kernel_work();
+    ctx.settle_io_kernel_work();
+    assert_eq!(*ctx.meter.borrow().counters(), after_first);
+}

@@ -1,10 +1,16 @@
-//! Property-based tests over randomly generated schemas, data, codecs, and
+//! Property-style tests over randomly generated schemas, data, codecs, and
 //! queries: the row and column paths must stay observationally identical,
 //! and compression must stay lossless, under arbitrary inputs.
+//!
+//! Inputs are generated with the workspace's deterministic [`SplitMix64`]
+//! generator (the offline build has no `proptest`); each property runs over
+//! many seeded cases.
 
-use proptest::prelude::*;
 use rodb::prelude::*;
+use rodb_types::SplitMix64;
 use std::sync::Arc;
+
+const CASES: u64 = 64;
 
 // ---------- generators -------------------------------------------------
 
@@ -15,11 +21,13 @@ struct RandTable {
     rows: Vec<Vec<Value>>,
 }
 
-fn dtype_strategy() -> impl Strategy<Value = DataType> {
-    prop_oneof![
-        3 => Just(DataType::Int),
-        1 => (1usize..20).prop_map(DataType::Text),
-    ]
+fn random_dtype(rng: &mut SplitMix64) -> DataType {
+    // 3:1 ints to text, like the original strategy.
+    if rng.below(4) < 3 {
+        DataType::Int
+    } else {
+        DataType::Text(rng.range_usize(1, 20))
+    }
 }
 
 /// A codec compatible with the column's type and the generated value domain.
@@ -31,9 +39,7 @@ fn codec_for(dtype: DataType, domain: i32, sorted: bool) -> Vec<ColumnCompressio
             out.push(ColumnCompression::new(Codec::BitPack { bits }, None).unwrap());
             out.push(ColumnCompression::new(Codec::For { bits }, None).unwrap());
             if sorted {
-                out.push(
-                    ColumnCompression::new(Codec::ForDelta { bits }, None).unwrap(),
-                );
+                out.push(ColumnCompression::new(Codec::ForDelta { bits }, None).unwrap());
             }
         }
         DataType::Text(n) => {
@@ -54,55 +60,50 @@ fn codec_for(dtype: DataType, domain: i32, sorted: bool) -> Vec<ColumnCompressio
     out
 }
 
-fn table_strategy() -> impl Strategy<Value = RandTable> {
-    // 1-5 columns, 0-400 rows, per-column codec index.
-    (
-        prop::collection::vec((dtype_strategy(), 0usize..4), 1..5),
-        0usize..400,
-        any::<u64>(),
-    )
-        .prop_map(|(cols, nrows, seed)| {
-            let mut schema_cols = Vec::new();
-            let mut comps = Vec::new();
-            for (i, (dt, codec_idx)) in cols.iter().enumerate() {
-                schema_cols.push(Column::new(format!("c{i}"), *dt));
-            // domain 200 keeps dict/bitpack/FOR in range; sorted col is c0.
-                let options = codec_for(*dt, 200 + nrows as i32, i == 0);
-                comps.push(options[codec_idx % options.len()].clone());
-            }
-            let schema = Arc::new(Schema::new(schema_cols).unwrap());
-            let mut rows = Vec::with_capacity(nrows);
-            let mut state = seed | 1;
-            let mut next = || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                (state >> 33) as i32
-            };
-            let mut sorted_val = 0i32;
-            for _ in 0..nrows {
-                let mut row = Vec::new();
-                for (ci, c) in schema.columns().iter().enumerate() {
-                    match c.dtype {
-                        DataType::Int => {
-                            if ci == 0 {
-                                // Non-decreasing for FOR-delta compatibility.
-                                sorted_val += next().rem_euclid(3);
-                                row.push(Value::Int(sorted_val));
-                            } else {
-                                row.push(Value::Int(next().rem_euclid(200)));
-                            }
-                        }
-                        DataType::Text(n) => {
-                            let letter = b'a' + (next().rem_euclid(4)) as u8;
-                            let len = 1.min(n);
-                            row.push(Value::Text(vec![letter; len].into()));
-                        }
-                        DataType::Long => unreachable!(),
+fn random_table(rng: &mut SplitMix64) -> RandTable {
+    let ncols = rng.range_usize(1, 5);
+    let nrows = rng.range_usize(0, 400);
+    let mut schema_cols = Vec::new();
+    let mut comps = Vec::new();
+    for i in 0..ncols {
+        let dt = random_dtype(rng);
+        schema_cols.push(Column::new(format!("c{i}"), dt));
+        // domain 200 keeps dict/bitpack/FOR in range; sorted col is c0.
+        let options = codec_for(dt, 200 + nrows as i32, i == 0);
+        let codec_idx = rng.range_usize(0, 4);
+        comps.push(options[codec_idx % options.len()].clone());
+    }
+    let schema = Arc::new(Schema::new(schema_cols).unwrap());
+    let mut rows = Vec::with_capacity(nrows);
+    let mut sorted_val = 0i32;
+    for _ in 0..nrows {
+        let mut row = Vec::new();
+        for (ci, c) in schema.columns().iter().enumerate() {
+            match c.dtype {
+                DataType::Int => {
+                    if ci == 0 {
+                        // Non-decreasing for FOR-delta compatibility.
+                        sorted_val += rng.range_i32(0, 3);
+                        row.push(Value::Int(sorted_val));
+                    } else {
+                        row.push(Value::Int(rng.range_i32(0, 200)));
                     }
                 }
-                rows.push(row);
+                DataType::Text(n) => {
+                    let letter = b'a' + rng.below(4) as u8;
+                    let len = 1.min(n);
+                    row.push(Value::Text(vec![letter; len].into()));
+                }
+                DataType::Long => unreachable!(),
             }
-            RandTable { schema, comps, rows }
-        })
+        }
+        rows.push(row);
+    }
+    RandTable {
+        schema,
+        comps,
+        rows,
+    }
 }
 
 fn build(t: &RandTable) -> Table {
@@ -122,17 +123,17 @@ fn build(t: &RandTable) -> Table {
 
 // ---------- properties --------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Loading through any codec mix is lossless in both layouts.
-    #[test]
-    fn storage_roundtrip_lossless(t in table_strategy()) {
+/// Loading through any codec mix is lossless in both layouts.
+#[test]
+fn storage_roundtrip_lossless() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5705 + case);
+        let t = random_table(&mut rng);
         let table = build(&t);
         let via_row = table.read_all(Layout::Row).unwrap();
         let via_col = table.read_all(Layout::Column).unwrap();
-        prop_assert_eq!(via_row.len(), t.rows.len());
-        prop_assert_eq!(&via_row, &via_col);
+        assert_eq!(via_row.len(), t.rows.len());
+        assert_eq!(&via_row, &via_col);
         // Text values come back padded; compare through re-encoding.
         for (orig, got) in t.rows.iter().zip(&via_row) {
             for ((o, g), c) in orig.iter().zip(got).zip(t.schema.columns()) {
@@ -140,25 +141,29 @@ proptest! {
                 o.encode_into(c.dtype, &mut oe).unwrap();
                 let mut ge = Vec::new();
                 g.encode_into(c.dtype, &mut ge).unwrap();
-                prop_assert_eq!(oe, ge);
+                assert_eq!(oe, ge);
             }
         }
     }
+}
 
-    /// Every scanner produces identical results for random predicates.
-    #[test]
-    fn scanners_agree_on_random_queries(
-        t in table_strategy(),
-        pred_col in 0usize..5,
-        threshold in 0i32..250,
-        proj_mask in 1u8..31,
-    ) {
+/// Every scanner produces identical results for random predicates.
+#[test]
+fn scanners_agree_on_random_queries() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x5CA9 + case);
+        let t = random_table(&mut rng);
         let table = Arc::new(build(&t));
         let n = t.schema.len();
-        let pred_col = pred_col % n;
-        let projection: Vec<usize> =
-            (0..n).filter(|i| proj_mask & (1 << i) != 0).collect();
-        let projection = if projection.is_empty() { vec![0] } else { projection };
+        let pred_col = rng.range_usize(0, 5) % n;
+        let threshold = rng.range_i32(0, 250);
+        let proj_mask = rng.range_usize(1, 31) as u8;
+        let projection: Vec<usize> = (0..n).filter(|i| proj_mask & (1 << i) != 0).collect();
+        let projection = if projection.is_empty() {
+            vec![0]
+        } else {
+            projection
+        };
         let preds = if t.schema.dtype(pred_col).is_int() {
             vec![Predicate::lt(pred_col, threshold)]
         } else {
@@ -179,9 +184,9 @@ proptest! {
             .rows
         };
         let baseline = run(ScanLayout::Row);
-        prop_assert_eq!(run(ScanLayout::Column), baseline.clone());
-        prop_assert_eq!(run(ScanLayout::ColumnSlow), baseline.clone());
-        prop_assert_eq!(run(ScanLayout::ColumnSingleIterator), baseline.clone());
+        assert_eq!(run(ScanLayout::Column), baseline.clone());
+        assert_eq!(run(ScanLayout::ColumnSlow), baseline.clone());
+        assert_eq!(run(ScanLayout::ColumnSingleIterator), baseline.clone());
 
         // Oracle: filter + project the original rows.
         let mut expect = Vec::new();
@@ -195,28 +200,35 @@ proptest! {
                 );
             }
         }
-        prop_assert_eq!(baseline, expect);
+        assert_eq!(baseline, expect);
     }
+}
 
-    /// Scalar aggregates match a recomputation from raw data.
-    #[test]
-    fn aggregates_match_oracle(t in table_strategy(), threshold in 0i32..250) {
-        prop_assume!(t.schema.dtype(0).is_int());
+/// Scalar aggregates match a recomputation from raw data.
+#[test]
+fn aggregates_match_oracle() {
+    let mut done = 0u64;
+    let mut seed = 0u64;
+    while done < CASES {
+        seed += 1;
+        let mut rng = SplitMix64::new(0xA66 + seed);
+        let t = random_table(&mut rng);
+        if !t.schema.dtype(0).is_int() {
+            continue; // the original property assumed an int first column
+        }
+        done += 1;
+        let threshold = rng.range_i32(0, 250);
         let table = Arc::new(build(&t));
-        let res = QueryBuilder::new(
-            table,
-            HardwareConfig::default(),
-            SystemConfig::default(),
-        )
-        .layout(ScanLayout::Column)
-        .select_indices(&[0])
-        .filter_pred(Predicate::lt(0, threshold))
-        .unwrap()
-        .aggregate(AggSpec::count())
-        .aggregate(AggSpec::sum(0))
-        .run_collect()
-        .unwrap()
-        .rows;
+        let res = QueryBuilder::new(table, HardwareConfig::default(), SystemConfig::default())
+            .layout(ScanLayout::Column)
+            .select_indices(&[0])
+            .filter_pred(Predicate::lt(0, threshold))
+            .unwrap()
+            .aggregate(AggSpec::count())
+            .aggregate(AggSpec::sum(0))
+            .run_collect()
+            .unwrap()
+            .rows;
 
         let qualifying: Vec<i64> = t
             .rows
@@ -226,21 +238,29 @@ proptest! {
             .map(|v| v as i64)
             .collect();
         if qualifying.is_empty() {
-            prop_assert!(res.is_empty());
+            assert!(res.is_empty());
         } else {
-            prop_assert_eq!(res[0][0].as_num().unwrap(), qualifying.len() as i64);
-            prop_assert_eq!(res[0][1].as_num().unwrap(), qualifying.iter().sum::<i64>());
+            assert_eq!(res[0][0].as_num().unwrap(), qualifying.len() as i64);
+            assert_eq!(res[0][1].as_num().unwrap(), qualifying.iter().sum::<i64>());
         }
     }
+}
 
-    /// WOS inserts + merge behave like appending to the logical table.
-    #[test]
-    fn wos_merge_preserves_contents(
-        t in table_strategy(),
-        extra in 0usize..20,
-    ) {
+/// WOS inserts + merge behave like appending to the logical table.
+#[test]
+fn wos_merge_preserves_contents() {
+    let mut done = 0u64;
+    let mut seed = 0u64;
+    while done < CASES {
+        seed += 1;
+        let mut rng = SplitMix64::new(0x305 + seed);
+        let t = random_table(&mut rng);
         // Only schemas whose first column tolerates appended sorted values.
-        prop_assume!(t.schema.dtype(0).is_int());
+        if !t.schema.dtype(0).is_int() {
+            continue;
+        }
+        done += 1;
+        let extra = rng.range_usize(0, 20);
         let table = build(&t);
         let before = table.read_all(Layout::Row).unwrap();
         let mut wos = WriteOptimizedStore::new(t.schema.clone());
@@ -263,13 +283,13 @@ proptest! {
             inserted.push(row);
         }
         let merged = wos.merge_into(&table, &t.comps, Some(0)).unwrap();
-        prop_assert_eq!(merged.row_count as usize, before.len() + extra);
+        assert_eq!(merged.row_count as usize, before.len() + extra);
         let after_row = merged.read_all(Layout::Row).unwrap();
         let after_col = merged.read_all(Layout::Column).unwrap();
-        prop_assert_eq!(&after_row, &after_col);
+        assert_eq!(&after_row, &after_col);
         // Sorted by column 0.
         for w in after_row.windows(2) {
-            prop_assert!(w[0][0] <= w[1][0]);
+            assert!(w[0][0] <= w[1][0]);
         }
     }
 }
