@@ -202,6 +202,131 @@ fn advisor_pick_is_sound() {
     }
 }
 
+/// 64-bit extremes survive the full path: `i64::MIN`/`i64::MAX` round-trip
+/// through an uncompressed Long page, and full-width frames round-trip
+/// through the bit-level I/O at every offset parity.
+#[test]
+fn i64_extremes_roundtrip() {
+    let values = vec![
+        Value::Long(i64::MIN),
+        Value::Long(i64::MAX),
+        Value::Long(0),
+        Value::Long(-1),
+        Value::Long(i64::MIN + 1),
+        Value::Long(i64::MAX - 1),
+    ];
+    let comp = ColumnCompression::none();
+    let enc = comp.encode_page(DataType::Long, &values).unwrap();
+    let pv = comp.open_page(DataType::Long, &enc.data, enc.count, enc.base);
+    for (i, v) in values.iter().enumerate() {
+        assert_eq!(&pv.value_at(i).unwrap(), v);
+    }
+    // Bit I/O: 64-bit codes carrying the extreme two's-complement patterns,
+    // preceded by a 1..=7-bit shim so the frame straddles byte boundaries.
+    for shim in 1..8u8 {
+        let mut w = BitWriter::new();
+        w.write(0, shim).unwrap();
+        w.write(i64::MIN as u64, 64).unwrap();
+        w.write(i64::MAX as u64, 64).unwrap();
+        let bytes = w.into_bytes();
+        let r = BitReader::new(&bytes);
+        assert_eq!(r.read_at(shim as usize, 64).unwrap() as i64, i64::MIN);
+        assert_eq!(r.read_at(shim as usize + 64, 64).unwrap() as i64, i64::MAX);
+    }
+}
+
+/// An all-equal column has zero entropy; every int codec must still store
+/// and recover it at the 1-bit floor (`bits_for(0) == 1`).
+#[test]
+fn all_equal_column_at_minimal_width() {
+    assert_eq!(bits_for(0), 1);
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xE9A1 + case);
+        let v = rng.range_i32(-100_000, 100_000);
+        let n = rng.range_usize(1, 300);
+        let values: Vec<Value> = (0..n).map(|_| Value::Int(v)).collect();
+        let mut comps = vec![
+            ColumnCompression::new(Codec::For { bits: 1 }, None).unwrap(),
+            ColumnCompression::new(Codec::ForDelta { bits: 1 }, None).unwrap(),
+        ];
+        if v >= 0 {
+            comps.push(
+                ColumnCompression::new(
+                    Codec::BitPack {
+                        bits: bits_for(v as u64),
+                    },
+                    None,
+                )
+                .unwrap(),
+            );
+        }
+        let dict = Arc::new(Dictionary::build(DataType::Int, values.iter()).unwrap());
+        assert_eq!(dict.code_bits(), 1);
+        comps.push(ColumnCompression::new(Codec::Dict { bits: 1 }, Some(dict)).unwrap());
+        for comp in comps {
+            let enc = comp.encode_page(DataType::Int, &values).unwrap();
+            let pv = comp.open_page(DataType::Int, &enc.data, enc.count, enc.base);
+            let mut cur = pv.cursor();
+            for i in 0..n {
+                assert_eq!(cur.next_int().unwrap(), v, "{:?}", comp.codec);
+                if comp.codec.random_access() {
+                    assert_eq!(pv.int_at(i).unwrap(), v, "{:?}", comp.codec);
+                }
+            }
+        }
+    }
+}
+
+/// FOR-delta's domain is non-decreasing sequences: a descending run must be
+/// rejected at encode time, not stored corrupted.
+#[test]
+fn fordelta_rejects_descending_run() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xDE5C + case);
+        let n = rng.range_usize(2, 100);
+        let start = rng.range_i32(-1000, 1000);
+        // Strictly descending from a random start.
+        let mut vals = vec![start];
+        for _ in 1..n {
+            vals.push(vals.last().unwrap() - rng.range_i32(1, 50));
+        }
+        // Wide budget: the rejection must come from the sign of the delta,
+        // never from the code width.
+        let comp = ColumnCompression::new(Codec::ForDelta { bits: 32 }, None).unwrap();
+        let values: Vec<Value> = vals.iter().map(|&v| Value::Int(v)).collect();
+        let err = comp.encode_page(DataType::Int, &values).unwrap_err();
+        assert!(
+            matches!(err, rodb_types::Error::ValueOutOfDomain(_)),
+            "expected ValueOutOfDomain, got {err:?}"
+        );
+    }
+}
+
+/// A dictionary holding exactly 2^k distinct values needs exactly k bits:
+/// codes 0..2^k-1 fit in k, and a (k-1)-bit codec must be refused.
+#[test]
+fn dict_power_of_two_boundary() {
+    for k in 1..=6u8 {
+        let n = 1usize << k;
+        let values: Vec<Value> = (0..n as i32).map(Value::Int).collect();
+        let dict = Arc::new(Dictionary::build(DataType::Int, values.iter()).unwrap());
+        assert_eq!(dict.len(), n);
+        assert_eq!(dict.code_bits(), k, "2^{k} distinct values");
+        let comp = ColumnCompression::new(Codec::Dict { bits: k }, Some(dict.clone())).unwrap();
+        let enc = comp.encode_page(DataType::Int, &values).unwrap();
+        let pv = comp.open_page(DataType::Int, &enc.data, enc.count, enc.base);
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(&pv.value_at(i).unwrap(), v);
+        }
+        // One bit fewer cannot address the last code.
+        let err = ColumnCompression::new(Codec::Dict { bits: k - 1 }, Some(dict)).unwrap_err();
+        assert!(
+            matches!(err, rodb_types::Error::InvalidConfig(_)),
+            "expected InvalidConfig, got {err:?}"
+        );
+    }
+}
+
 /// Encoded size equals count × fixed width, rounded to bytes — the
 /// invariant that makes positional access possible.
 #[test]

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use rodb_compress::{Codec, CodecKind};
 use rodb_io::FileStream;
-use rodb_storage::{PaxPage, RowFormat, RowPage, Table};
+use rodb_storage::{PackedRowPage, PaxPage, RowFormat, RowPage, Table};
 use rodb_types::{Error, Result, Schema};
 
 use crate::block::TupleBlock;
@@ -202,7 +202,7 @@ impl RowScanner {
                 }
             }
             RowFormat::Packed { comps, .. } => {
-                let page = rs.packed_page(pref.page_index)?;
+                let page = PackedRowPage::new(pref.bytes(), comps)?;
                 let mut cur = page.cursor(&schema, comps);
                 let delta_cols = comps
                     .iter()

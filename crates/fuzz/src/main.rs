@@ -1,0 +1,80 @@
+//! Fuzzer CLI.
+//!
+//! ```text
+//! cargo run -p rodb-fuzz --release -- --iters 10000            # oracle diff
+//! cargo run -p rodb-fuzz --release -- --iters 10000 --faults   # fault mode
+//! cargo run -p rodb-fuzz -- --seed 1234                        # replay one
+//! ```
+//!
+//! Every failure prints the reproducing seed; the exit code is non-zero if
+//! any seed failed.
+
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rodb-fuzz [--seed N | --start-seed N --iters N] [--faults]\n\
+         \n\
+         --seed N        run exactly one seed (replay a failure)\n\
+         --start-seed N  first seed of a sweep (default 0)\n\
+         --iters N       number of seeds to sweep (default 200)\n\
+         --faults        fault-injection mode: every page read is corrupted\n\
+                         and the engine must return Err(Corrupt)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(v: Option<String>) -> u64 {
+    match v.as_deref().map(str::parse) {
+        Some(Ok(n)) => n,
+        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut seed: Option<u64> = None;
+    let mut start: u64 = 0;
+    let mut iters: u64 = 200;
+    let mut faults = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => seed = Some(parse_u64(args.next())),
+            "--start-seed" => start = parse_u64(args.next()),
+            "--iters" => iters = parse_u64(args.next()),
+            "--faults" => faults = true,
+            _ => usage(),
+        }
+    }
+    let (first, count) = match seed {
+        Some(s) => (s, 1),
+        None => (start, iters),
+    };
+
+    let mut failures = 0u64;
+    for s in first..first.saturating_add(count) {
+        let result = if faults {
+            rodb_fuzz::run_fault_case(s)
+        } else {
+            rodb_fuzz::run_case(s)
+        };
+        if let Err(msg) = result {
+            failures += 1;
+            eprintln!("FAIL {msg}");
+            eprintln!(
+                "  reproduce: cargo run -p rodb-fuzz -- --seed {s}{}",
+                if faults { " --faults" } else { "" }
+            );
+        }
+    }
+    if failures == 0 {
+        println!(
+            "ok: {count} seed(s) from {first} clean{}",
+            if faults { " (fault injection)" } else { "" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failures}/{count} seed(s) failed");
+        ExitCode::FAILURE
+    }
+}

@@ -26,7 +26,7 @@
 //! normal pipelined column scanner is "one step ahead" in its submissions
 //! (§4.5) and is favoured with `interleave = 2`.
 
-use rodb_types::{Error, HardwareConfig, Result, SystemConfig};
+use rodb_types::{Error, FaultSpec, HardwareConfig, Result, SplitMix64, SystemConfig};
 
 use crate::stats::IoStats;
 
@@ -40,6 +40,66 @@ struct Competitor {
     file: FileId,
     burst_bytes: f64,
     offset: f64,
+}
+
+/// Deterministic page-read fault injector (testing only).
+///
+/// Damage is a pure function of the [`FaultSpec`] seed and the sequence of
+/// page reads, so a failing run replays exactly from its seed. Three fault
+/// kinds model the classic storage failure modes: a few flipped bits
+/// (media/bus damage), a truncated page (partial sector) and a short read
+/// whose missing tail arrives as zeros. Every kind alters at least one byte,
+/// so the page CRC is guaranteed to see it.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: SplitMix64,
+    rate_ppm: u32,
+}
+
+impl FaultInjector {
+    pub fn new(spec: FaultSpec) -> FaultInjector {
+        FaultInjector {
+            rng: SplitMix64::new(spec.seed),
+            rate_ppm: spec.rate_ppm,
+        }
+    }
+
+    /// Roll for one page read: `Some(damaged bytes)` when the fault fires
+    /// (possibly shorter than the input), `None` when this read survives.
+    pub fn corrupt(&mut self, page: &[u8]) -> Option<Vec<u8>> {
+        if page.is_empty() || self.rng.below(1_000_000) >= self.rate_ppm as u64 {
+            return None;
+        }
+        let mut bytes = page.to_vec();
+        match self.rng.below(3) {
+            0 => {
+                // Flip 1..=8 random bits.
+                let flips = 1 + self.rng.below(8) as usize;
+                for _ in 0..flips {
+                    let byte = self.rng.below(bytes.len() as u64) as usize;
+                    let bit = self.rng.below(8) as u32;
+                    bytes[byte] ^= 1u8 << bit;
+                }
+            }
+            1 => {
+                // Truncated page: the device returned fewer bytes.
+                let keep = self.rng.below(bytes.len() as u64) as usize;
+                bytes.truncate(keep);
+            }
+            _ => {
+                // Short read: the tail never arrived and reads as zeros.
+                let from = self.rng.below(bytes.len() as u64) as usize;
+                bytes[from..].fill(0);
+                if bytes == page {
+                    // The tail was already zero — damage the checksum field
+                    // instead so the fault is never a silent no-op.
+                    let last = bytes.len() - 1;
+                    bytes[last] ^= 0xFF;
+                }
+            }
+        }
+        Some(bytes)
+    }
 }
 
 /// The simulated disk array (one per query execution).
@@ -68,6 +128,8 @@ pub struct DiskArray {
     fg_since_comp: u64,
     interleave: u64,
     stats: IoStats,
+    /// Installed from [`SystemConfig::faults`]; `None` = healthy array.
+    faults: Option<FaultInjector>,
 }
 
 impl DiskArray {
@@ -95,7 +157,14 @@ impl DiskArray {
             fg_since_comp: 0,
             interleave: 1,
             stats: IoStats::default(),
+            faults: sys.faults.map(FaultInjector::new),
         })
+    }
+
+    /// Roll the installed fault injector for one page read. `None` when no
+    /// injector is installed or this read survives.
+    pub fn fault_for_page(&mut self, page: &[u8]) -> Option<Vec<u8>> {
+        self.faults.as_mut().and_then(|f| f.corrupt(page))
     }
 
     /// Burst size in actual bytes (what a stream should request per fetch).
@@ -386,5 +455,45 @@ mod tests {
     fn invalid_scale_rejected() {
         assert!(DiskArray::new(&hw(), &sys(), 0.5).is_err());
         assert!(DiskArray::new(&hw(), &sys(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn fault_injector_is_deterministic_and_never_a_noop() {
+        let spec = FaultSpec::always(7);
+        let page: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        let mut a = FaultInjector::new(spec);
+        let mut b = FaultInjector::new(spec);
+        for _ in 0..200 {
+            let x = a.corrupt(&page).expect("rate = 100%");
+            let y = b.corrupt(&page).expect("same seed, same damage");
+            assert_eq!(x, y);
+            assert_ne!(x, page, "a fault must alter the page");
+        }
+        let mut quiet = FaultInjector::new(FaultSpec {
+            seed: 7,
+            rate_ppm: 0,
+        });
+        assert!(quiet.corrupt(&page).is_none());
+    }
+
+    #[test]
+    fn zero_tail_short_read_still_corrupts() {
+        // A page whose tail is already zero: short-read faults must not
+        // degenerate into silent no-ops.
+        let mut page = vec![0u8; 4096];
+        page[0] = 1;
+        let mut inj = FaultInjector::new(FaultSpec::always(1));
+        for _ in 0..500 {
+            assert_ne!(inj.corrupt(&page).unwrap(), page);
+        }
+    }
+
+    #[test]
+    fn disk_array_installs_injector_from_sys_config() {
+        let faulty = sys().with_faults(FaultSpec::always(3));
+        let mut d = DiskArray::new(&hw(), &faulty, 1.0).unwrap();
+        assert!(d.fault_for_page(&[7u8; 64]).is_some());
+        let mut healthy = DiskArray::new(&hw(), &sys(), 1.0).unwrap();
+        assert!(healthy.fault_for_page(&[7u8; 64]).is_none());
     }
 }

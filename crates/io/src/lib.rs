@@ -12,6 +12,6 @@ pub mod disk;
 pub mod stats;
 pub mod stream;
 
-pub use disk::{merge_parallel, DiskArray, FileId};
+pub use disk::{merge_parallel, DiskArray, FaultInjector, FileId};
 pub use stats::IoStats;
 pub use stream::{FileStream, PageRef, SharedDisk};

@@ -101,9 +101,26 @@ impl FileStream {
         }
         let idx = self.next_page;
         self.next_page += 1;
+        let start = idx * self.page_size;
+        // Fault injection (testing only): the injector may hand back a
+        // damaged copy of the page — the scanner's checksum verification is
+        // what must catch it.
+        if let Some(damaged) = self
+            .disk
+            .borrow_mut()
+            .fault_for_page(&self.data[start..start + self.page_size])
+        {
+            let len = damaged.len();
+            return Some(PageRef {
+                data: Arc::new(damaged),
+                offset: 0,
+                len,
+                page_index: idx,
+            });
+        }
         Some(PageRef {
             data: self.data.clone(),
-            offset: idx * self.page_size,
+            offset: start,
             len: self.page_size,
             page_index: idx,
         })

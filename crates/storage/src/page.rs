@@ -10,16 +10,51 @@
 //! ```text
 //! ROW page:    [count: u32][tuple 0][tuple 1]...[pad][trailer]
 //! COLUMN page: [count: u32][packed codes............][pad][trailer]
-//! trailer:     [page_id: u64][base: i64][flags: u64]        (24 bytes)
+//! trailer:     [page_id: u64][base: i64][reserved: u32][crc32: u32]  (24 bytes)
 //! ```
+//!
+//! The trailing CRC-32 (IEEE polynomial, LE) covers every byte of the page
+//! except the checksum itself — header, body, padding, page id, base and the
+//! reserved word — so a single flipped bit anywhere is caught when the page
+//! is next opened. Compressed layouts amplify bit damage across many tuples,
+//! which is why verification happens at page-open time on the scan path.
 
 use rodb_compress::{ColumnCompression, PageValues};
 use rodb_types::{DataType, Error, PageId, Result, Schema, Value};
 
 /// Bytes of the page header (the entry count).
 pub const PAGE_HEADER: usize = 4;
-/// Bytes of the page trailer (page id + compression base + flags).
+/// Bytes of the page trailer (page id + compression base + reserved + crc).
 pub const PAGE_TRAILER: usize = 24;
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE, reflected) — the page checksum function.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// Usable body bytes of a page.
 #[inline]
@@ -39,11 +74,16 @@ pub fn col_values_per_page(page_size: usize, bits: usize) -> usize {
     body_capacity(page_size) * 8 / bits
 }
 
-fn write_trailer(page: &mut [u8], page_id: PageId, base: i64) {
+/// Write the 24-byte trailer and seal the page with its CRC. Every page
+/// builder (row, packed row, PAX, column) must finish through here so the
+/// read side can verify unconditionally.
+pub(crate) fn write_trailer(page: &mut [u8], page_id: PageId, base: i64) {
     let n = page.len();
     page[n - 24..n - 16].copy_from_slice(&page_id.0.to_le_bytes());
     page[n - 16..n - 8].copy_from_slice(&base.to_le_bytes());
-    page[n - 8..n].copy_from_slice(&0u64.to_le_bytes());
+    page[n - 8..n - 4].copy_from_slice(&0u32.to_le_bytes());
+    let crc = crc32(&page[..n - 4]);
+    page[n - 4..n].copy_from_slice(&crc.to_le_bytes());
 }
 
 fn read_u64(b: &[u8]) -> u64 {
@@ -57,10 +97,18 @@ pub struct PageView<'a> {
 }
 
 impl<'a> PageView<'a> {
-    /// Wrap one page-sized byte slice.
+    /// Wrap one page-sized byte slice, verifying its checksum.
     pub fn new(bytes: &'a [u8]) -> Result<PageView<'a>> {
-        if bytes.len() < PAGE_HEADER + PAGE_TRAILER {
-            return Err(Error::Corrupt(format!("page of {} bytes", bytes.len())));
+        let n = bytes.len();
+        if n < PAGE_HEADER + PAGE_TRAILER {
+            return Err(Error::Corrupt(format!("page of {n} bytes")));
+        }
+        let stored = u32::from_le_bytes([bytes[n - 4], bytes[n - 3], bytes[n - 2], bytes[n - 1]]);
+        let actual = crc32(&bytes[..n - 4]);
+        if stored != actual {
+            return Err(Error::Corrupt(format!(
+                "page checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
         }
         Ok(PageView { bytes })
     }
@@ -405,7 +453,43 @@ mod tests {
         // Claimed count larger than the body allows.
         let mut page = vec![0u8; 128];
         page[0..4].copy_from_slice(&1000u32.to_le_bytes());
+        write_trailer(&mut page, PageId(0), 0);
         assert!(RowPage::new(&page, 8).is_err());
+    }
+
+    #[test]
+    fn crc32_known_value() {
+        // The standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn any_bit_flip_breaks_checksum() {
+        let s = schema();
+        let mut b = RowPageBuilder::new(512, &s);
+        let mut raw = Vec::new();
+        tuple::encode_tuple(
+            &s,
+            &[Value::Int(42), Value::text("ok"), Value::Int(-1)],
+            &mut raw,
+        )
+        .unwrap();
+        b.push(&raw).unwrap();
+        let page = b.build(PageId(3));
+        assert!(RowPage::new(&page, s.stored_width()).is_ok());
+        // Header, body, padding, trailer fields and the CRC itself: flipping
+        // one bit anywhere must be caught.
+        for pos in [0usize, 2, 40, 300, 488, 496, 504, 508, 511] {
+            for bit in [0u8, 3, 7] {
+                let mut bad = page.clone();
+                bad[pos] ^= 1 << bit;
+                assert!(
+                    RowPage::new(&bad, s.stored_width()).is_err(),
+                    "flip bit {bit} of byte {pos} went undetected"
+                );
+            }
+        }
     }
 
     #[test]

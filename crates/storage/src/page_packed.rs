@@ -17,7 +17,7 @@
 use rodb_compress::{BitReader, BitWriter, Codec, ColumnCompression};
 use rodb_types::{DataType, Error, PageId, Result, Schema, Value};
 
-use crate::page::{PAGE_HEADER, PAGE_TRAILER};
+use crate::page::{write_trailer, PageView, PAGE_HEADER, PAGE_TRAILER};
 
 /// Bits per packed tuple for a codec assignment.
 pub fn packed_tuple_bits(schema: &Schema, comps: &[ColumnCompression]) -> usize {
@@ -48,13 +48,6 @@ pub fn packed_tuples_per_page(
     let base_bytes = base_columns(comps).len() * 8;
     let body_bits = (page_size - PAGE_HEADER - PAGE_TRAILER - base_bytes) * 8;
     body_bits / packed_tuple_bits(schema, comps)
-}
-
-fn write_trailer(page: &mut [u8], page_id: PageId) {
-    let n = page.len();
-    page[n - 24..n - 16].copy_from_slice(&page_id.0.to_le_bytes());
-    page[n - 16..n - 8].copy_from_slice(&0i64.to_le_bytes());
-    page[n - 8..n].copy_from_slice(&0u64.to_le_bytes());
 }
 
 /// Builds packed row pages by buffering whole rows.
@@ -215,7 +208,7 @@ impl PackedRowPageBuilder {
             return Err(Error::Corrupt("packed rows overflow page".into()));
         }
         page[off..off + data.len()].copy_from_slice(&data);
-        write_trailer(&mut page, page_id);
+        write_trailer(&mut page, page_id, 0);
         self.rows.clear();
         Ok(page)
     }
@@ -230,17 +223,20 @@ pub struct PackedRowPage<'a> {
 
 impl<'a> PackedRowPage<'a> {
     pub fn new(bytes: &'a [u8], comps: &[ColumnCompression]) -> Result<PackedRowPage<'a>> {
-        if bytes.len() < PAGE_HEADER + PAGE_TRAILER {
-            return Err(Error::Corrupt("short packed row page".into()));
-        }
-        let count = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        let view = PageView::new(bytes)?;
+        let count = view.count();
         let n_bases = base_columns(comps).len();
+        if PAGE_HEADER + n_bases * 8 > bytes.len() - PAGE_TRAILER {
+            return Err(Error::Corrupt(format!(
+                "packed row page too small for {n_bases} bases"
+            )));
+        }
         let mut bases = Vec::with_capacity(n_bases);
         for k in 0..n_bases {
             let off = PAGE_HEADER + k * 8;
-            bases.push(i64::from_le_bytes(
-                bytes[off..off + 8].try_into().expect("8 bytes"),
-            ));
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[off..off + 8]);
+            bases.push(i64::from_le_bytes(buf));
         }
         Ok(PackedRowPage {
             bytes,

@@ -21,7 +21,7 @@
 
 use rodb_types::{Error, PageId, Result, Schema, Value};
 
-use crate::page::{PageView, PAGE_HEADER, PAGE_TRAILER};
+use crate::page::{write_trailer, PageView, PAGE_HEADER, PAGE_TRAILER};
 
 /// Tuples per PAX page: the unpadded tuple width packs the body.
 #[inline]
@@ -95,8 +95,7 @@ impl PaxPageBuilder {
             }
         }
         // Trailer: page id; no compression base.
-        let n = page.len();
-        page[n - 24..n - 16].copy_from_slice(&page_id.0.to_le_bytes());
+        write_trailer(&mut page, page_id, 0);
         self.rows.clear();
         self.count = 0;
         page

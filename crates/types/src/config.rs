@@ -8,6 +8,31 @@
 
 use crate::error::{Error, Result};
 
+/// Deterministic fault-injection parameters for the simulated disk array.
+///
+/// When installed on a [`SystemConfig`], every page the I/O layer hands to a
+/// scan has a `rate_ppm`-in-a-million chance of arriving damaged — a few
+/// flipped bits, a truncated page, or a short (tail-zeroed) read. Which pages
+/// are hit and how is a pure function of `seed` and the page bytes, so a
+/// failing run is replayable from the seed alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed for the fault-site RNG.
+    pub seed: u64,
+    /// Faults per million page reads (1_000_000 = every page).
+    pub rate_ppm: u32,
+}
+
+impl FaultSpec {
+    /// Corrupt every page read (the fuzzer's corruption mode).
+    pub fn always(seed: u64) -> FaultSpec {
+        FaultSpec {
+            seed,
+            rate_ppm: 1_000_000,
+        }
+    }
+}
+
 /// Storage-manager parameters (defaults are the paper's §3.2 defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
@@ -24,6 +49,9 @@ pub struct SystemConfig {
     /// serial engine; the paper's testbed CPU is single-core, so >1 models a
     /// multi-core variant of the platform).
     pub threads: usize,
+    /// Optional deterministic fault injection on page reads (testing only;
+    /// `None` = a healthy array).
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for SystemConfig {
@@ -34,6 +62,7 @@ impl Default for SystemConfig {
             prefetch_depth: 48,
             block_tuples: 100,
             threads: 1,
+            faults: None,
         }
     }
 }
@@ -58,6 +87,11 @@ impl SystemConfig {
         if self.threads == 0 {
             return Err(Error::InvalidConfig("threads == 0".into()));
         }
+        if let Some(f) = &self.faults {
+            if f.rate_ppm > 1_000_000 {
+                return Err(Error::InvalidConfig("fault rate_ppm > 1_000_000".into()));
+            }
+        }
         Ok(())
     }
 
@@ -71,6 +105,12 @@ impl SystemConfig {
     /// Convenience: the same config with a different worker-thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Convenience: the same config with fault injection installed.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
         self
     }
 }

@@ -24,7 +24,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use config::{HardwareConfig, SystemConfig};
+pub use config::{FaultSpec, HardwareConfig, SystemConfig};
 pub use datatype::DataType;
 pub use error::{Error, Result};
 pub use ids::{ColumnId, PageId, RecordId, TableId};

@@ -177,6 +177,74 @@ fn parallel_report_is_coherent() {
     assert!(par.report.elapsed_s > 0.0);
 }
 
+// ---- degenerate shapes -------------------------------------------------
+
+#[test]
+fn parallel_scan_of_empty_table() {
+    let db = db(0);
+    for layout in [ScanLayout::Row, ScanLayout::Column] {
+        for t in THREADS {
+            let res = scan_query(&db, layout).threads(t).run_collect().unwrap();
+            assert!(res.rows.is_empty(), "{layout}, {t} threads");
+        }
+        // Grouped aggregation over zero rows yields zero groups.
+        let agg = db
+            .query("t")
+            .unwrap()
+            .layout(layout)
+            .select(&["grp", "val"])
+            .unwrap()
+            .group_by("grp")
+            .unwrap()
+            .aggregate(AggSpec::count())
+            .threads(4)
+            .run_collect()
+            .unwrap();
+        assert!(agg.rows.is_empty(), "{layout} empty agg");
+    }
+}
+
+#[test]
+fn parallel_scan_of_single_row_table() {
+    let db = db(1);
+    for layout in [ScanLayout::Row, ScanLayout::Column] {
+        let serial = scan_query(&db, layout).run_collect().unwrap();
+        assert_eq!(serial.rows.len(), 1);
+        for t in THREADS {
+            let par = scan_query(&db, layout).threads(t).run_collect().unwrap();
+            assert_eq!(par.rows, serial.rows, "{layout}, {t} threads");
+        }
+    }
+}
+
+#[test]
+fn more_threads_than_morsels_is_harmless() {
+    // 100 rows fit in a handful of pages, so 16 workers outnumber the
+    // morsels; the spare workers must idle, not misbehave.
+    let db = db(100);
+    for layout in [ScanLayout::Row, ScanLayout::Column] {
+        let serial = scan_query(&db, layout).run_collect().unwrap();
+        let par = scan_query(&db, layout).threads(16).run_collect().unwrap();
+        assert_eq!(par.rows, serial.rows, "{layout}, 16 threads");
+        if let Some(info) = par.parallel {
+            assert!(info.morsels <= 16);
+        }
+    }
+}
+
+#[test]
+fn zero_threads_is_rejected() {
+    let db = db(100);
+    let err = scan_query(&db, ScanLayout::Row)
+        .threads(0)
+        .run_collect()
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::InvalidConfig(_)),
+        "expected InvalidConfig, got {err:?}"
+    );
+}
+
 // ---- accounting-merge units -------------------------------------------
 
 #[test]
