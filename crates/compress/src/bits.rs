@@ -8,6 +8,11 @@
 
 use rodb_types::{Error, Result};
 
+/// Values per decode block: the unit the vectorized scan kernels operate on.
+/// 128 codes of any whole bit width always end on a byte boundary
+/// (`128 × w` bits ≡ `16 × w` bytes), so every full block is word-aligned.
+pub const BLOCK: usize = 128;
+
 /// Number of bits needed to represent `max_code` (at least 1).
 ///
 /// ```
@@ -162,6 +167,121 @@ impl<'a> BitReader<'a> {
             pos: 0,
         }
     }
+
+    /// Unpack `out.len()` fixed-width codes starting at code index `first`
+    /// (codes start at bit 0, code *i* at bit `i × bits`).
+    ///
+    /// This is the block counterpart of [`BitReader::get`]: bounds are
+    /// checked **once** for the whole run, and full [`BLOCK`]-sized,
+    /// byte-aligned runs of width 1..=32 go through a per-width specialized
+    /// word-at-a-time kernel. Everything else (tails shorter than a block,
+    /// widths over 32) takes a single generic path that still pays no
+    /// per-value `Result`.
+    pub fn unpack(&self, first: usize, bits: u8, out: &mut [u64]) -> Result<()> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        if bits == 0 || bits > 64 {
+            return Err(Error::InvalidConfig(format!("bit width {bits}")));
+        }
+        let start = first * bits as usize;
+        let end = start + out.len() * bits as usize;
+        if end > self.data.len() * 8 {
+            return Err(Error::Corrupt(format!(
+                "block unpack [{start}, {end}) past end ({} bits)",
+                self.data.len() * 8
+            )));
+        }
+        if out.len() == BLOCK && bits <= 32 && start.is_multiple_of(8) {
+            let block: &mut [u64; BLOCK] = (&mut out[..]).try_into().expect("len checked");
+            unpack_block_aligned(&self.data[start / 8..], bits, block);
+        } else {
+            unpack_generic(self.data, start, bits, out);
+        }
+        Ok(())
+    }
+}
+
+/// Load word `i` (8 little-endian bytes) of `src`. The block-level bounds
+/// check in [`BitReader::unpack`] guarantees the load is in range; the
+/// `debug_assert!` keeps that contract checked in debug builds while release
+/// builds skip the per-word branch.
+#[inline(always)]
+fn load_word(src: &[u8], i: usize) -> u64 {
+    debug_assert!((i + 1) * 8 <= src.len(), "word {i} outside checked block");
+    // SAFETY: `unpack` verified once that the whole block (2 × width words)
+    // lies inside `src` before dispatching here.
+    unsafe { u64::from_le_bytes(*(src.as_ptr().add(i * 8) as *const [u8; 8])) }
+}
+
+/// Decode one full 128-value block of `W`-bit codes from `src` (byte 0 =
+/// first code's low bits). `W` is a compile-time constant so the shift
+/// pattern is fully resolved per width and the loop unrolls.
+#[inline(always)]
+fn unpack128<const W: usize>(src: &[u8], out: &mut [u64; BLOCK]) {
+    debug_assert!((1..=32).contains(&W));
+    debug_assert!(src.len() >= 16 * W, "block spans 16×W bytes");
+    let mask = (1u64 << W) - 1;
+    let words = 2 * W; // 128 × W bits = 2 × W words exactly
+    let mut word = 0usize;
+    let mut cur = load_word(src, 0);
+    let mut used = 0usize;
+    for o in out.iter_mut() {
+        let have = 64 - used;
+        if W <= have {
+            *o = (cur >> used) & mask;
+            used += W;
+            if used == 64 && word + 1 < words {
+                word += 1;
+                cur = load_word(src, word);
+                used = 0;
+            }
+        } else {
+            // Code straddles the word boundary: low `have` bits from the
+            // current word, the rest from the next.
+            let lo = cur >> used;
+            word += 1;
+            cur = load_word(src, word);
+            *o = (lo | (cur << have)) & mask;
+            used = W - have;
+        }
+    }
+}
+
+/// Dispatch the width-specialized kernel. `bits` is 1..=32 (checked by the
+/// caller) and `src` starts at the block's first byte.
+fn unpack_block_aligned(src: &[u8], bits: u8, out: &mut [u64; BLOCK]) {
+    macro_rules! widths {
+        ($($w:literal)*) => {
+            match bits as usize {
+                $( $w => unpack128::<$w>(src, out), )*
+                _ => unreachable!("caller restricts bits to 1..=32"),
+            }
+        };
+    }
+    widths!(1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32)
+}
+
+/// The single tail path: decode any run (partial blocks, unaligned starts,
+/// widths up to 64) byte-at-a-time. Bounds were hoisted by the caller, so
+/// the inner loop carries no `Result`.
+fn unpack_generic(data: &[u8], start_bit: usize, bits: u8, out: &mut [u64]) {
+    let w = bits as usize;
+    debug_assert!(start_bit + out.len() * w <= data.len() * 8);
+    let mut pos = start_bit;
+    for o in out.iter_mut() {
+        let mut v = 0u64;
+        let mut got = 0usize;
+        while got < w {
+            let byte = data[pos / 8] as u64;
+            let off = pos % 8;
+            let take = (w - got).min(8 - off);
+            v |= ((byte >> off) & ((1u64 << take) - 1)) << got;
+            got += take;
+            pos += take;
+        }
+        *o = v;
+    }
 }
 
 /// A sequential fixed-width code cursor.
@@ -284,5 +404,97 @@ mod tests {
         assert_eq!(bits_for(255), 8);
         assert_eq!(bits_for(256), 9);
         assert_eq!(bits_for((1 << 14) - 1), 14);
+    }
+
+    /// Deterministic value pattern exercising low/high/alternating bits.
+    fn pattern(i: usize, bits: u8) -> u64 {
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(i as u32 % 64)
+            & mask
+    }
+
+    #[test]
+    fn unpack_matches_get_for_all_block_widths() {
+        // 300 values = two full 128-blocks + a 44-value tail; every width
+        // 1..=32 exercises the specialized kernel, word straddles, and the
+        // single tail path.
+        const N: usize = 300;
+        for bits in 1..=32u8 {
+            let mut w = BitWriter::new();
+            for i in 0..N {
+                w.write(pattern(i, bits), bits).unwrap();
+            }
+            let bytes = w.into_bytes();
+            let r = BitReader::new(&bytes);
+            let mut out = vec![0u64; N];
+            let mut first = 0;
+            while first < N {
+                let n = BLOCK.min(N - first);
+                r.unpack(first, bits, &mut out[first..first + n]).unwrap();
+                first += n;
+            }
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, r.get(i, bits).unwrap(), "width {bits} idx {i}");
+                assert_eq!(v, pattern(i, bits), "width {bits} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_wide_and_unaligned_take_the_generic_path() {
+        // Widths over 32 and runs that do not start on a byte boundary fall
+        // back to the generic kernel; results must still match `get`.
+        for bits in [33u8, 40, 63, 64] {
+            let mut w = BitWriter::new();
+            for i in 0..150 {
+                w.write(pattern(i, bits), bits).unwrap();
+            }
+            let bytes = w.into_bytes();
+            let r = BitReader::new(&bytes);
+            let mut out = vec![0u64; 150];
+            r.unpack(0, bits, &mut out).unwrap();
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, pattern(i, bits), "width {bits} idx {i}");
+            }
+        }
+        // Odd width, first index not block-aligned: starts mid-byte.
+        let mut w = BitWriter::new();
+        for i in 0..200 {
+            w.write(pattern(i, 5), 5).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let r = BitReader::new(&bytes);
+        let mut out = vec![0u64; 7];
+        r.unpack(3, 5, &mut out).unwrap();
+        for (k, &v) in out.iter().enumerate() {
+            assert_eq!(v, pattern(3 + k, 5));
+        }
+    }
+
+    #[test]
+    fn unpack_empty_and_bounds() {
+        let mut w = BitWriter::new();
+        for i in 0..BLOCK {
+            w.write(pattern(i, 9), 9).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let r = BitReader::new(&bytes);
+        let mut none: [u64; 0] = [];
+        r.unpack(0, 9, &mut none).unwrap(); // empty run is a no-op
+        let mut out = vec![0u64; BLOCK];
+        r.unpack(0, 9, &mut out).unwrap();
+        // One value past the end must fail the hoisted bounds check.
+        let mut over = vec![0u64; BLOCK + 1];
+        assert!(r.unpack(0, 9, &mut over).is_err());
+        assert!(r.unpack(1, 9, &mut out).is_err());
+        // Invalid widths rejected up front.
+        assert!(r.unpack(0, 0, &mut out).is_err());
+        assert!(r.unpack(0, 65, &mut out).is_err());
     }
 }

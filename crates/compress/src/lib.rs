@@ -16,6 +16,6 @@ pub mod codec;
 pub mod dict;
 
 pub use advisor::{choose_codec, AdvisorGoal};
-pub use bits::{bits_for, BitReader, BitWriter};
+pub use bits::{bits_for, BitReader, BitWriter, BLOCK};
 pub use codec::{Codec, CodecKind, ColumnCompression, EncodedValues, PageValues, SeqValues};
 pub use dict::Dictionary;

@@ -214,6 +214,15 @@ impl QueryBuilder {
         self
     }
 
+    /// Toggle the vectorized scan fast path: block decode kernels,
+    /// predicate evaluation on compressed codes, and zone-map page skipping.
+    /// Off by default — the paper's scalar engine is the reference; results
+    /// are bit-identical either way.
+    pub fn scan_fast_path(mut self, on: bool) -> Self {
+        self.sys.scan_fast_path = on;
+        self
+    }
+
     fn context(&self) -> Result<ExecContext> {
         let scale = match self.virtual_rows {
             Some(v) if self.table.row_count > 0 => {

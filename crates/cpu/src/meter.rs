@@ -129,6 +129,24 @@ impl CpuMeter {
         self.counters.uops += n * self.costs.decode(kind);
     }
 
+    /// Decoded `n` stored codes through the block kernels (fast path).
+    pub fn decode_block(&mut self, kind: CodecKind, n: f64) {
+        self.counters.uops += n * self.costs.block_decode(kind);
+    }
+
+    /// Evaluated a predicate on `n` values inside a vectorized loop (fast
+    /// path). Branchless — compare results are appended to a selection
+    /// vector, so no misprediction exposure is charged.
+    pub fn vec_predicate(&mut self, n: f64) {
+        self.counters.uops += n * self.costs.vec_predicate;
+    }
+
+    /// Gathered `n` surviving values out of decoded blocks via a selection
+    /// vector (fast path).
+    pub fn selvec_gather(&mut self, n: f64) {
+        self.counters.uops += n * self.costs.selvec_gather;
+    }
+
     /// Updated `n` aggregate accumulators.
     pub fn agg_update(&mut self, n: f64) {
         self.counters.uops += n * self.costs.agg_update;

@@ -1,0 +1,273 @@
+//! Predicate evaluation on compressed data (the fast scan path).
+//!
+//! The codecs of §2.2.1 are all order-preserving except Dictionary: a
+//! BitPack code *is* the value, and a FOR code is `value - base` with a
+//! per-page base — so `value ⟨op⟩ literal` can be evaluated directly on the
+//! stored codes by comparing against a rewritten literal, without decoding.
+//! Dictionary codes are assigned in first-seen order (NOT value order), so a
+//! dictionary predicate becomes a per-code truth bitmap built by evaluating
+//! the predicate once per dictionary entry.
+//!
+//! Two page-level rewrite outcomes short-circuit entirely:
+//! * the literal falls below every representable code → the predicate is
+//!   constant over the page ([`CodePred::Const`]);
+//! * a zone map proves no value in the page can qualify
+//!   ([`zone_rejects`]) → the page is skipped without being read.
+
+use rodb_compress::{Codec, ColumnCompression};
+use rodb_types::Value;
+
+use crate::predicate::{CmpOp, Predicate};
+
+/// A predicate rewritten against one page's compression metadata, evaluable
+/// on raw stored codes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodePred {
+    /// The predicate has the same outcome for every code in the page.
+    Const(bool),
+    /// Compare the stored code against a code-space literal. Valid only for
+    /// order-preserving codecs (BitPack, FOR).
+    Cmp { op: CmpOp, code: u64 },
+    /// Per-code truth table (Dictionary: codes are first-seen order, so
+    /// ranges don't map to code ranges — but the domain is small).
+    Bitmap(Vec<bool>),
+}
+
+impl CodePred {
+    /// Evaluate on one stored code.
+    #[inline]
+    pub fn eval(&self, code: u64) -> bool {
+        match self {
+            CodePred::Const(b) => *b,
+            CodePred::Cmp { op, code: lit } => op.holds(code.cmp(lit)),
+            CodePred::Bitmap(map) => map.get(code as usize).copied().unwrap_or(false),
+        }
+    }
+}
+
+/// The predicate literal as an `i64`, when it is numeric.
+fn literal_i64(p: &Predicate) -> Option<i64> {
+    match &p.literal {
+        Value::Int(v) => Some(*v as i64),
+        Value::Long(v) => Some(*v),
+        Value::Text(_) => None,
+    }
+}
+
+/// Rewrite `pred` against a page of codec `comp` with page base `base`
+/// (FOR's per-page minimum; ignored by other codecs). `None` means the
+/// predicate cannot be evaluated in code space — fall back to decoding.
+pub fn rewrite(pred: &Predicate, comp: &ColumnCompression, base: i64) -> Option<CodePred> {
+    use std::cmp::Ordering;
+    match &comp.codec {
+        Codec::BitPack { bits } => {
+            let bits = *bits;
+            if bits >= 63 {
+                return None;
+            }
+            let lit = literal_i64(pred)?;
+            // BitPack stores non-negative ints verbatim in `bits` bits.
+            if lit < 0 {
+                // Every stored value exceeds the literal.
+                return Some(CodePred::Const(pred.op.holds(Ordering::Greater)));
+            }
+            if lit >= (1i64 << bits) {
+                // Every stored value falls below the literal.
+                return Some(CodePred::Const(pred.op.holds(Ordering::Less)));
+            }
+            Some(CodePred::Cmp {
+                op: pred.op,
+                code: lit as u64,
+            })
+        }
+        Codec::For { bits } => {
+            let bits = *bits;
+            if bits >= 63 {
+                return None;
+            }
+            let lit = literal_i64(pred)?;
+            // value = base + code, codes in [0, 2^bits); order-preserving.
+            let lit_code = lit.checked_sub(base)?;
+            if lit_code < 0 {
+                return Some(CodePred::Const(pred.op.holds(Ordering::Greater)));
+            }
+            if lit_code >= (1i64 << bits) {
+                return Some(CodePred::Const(pred.op.holds(Ordering::Less)));
+            }
+            Some(CodePred::Cmp {
+                op: pred.op,
+                code: lit_code as u64,
+            })
+        }
+        Codec::Dict { .. } => {
+            // First-seen code order: build a truth table over the (small)
+            // dictionary domain. Handles every operator and literal type the
+            // value-space path handles, because it *is* the value-space
+            // evaluation — done once per distinct value instead of per row.
+            let dict = comp.dict.as_ref()?;
+            let mut map = Vec::with_capacity(dict.len());
+            for code in 0..dict.len() as u32 {
+                map.push(pred.eval_value(dict.value_of(code).ok()?));
+            }
+            Some(CodePred::Bitmap(map))
+        }
+        // Raw values have no codes; FOR-delta codes depend on the running
+        // sum; TextPack is byte-level. All fall back to value space.
+        Codec::None | Codec::ForDelta { .. } | Codec::TextPack { .. } => None,
+    }
+}
+
+/// Rewrite a conjunction; `None` if any member resists code space.
+pub fn rewrite_all(
+    preds: &[Predicate],
+    comp: &ColumnCompression,
+    base: i64,
+) -> Option<Vec<CodePred>> {
+    preds.iter().map(|p| rewrite(p, comp, base)).collect()
+}
+
+/// True when the zone map `[min, max]` (inclusive) proves that **no** value
+/// in the page can satisfy the conjunction — the page may be skipped without
+/// reading it. Conservative: text literals and uncovered cases return false.
+pub fn zone_rejects(preds: &[Predicate], min: i64, max: i64) -> bool {
+    preds.iter().any(|p| {
+        let lit = match literal_i64(p) {
+            Some(l) => l,
+            None => return false,
+        };
+        match p.op {
+            CmpOp::Lt => min >= lit,
+            CmpOp::Le => min > lit,
+            CmpOp::Eq => lit < min || lit > max,
+            CmpOp::Ne => min == max && min == lit,
+            CmpOp::Ge => max < lit,
+            CmpOp::Gt => max <= lit,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodb_compress::Dictionary;
+    use rodb_types::DataType;
+    use std::sync::Arc;
+
+    fn all_ops() -> [CmpOp; 6] {
+        [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Ge,
+            CmpOp::Gt,
+        ]
+    }
+
+    #[test]
+    fn bitpack_rewrite_matches_value_space() {
+        let comp = ColumnCompression::new(Codec::BitPack { bits: 7 }, None).unwrap();
+        for op in all_ops() {
+            for lit in [-3i32, 0, 1, 64, 127, 128, 500] {
+                let p = Predicate::new(0, op, Value::Int(lit));
+                let cp = rewrite(&p, &comp, 0).expect("bitpack always rewrites");
+                for v in 0..128i32 {
+                    assert_eq!(
+                        cp.eval(v as u64),
+                        p.eval_int(v),
+                        "op {op:?} lit {lit} v {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_rewrite_matches_value_space() {
+        let comp = ColumnCompression::new(Codec::For { bits: 6 }, None).unwrap();
+        let base = -1000i64;
+        for op in all_ops() {
+            for lit in [-2000i32, -1001, -1000, -990, -937, -936, 0, 50] {
+                let p = Predicate::new(0, op, Value::Int(lit));
+                let cp = rewrite(&p, &comp, base).expect("FOR always rewrites");
+                for code in 0..64u64 {
+                    let v = (base + code as i64) as i32;
+                    assert_eq!(cp.eval(code), p.eval_int(v), "op {op:?} lit {lit} v {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dict_bitmap_handles_first_seen_order() {
+        // Codes are in first-seen order 30, 10, 20 — NOT value order.
+        let dict = Arc::new(
+            Dictionary::build(
+                DataType::Int,
+                [Value::Int(30), Value::Int(10), Value::Int(20)].iter(),
+            )
+            .unwrap(),
+        );
+        let comp = ColumnCompression::new(Codec::Dict { bits: 2 }, Some(dict)).unwrap();
+        for op in all_ops() {
+            for lit in [5, 10, 15, 20, 25, 30, 35] {
+                let p = Predicate::new(0, op, Value::Int(lit));
+                let cp = rewrite(&p, &comp, 0).expect("dict always rewrites");
+                for (code, v) in [(0u64, 30), (1, 10), (2, 20)] {
+                    assert_eq!(cp.eval(code), p.eval_int(v), "op {op:?} lit {lit} v {v}");
+                }
+                // Out-of-range code (corrupt page) evaluates false, not panic.
+                assert!(!matches!(cp, CodePred::Bitmap(_)) || !cp.eval(3));
+            }
+        }
+    }
+
+    #[test]
+    fn unrewritable_codecs_fall_back() {
+        let p = Predicate::lt(0, 5);
+        for comp in [
+            ColumnCompression::none(),
+            ColumnCompression::new(Codec::ForDelta { bits: 4 }, None).unwrap(),
+        ] {
+            assert_eq!(rewrite(&p, &comp, 0), None);
+        }
+        // Text literal on a numeric codec.
+        let comp = ColumnCompression::new(Codec::BitPack { bits: 7 }, None).unwrap();
+        assert_eq!(rewrite(&Predicate::eq(0, "x"), &comp, 0), None);
+    }
+
+    #[test]
+    fn zone_rejection_is_exact_on_boundaries() {
+        // Page zone [10, 20].
+        let z = |p: Predicate| zone_rejects(&[p], 10, 20);
+        assert!(z(Predicate::lt(0, 10)));
+        assert!(!z(Predicate::lt(0, 11)));
+        assert!(z(Predicate::le(0, 9)));
+        assert!(!z(Predicate::le(0, 10)));
+        assert!(z(Predicate::gt(0, 20)));
+        assert!(!z(Predicate::gt(0, 19)));
+        assert!(z(Predicate::ge(0, 21)));
+        assert!(!z(Predicate::ge(0, 20)));
+        assert!(z(Predicate::eq(0, 9)));
+        assert!(z(Predicate::eq(0, 21)));
+        assert!(!z(Predicate::eq(0, 10)));
+        assert!(!z(Predicate::eq(0, 20)));
+        // Ne only rejects a constant page equal to the literal.
+        assert!(!z(Predicate::new(0, CmpOp::Ne, Value::Int(15))));
+        assert!(zone_rejects(
+            &[Predicate::new(0, CmpOp::Ne, Value::Int(7))],
+            7,
+            7
+        ));
+        // The min == literal == max boundary: Eq must NOT skip.
+        assert!(!zone_rejects(&[Predicate::eq(0, 7)], 7, 7));
+        // Any rejecting conjunct rejects the page.
+        assert!(zone_rejects(
+            &[Predicate::gt(0, 0), Predicate::lt(0, 10)],
+            10,
+            20
+        ));
+        // Text predicates never reject.
+        assert!(!zone_rejects(&[Predicate::eq(0, "zz")], 10, 20));
+    }
+}

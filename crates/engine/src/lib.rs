@@ -7,6 +7,7 @@
 
 pub mod agg;
 pub mod block;
+pub mod codepred;
 pub mod exec;
 pub mod join;
 pub mod op;
@@ -21,6 +22,7 @@ pub mod sort;
 
 pub use agg::{merge_partials, AggFunc, AggPartial, AggSpec, AggStrategy, Aggregate};
 pub use block::TupleBlock;
+pub use codepred::{rewrite, rewrite_all, zone_rejects, CodePred};
 pub use exec::{run_to_completion, RunReport};
 pub use join::MergeJoin;
 pub use op::{ExecContext, Operator};

@@ -19,7 +19,7 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn holds(self, ord: std::cmp::Ordering) -> bool {
+    pub(crate) fn holds(self, ord: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
         match self {
             CmpOp::Lt => ord == Less,

@@ -21,12 +21,13 @@
 
 use std::sync::Arc;
 
-use rodb_compress::ColumnCompression;
+use rodb_compress::{Codec, ColumnCompression};
 use rodb_io::{FileStream, PageRef};
-use rodb_storage::{ColumnPage, Table};
+use rodb_storage::{ColumnPage, ColumnStorage, Table};
 use rodb_types::{DataType, Error, Result, Schema};
 
 use crate::block::TupleBlock;
+use crate::codepred::{rewrite_all, zone_rejects};
 use crate::op::{ExecContext, Operator};
 use crate::predicate::Predicate;
 
@@ -51,16 +52,29 @@ struct ColNode {
     preds: Vec<Predicate>,
     /// Offset of this column in the output schema, if projected.
     out_col: Option<usize>,
+    /// Storage handle for zone-map trailer peeks (catalog-resident metadata).
+    storage: ColumnStorage,
     stream: FileStream,
     page: Option<PageRef>,
     page_first_row: u64,
     page_count: usize,
-    /// Whole-page decode cache for non-random-access codecs (FOR-delta must
-    /// decode every prior code anyway, so we materialize the page once).
+    /// Whole-page decode cache: filled for non-random-access codecs
+    /// (FOR-delta must decode every prior code anyway) and, on the fast
+    /// path, for any int column — block kernels make eager whole-page
+    /// decode cheaper than per-position scalar `get()`.
     decoded: Vec<i32>,
+    /// True when `decoded` serves reads for the current page.
+    page_cached: bool,
+    /// Vectorized fast path enabled ([`rodb_types::SystemConfig`]
+    /// `scan_fast_path`).
+    fast: bool,
     file_bytes: f64,
     // --- accumulated accounting, flushed in finish() ---
     values_decoded: u64,
+    blocks_decoded: u64,
+    vec_pred_evals: u64,
+    gathered: u64,
+    pages_skipped_z: u64,
     positions_seen: u64,
     pred_evals: u64,
     pred_passes: u64,
@@ -68,6 +82,11 @@ struct ColNode {
 }
 
 impl ColNode {
+    /// Whether this node eagerly materializes whole pages into `decoded`.
+    fn eager(&self) -> bool {
+        !self.comp.codec.random_access() || (self.fast && self.dtype == DataType::Int)
+    }
+
     /// Make `pos` addressable: advance the stream to the page containing it.
     fn advance_to(&mut self, pos: u64) -> Result<()> {
         loop {
@@ -85,15 +104,34 @@ impl ColNode {
                         self.page_first_row = next_first;
                     }
                     self.page_count = count;
+                    self.page_cached = false;
+                    let is_target = pos < self.page_first_row + count as u64;
                     if !self.comp.codec.random_access() {
-                        // FOR-delta: sequential decode of the entire page.
+                        // FOR-delta: sequential decode of the entire page —
+                        // even pages we only pass through (Figure 9's CPU
+                        // effect). The fast path does the same work through
+                        // the block kernels.
                         self.decoded.clear();
                         let pv = page.values(&self.comp);
-                        let mut cur = pv.cursor();
-                        for _ in 0..count {
-                            self.decoded.push(cur.next_int()?);
+                        if self.fast {
+                            pv.decode_ints_into(&mut self.decoded)?;
+                            self.blocks_decoded += count as u64;
+                        } else {
+                            let mut cur = pv.cursor();
+                            for _ in 0..count {
+                                self.decoded.push(cur.next_int()?);
+                            }
+                            self.values_decoded += count as u64;
                         }
-                        self.values_decoded += count as u64;
+                        self.page_cached = true;
+                    } else if self.eager() && is_target {
+                        // Fast path: block-decode the whole target page once;
+                        // per-position reads become array lookups. Pages only
+                        // streamed past are not decoded.
+                        let pv = page.values(&self.comp);
+                        pv.decode_ints_into(&mut self.decoded)?;
+                        self.blocks_decoded += count as u64;
+                        self.page_cached = true;
                     }
                     self.page = Some(p);
                 }
@@ -111,8 +149,11 @@ impl ColNode {
     fn read_raw(&mut self, pos: u64, out: &mut Vec<u8>) -> Result<()> {
         self.advance_to(pos)?;
         let slot = (pos - self.page_first_row) as usize;
-        if !self.comp.codec.random_access() {
+        if self.page_cached {
             out.extend_from_slice(&self.decoded[slot].to_le_bytes());
+            if self.eager() && self.comp.codec.random_access() {
+                self.gathered += 1;
+            }
         } else {
             let pref = self.page.as_ref().expect("advance_to ensures page");
             let page = ColumnPage::new(pref.bytes(), self.dtype)?;
@@ -250,13 +291,20 @@ impl ColumnScanner {
                     .cloned()
                     .collect(),
                 out_col: projection.iter().position(|&c| c == col),
+                storage: storage.clone(),
                 stream,
                 page: None,
                 page_first_row: first_page as u64 * vpp,
                 page_count: 0,
                 decoded: Vec::new(),
+                page_cached: false,
+                fast: ctx.sys.scan_fast_path,
                 file_bytes: ((end_page - first_page) * storage.page_size) as f64,
                 values_decoded: 0,
+                blocks_decoded: 0,
+                vec_pred_evals: 0,
+                gathered: 0,
+                pages_skipped_z: 0,
                 positions_seen: 0,
                 pred_evals: 0,
                 pred_passes: 0,
@@ -296,6 +344,28 @@ impl ColumnScanner {
     /// qualifying {position, value} pairs to `pending`. Returns false at EOF.
     fn node0_fill(&mut self) -> Result<bool> {
         let node = &mut self.nodes[0];
+
+        // Zone-map page skipping (fast path): the page trailer's min/max can
+        // prove no value qualifies — skip the page without transferring it.
+        if node.fast && !node.preds.is_empty() {
+            let vpp = node.storage.values_per_page.max(1) as u64;
+            loop {
+                if node.stream.remaining() == 0 {
+                    break;
+                }
+                match node.storage.zone_of(node.stream.peek_index()) {
+                    Some((zmin, zmax)) if zone_rejects(&node.preds, zmin, zmax) => {
+                        node.stream.skip_pages_zoned(1);
+                        node.pages_skipped_z += 1;
+                        // Full-page capacity; a short last page overshoots
+                        // harmlessly past the range end.
+                        self.node0_next_row += vpp;
+                    }
+                    _ => break,
+                }
+            }
+        }
+
         let pref = match node.stream.next_page() {
             Some(p) => p,
             None => return Ok(false),
@@ -303,8 +373,87 @@ impl ColumnScanner {
         let page = ColumnPage::new(pref.bytes(), node.dtype)?;
         let pv = page.values(&node.comp);
         let count = pv.count();
-        let mut cur = pv.cursor();
         let first_row = self.node0_next_row;
+
+        if node.fast && node.dtype == DataType::Int {
+            // Code-space evaluation: rewrite the predicates against this
+            // page's compression metadata and filter on raw codes, decoding
+            // only the survivors.
+            let code_preds = if node.preds.is_empty() {
+                None
+            } else {
+                rewrite_all(&node.preds, &node.comp, pv.base())
+            };
+            if let Some(cps) = code_preds {
+                let base = pv.base();
+                let dict_table = match &node.comp.codec {
+                    Codec::Dict { .. } => Some(pv.dict_int_table()?),
+                    _ => None,
+                };
+                let mut block = [0u64; 128];
+                let mut slot = 0usize;
+                while slot < count {
+                    let n = 128.min(count - slot);
+                    pv.codes_block(slot, &mut block[..n])?;
+                    for (k, &code) in block[..n].iter().enumerate() {
+                        let pos = first_row + (slot + k) as u64;
+                        if pos < self.range.0 || pos >= self.range.1 {
+                            continue;
+                        }
+                        if !cps.iter().all(|cp| cp.eval(code)) {
+                            continue;
+                        }
+                        let v: i32 = match (&node.comp.codec, &dict_table) {
+                            (Codec::For { .. }, _) => (base + code as i64) as i32,
+                            (Codec::Dict { .. }, Some(t)) => {
+                                *t.get(code as usize).ok_or_else(|| {
+                                    Error::Corrupt(format!(
+                                        "dict code {code} out of table (col {})",
+                                        node.col
+                                    ))
+                                })?
+                            }
+                            // BitPack stores non-negative ints verbatim.
+                            _ => code as i32,
+                        };
+                        node.positions_seen += 1;
+                        node.gathered += 1;
+                        self.pending.positions.push(pos);
+                        self.pending.values.extend_from_slice(&v.to_le_bytes());
+                    }
+                    slot += n;
+                }
+                node.blocks_decoded += count as u64;
+                node.vec_pred_evals += (count * node.preds.len()) as u64;
+                self.node0_next_row += count as u64;
+                return Ok(true);
+            }
+
+            // Value-space vectorized fallback (raw / FOR-delta / text-literal
+            // predicates): block-decode the page, then a branchless filter
+            // over the decoded ints.
+            node.decoded.clear();
+            pv.decode_ints_into(&mut node.decoded)?;
+            node.blocks_decoded += count as u64;
+            node.vec_pred_evals += (count * node.preds.len()) as u64;
+            for slot in 0..count {
+                let v = node.decoded[slot];
+                let pos = first_row + slot as u64;
+                if pos < self.range.0 || pos >= self.range.1 {
+                    continue;
+                }
+                if node.preds.iter().all(|p| p.eval_int(v)) {
+                    node.positions_seen += 1;
+                    node.gathered += 1;
+                    self.pending.positions.push(pos);
+                    self.pending.values.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            self.node0_next_row += count as u64;
+            return Ok(true);
+        }
+
+        let mut cur = pv.cursor();
         self.scratch.clear();
         for slot in 0..count {
             self.scratch.clear();
@@ -347,27 +496,35 @@ impl ColumnScanner {
         let mut meter = self.ctx.meter.borrow_mut();
         for (ni, node) in self.nodes.iter_mut().enumerate() {
             node.drain();
-            // CPU: decode + loop + predicates + position handling.
+            // CPU: decode + loop + predicates + position handling. Scalar and
+            // block-kernel work are metered at their own rates.
             meter.decode(node.comp.codec.kind(), node.values_decoded as f64);
+            meter.decode_block(node.comp.codec.kind(), node.blocks_decoded as f64);
             meter.col_iter(node.values_decoded.max(node.positions_seen) as f64);
             if !node.preds.is_empty() {
                 meter.predicate(node.pred_evals as f64, node.pred_passes as f64);
+                meter.vec_predicate(node.vec_pred_evals as f64);
             }
+            meter.selvec_gather(node.gathered as f64);
             meter.position_pairs(node.positions_seen as f64);
             meter.project(
                 node.values_written as f64,
                 1.0,
                 node.values_written as f64 * node.width as f64,
             );
-            // Memory: node 0 streams its whole file; driven nodes stream or
+            // Memory: node 0 streams its whole file (minus zone-skipped
+            // pages, which were never transferred); driven nodes stream or
             // miss depending on how densely they touched it. FOR-delta nodes
-            // touched everything (values_decoded = all codes).
+            // touched everything (they decode all codes).
+            let file_bytes =
+                node.file_bytes - (node.pages_skipped_z as usize * node.storage.page_size) as f64;
+            let decoded_all = (node.values_decoded + node.blocks_decoded) as f64;
             let touched = if ni == 0 {
-                node.values_decoded as f64
+                decoded_all
             } else {
-                node.values_decoded.max(node.positions_seen) as f64
+                decoded_all.max(node.positions_seen as f64)
             };
-            meter.memory_access(&hw, node.file_bytes, touched, node.width as f64);
+            meter.memory_access(&hw, file_bytes.max(0.0), touched, node.width as f64);
         }
     }
 }
@@ -472,6 +629,7 @@ impl Operator for ColumnScanner {
 mod tests {
     use super::*;
     use crate::op::collect_rows;
+    use crate::predicate::CmpOp;
     use crate::scan_row::RowScanner;
     use rodb_compress::Codec;
     use rodb_storage::{BuildLayouts, TableBuilder};
@@ -715,6 +873,233 @@ mod tests {
         .unwrap();
         assert!(cs.next().unwrap().is_none());
         assert!(cs.next().unwrap().is_none());
+    }
+
+    fn fast_ctx() -> ExecContext {
+        ExecContext::new(
+            rodb_types::HardwareConfig::default(),
+            rodb_types::SystemConfig::default().with_scan_fast_path(true),
+            1.0,
+        )
+        .unwrap()
+    }
+
+    /// A table with a sorted FOR column (zone-map friendly), a small-domain
+    /// dict-style bit-packed column, and a raw column.
+    fn zoned_table(n: usize) -> Arc<Table> {
+        let s = Arc::new(
+            Schema::new(vec![
+                Column::int("sorted"),
+                Column::int("val"),
+                Column::int("raw"),
+            ])
+            .unwrap(),
+        );
+        let comps = vec![
+            ColumnCompression::new(Codec::For { bits: 20 }, None).unwrap(),
+            ColumnCompression::new(Codec::BitPack { bits: 7 }, None).unwrap(),
+            ColumnCompression::none(),
+        ];
+        let mut b =
+            TableBuilder::with_compression("zt", s, 4096, BuildLayouts::column_only(), comps)
+                .unwrap();
+        for i in 0..n {
+            b.push_row(&[
+                Value::Int(1000 + i as i32),
+                Value::Int((i % 100) as i32),
+                Value::Int((i as i32) - 50),
+            ])
+            .unwrap();
+        }
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn fast_path_matches_slow_path_results() {
+        for t in [table(3000), compressed_table(5000), zoned_table(4000)] {
+            let ncols = t.schema.len();
+            let pred_sets: Vec<Vec<Predicate>> = if ncols == 4 {
+                vec![
+                    vec![],
+                    vec![Predicate::lt(1, 10)],
+                    vec![Predicate::lt(1, 50), Predicate::eq(2, "aa")],
+                ]
+            } else if ncols == 3 {
+                vec![
+                    vec![],
+                    vec![Predicate::lt(0, 1200)],
+                    vec![Predicate::ge(0, 4600), Predicate::lt(1, 30)],
+                    vec![Predicate::eq(1, 7)],
+                    vec![Predicate::gt(2, 3800)],
+                ]
+            } else {
+                vec![vec![Predicate::lt(1, 5)], vec![Predicate::eq(0, 4321)]]
+            };
+            for preds in pred_sets {
+                let proj: Vec<usize> = (0..ncols).collect();
+                let slow_ctx = ExecContext::default_ctx();
+                let mut slow = ColumnScanner::new(
+                    t.clone(),
+                    proj.clone(),
+                    preds.clone(),
+                    ColumnScanMode::Pipelined,
+                    &slow_ctx,
+                )
+                .unwrap();
+                let slow_rows = collect_rows(&mut slow).unwrap();
+                let fctx = fast_ctx();
+                let mut fast = ColumnScanner::new(
+                    t.clone(),
+                    proj.clone(),
+                    preds.clone(),
+                    ColumnScanMode::Pipelined,
+                    &fctx,
+                )
+                .unwrap();
+                let fast_rows = collect_rows(&mut fast).unwrap();
+                assert_eq!(fast_rows, slow_rows, "preds {preds:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_reduces_modeled_cpu() {
+        let t = zoned_table(20000);
+        let run = |fast: bool| {
+            let ctx = if fast {
+                fast_ctx()
+            } else {
+                ExecContext::default_ctx()
+            };
+            let mut cs = ColumnScanner::new(
+                t.clone(),
+                vec![1, 2],
+                vec![Predicate::lt(1, 1)], // 1% selectivity
+                ColumnScanMode::Pipelined,
+                &ctx,
+            )
+            .unwrap();
+            let rows = collect_rows(&mut cs).unwrap();
+            ctx.settle_io_kernel_work();
+            let uops = ctx.meter.borrow().counters().uops;
+            (rows.len(), uops)
+        };
+        let (n_slow, uops_slow) = run(false);
+        let (n_fast, uops_fast) = run(true);
+        assert_eq!(n_slow, n_fast);
+        assert!(
+            uops_fast * 2.0 <= uops_slow,
+            "fast {uops_fast} vs slow {uops_slow}: expected >=2x reduction"
+        );
+    }
+
+    #[test]
+    fn zone_maps_skip_pages_on_sorted_column() {
+        let t = zoned_table(20000);
+        // sorted in [1000, 21000); select a narrow band near the top.
+        let ctx = fast_ctx();
+        let mut cs = ColumnScanner::new(
+            t.clone(),
+            vec![0],
+            vec![Predicate::ge(0, 20600)],
+            ColumnScanMode::Pipelined,
+            &ctx,
+        )
+        .unwrap();
+        let rows = collect_rows(&mut cs).unwrap();
+        assert_eq!(rows.len(), 400);
+        let disk = ctx.disk.borrow();
+        let stats = disk.stats();
+        let pages = t.col_storage().unwrap().columns[0].pages as u64;
+        assert!(
+            stats.pages_skipped * 10 >= pages * 9,
+            "skipped {} of {} pages",
+            stats.pages_skipped,
+            pages
+        );
+        let fast_bytes = stats.bytes_read;
+        drop(disk);
+
+        // The scalar path reads every page.
+        let ctx2 = ExecContext::default_ctx();
+        let mut cs2 = ColumnScanner::new(
+            t.clone(),
+            vec![0],
+            vec![Predicate::ge(0, 20600)],
+            ColumnScanMode::Pipelined,
+            &ctx2,
+        )
+        .unwrap();
+        assert_eq!(collect_rows(&mut cs2).unwrap().len(), 400);
+        assert_eq!(ctx2.disk.borrow().stats().pages_skipped, 0);
+        assert!(ctx2.disk.borrow().stats().bytes_read > fast_bytes);
+    }
+
+    #[test]
+    fn zone_boundary_equal_page_is_not_skipped() {
+        // A constant column: every page zone is [min, max] with min == max.
+        let s = Arc::new(Schema::new(vec![Column::int("c"), Column::int("id")]).unwrap());
+        let comps = vec![
+            ColumnCompression::new(Codec::For { bits: 1 }, None).unwrap(),
+            ColumnCompression::none(),
+        ];
+        let mut b =
+            TableBuilder::with_compression("ct", s, 4096, BuildLayouts::column_only(), comps)
+                .unwrap();
+        for i in 0..5000 {
+            b.push_row(&[Value::Int(42), Value::Int(i)]).unwrap();
+        }
+        let t = Arc::new(b.finish().unwrap());
+        let ctx = fast_ctx();
+        // min == literal == max: Eq must not skip — every row matches.
+        let mut cs = ColumnScanner::new(
+            t.clone(),
+            vec![1],
+            vec![Predicate::eq(0, 42)],
+            ColumnScanMode::Pipelined,
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(collect_rows(&mut cs).unwrap().len(), 5000);
+        assert_eq!(ctx.disk.borrow().stats().pages_skipped, 0);
+        // Ne on the constant value skips every data page.
+        let ctx2 = fast_ctx();
+        let mut cs2 = ColumnScanner::new(
+            t,
+            vec![1],
+            vec![Predicate::new(0, CmpOp::Ne, Value::Int(42))],
+            ColumnScanMode::Pipelined,
+            &ctx2,
+        )
+        .unwrap();
+        assert!(collect_rows(&mut cs2).unwrap().is_empty());
+        assert!(ctx2.disk.borrow().stats().pages_skipped > 0);
+    }
+
+    #[test]
+    fn fast_path_matches_on_morsel_ranges() {
+        let t = zoned_table(7000);
+        let preds = vec![Predicate::ge(0, 3000), Predicate::lt(1, 40)];
+        for range in [(0u64, 7000u64), (1000, 2500), (2500, 7000), (6900, 7000)] {
+            let run = |fast: bool| {
+                let ctx = if fast {
+                    fast_ctx()
+                } else {
+                    ExecContext::default_ctx()
+                };
+                let mut cs = ColumnScanner::new_range(
+                    t.clone(),
+                    vec![0, 1, 2],
+                    preds.clone(),
+                    ColumnScanMode::Pipelined,
+                    &ctx,
+                    Some(range),
+                )
+                .unwrap();
+                collect_rows(&mut cs).unwrap()
+            };
+            assert_eq!(run(true), run(false), "range {range:?}");
+        }
     }
 
     #[test]

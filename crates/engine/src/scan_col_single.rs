@@ -35,14 +35,29 @@ struct ColCursor {
     /// All values of the current page, decoded eagerly (raw full-width bytes,
     /// strided by `width`).
     decoded: Vec<u8>,
+    /// Fast path: int scratch for the block-decode kernels.
+    ints: Vec<i32>,
+    /// Fast path: per-slot predicate verdict for the current page, computed
+    /// in one vectorized pass at page load.
+    pass_map: Vec<bool>,
+    /// Vectorized fast path enabled (`scan_fast_path`).
+    fast: bool,
     file_bytes: f64,
     values_decoded: u64,
+    blocks_decoded: u64,
+    vec_pred_evals: u64,
     pred_evals: u64,
     pred_passes: u64,
     values_written: u64,
 }
 
 impl ColCursor {
+    /// Whether predicate verdicts come from the page-load `pass_map`.
+    #[inline]
+    fn vectorized(&self) -> bool {
+        self.fast && self.dtype == DataType::Int && !self.preds.is_empty()
+    }
+
     fn load_page_for(&mut self, pos: u64) -> Result<()> {
         loop {
             if self.page.is_some() && pos < self.page_first_row + self.page_count as u64 {
@@ -58,11 +73,30 @@ impl ColCursor {
             self.decoded.clear();
             self.decoded.reserve(count * self.width);
             let pv = page.values(&self.comp);
-            let mut cur = pv.cursor();
-            for _ in 0..count {
-                cur.next_raw(&mut self.decoded)?;
+            if self.fast && self.dtype == DataType::Int {
+                // Block-kernel decode plus one vectorized predicate pass.
+                pv.decode_ints_into(&mut self.ints)?;
+                for v in &self.ints {
+                    self.decoded.extend_from_slice(&v.to_le_bytes());
+                }
+                self.blocks_decoded += count as u64;
+                if !self.preds.is_empty() {
+                    self.pass_map.clear();
+                    let preds = &self.preds;
+                    self.pass_map.extend(
+                        self.ints
+                            .iter()
+                            .map(|&v| preds.iter().all(|p| p.eval_int(v))),
+                    );
+                    self.vec_pred_evals += (count * self.preds.len()) as u64;
+                }
+            } else {
+                let mut cur = pv.cursor();
+                for _ in 0..count {
+                    cur.next_raw(&mut self.decoded)?;
+                }
+                self.values_decoded += count as u64;
             }
-            self.values_decoded += count as u64;
             if self.page.is_some() {
                 self.page_first_row = next_first;
             }
@@ -140,8 +174,13 @@ impl SingleIteratorColumnScanner {
                 page_first_row: 0,
                 page_count: 0,
                 decoded: Vec::new(),
+                ints: Vec::new(),
+                pass_map: Vec::new(),
+                fast: ctx.sys.scan_fast_path,
                 file_bytes: storage.byte_len() as f64,
                 values_decoded: 0,
+                blocks_decoded: 0,
+                vec_pred_evals: 0,
                 pred_evals: 0,
                 pred_passes: 0,
                 values_written: 0,
@@ -170,10 +209,13 @@ impl SingleIteratorColumnScanner {
         let mut meter = self.ctx.meter.borrow_mut();
         for c in &mut self.cursors {
             while c.stream.next_page().is_some() {}
+            let decoded_all = (c.values_decoded + c.blocks_decoded) as f64;
             meter.decode(c.comp.codec.kind(), c.values_decoded as f64);
-            meter.col_iter(c.values_decoded as f64);
+            meter.decode_block(c.comp.codec.kind(), c.blocks_decoded as f64);
+            meter.col_iter(decoded_all);
             if !c.preds.is_empty() {
                 meter.predicate(c.pred_evals as f64, c.pred_passes as f64);
+                meter.vec_predicate(c.vec_pred_evals as f64);
             }
             meter.project(
                 c.values_written as f64,
@@ -181,7 +223,7 @@ impl SingleIteratorColumnScanner {
                 c.values_written as f64 * c.width as f64,
             );
             // Everything is touched: dense sequential streaming of each file.
-            meter.memory_access(&hw, c.file_bytes, c.values_decoded as f64, c.width as f64);
+            meter.memory_access(&hw, c.file_bytes, decoded_all, c.width as f64);
         }
     }
 }
@@ -205,13 +247,19 @@ impl Operator for SingleIteratorColumnScanner {
             for c in self.cursors.iter_mut() {
                 c.load_page_for(pos)?;
                 if pass {
-                    for p in &c.preds {
-                        c.pred_evals += 1;
-                        if p.eval_raw(c.dtype, c.raw_at(pos)) {
-                            c.pred_passes += 1;
-                        } else {
-                            pass = false;
-                            break;
+                    if c.vectorized() {
+                        // Verdict was computed in the page-load block pass.
+                        let slot = (pos - c.page_first_row) as usize;
+                        pass = c.pass_map[slot];
+                    } else {
+                        for p in &c.preds {
+                            c.pred_evals += 1;
+                            if p.eval_raw(c.dtype, c.raw_at(pos)) {
+                                c.pred_passes += 1;
+                            } else {
+                                pass = false;
+                                break;
+                            }
                         }
                     }
                 }
@@ -359,6 +407,39 @@ mod tests {
             u_single < u_pipe,
             "single {u_single} should undercut pipelined {u_pipe} at 100% selectivity"
         );
+    }
+
+    #[test]
+    fn fast_path_matches_and_cuts_decode_cpu() {
+        let t = table(4000);
+        for preds in [
+            vec![],
+            vec![Predicate::lt(1, 10)],
+            vec![Predicate::lt(1, 60), Predicate::eq(2, "cc")],
+        ] {
+            let ctx = ExecContext::default_ctx();
+            let mut slow =
+                SingleIteratorColumnScanner::new(t.clone(), vec![0, 1, 2], preds.clone(), &ctx)
+                    .unwrap();
+            let slow_rows = collect_rows(&mut slow).unwrap();
+            let fctx = ExecContext::new(
+                rodb_types::HardwareConfig::default(),
+                rodb_types::SystemConfig::default().with_scan_fast_path(true),
+                1.0,
+            )
+            .unwrap();
+            let mut fast =
+                SingleIteratorColumnScanner::new(t.clone(), vec![0, 1, 2], preds.clone(), &fctx)
+                    .unwrap();
+            let fast_rows = collect_rows(&mut fast).unwrap();
+            assert_eq!(fast_rows, slow_rows, "{preds:?}");
+            let u_slow = ctx.meter.borrow().counters().uops;
+            let u_fast = fctx.meter.borrow().counters().uops;
+            assert!(
+                u_fast < u_slow,
+                "fast {u_fast} should undercut slow {u_slow} ({preds:?})"
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use rodb_storage::{PackedRowPage, PaxPage, RowFormat, RowPage, Table};
 use rodb_types::{Error, Result, Schema};
 
 use crate::block::TupleBlock;
+use crate::codepred::{rewrite, CodePred};
 use crate::op::{ExecContext, Operator};
 use crate::predicate::Predicate;
 
@@ -203,6 +204,21 @@ impl RowScanner {
             }
             RowFormat::Packed { comps, .. } => {
                 let page = PackedRowPage::new(pref.bytes(), comps)?;
+                // Fast path: rewrite each predicate against this page's
+                // compression metadata; rewritten predicates are evaluated on
+                // the raw stored codes without decoding the field.
+                let code_preds: Vec<Option<CodePred>> = if self.ctx.sys.scan_fast_path {
+                    self.predicates
+                        .iter()
+                        .map(|p| {
+                            let base = page.base_of(comps, p.col).unwrap_or(0);
+                            rewrite(p, &comps[p.col], base)
+                        })
+                        .collect()
+                } else {
+                    vec![None; self.predicates.len()]
+                };
+                let mut vec_evals = vec![0u64; self.predicates.len()];
                 let mut cur = page.cursor(&schema, comps);
                 let delta_cols = comps
                     .iter()
@@ -220,6 +236,14 @@ impl RowScanner {
                     visited += 1;
                     let mut pass = true;
                     for (pi, pred) in self.predicates.iter().enumerate() {
+                        if let Some(cp) = &code_preds[pi] {
+                            vec_evals[pi] += 1;
+                            if !cp.eval(cur.field_code(pred.col)?) {
+                                pass = false;
+                                break;
+                            }
+                            continue;
+                        }
                         pred_evals[pi] += 1;
                         let dt = schema.dtype(pred.col);
                         scratch.clear();
@@ -241,12 +265,16 @@ impl RowScanner {
                     self.row_ordinal += 1;
                 }
                 self.scratch = scratch;
-                // Decompression CPU: predicate fields for every tuple, delta
-                // maintenance for every tuple, projected fields for
-                // qualifying tuples.
+                // Decompression CPU: predicate fields for every tuple (unless
+                // evaluated in code space), delta maintenance for every
+                // tuple, projected fields for qualifying tuples.
                 let mut meter = self.ctx.meter.borrow_mut();
-                for pred in &self.predicates {
-                    meter.decode(comps[pred.col].codec.kind(), visited as f64);
+                for (pi, pred) in self.predicates.iter().enumerate() {
+                    if code_preds[pi].is_some() {
+                        meter.vec_predicate(vec_evals[pi] as f64);
+                    } else {
+                        meter.decode(comps[pred.col].codec.kind(), visited as f64);
+                    }
                 }
                 meter.decode(CodecKind::ForDelta, (visited * delta_cols as u64) as f64);
                 for &c in &self.projection {
@@ -472,6 +500,50 @@ mod tests {
         let (packed_bytes, packed_uops) = run(&packed);
         assert!(packed_bytes < plain_bytes / 2.0);
         assert!(packed_uops > plain_uops); // decompression cost (§4.4)
+    }
+
+    #[test]
+    fn packed_fast_path_matches_and_cuts_cpu() {
+        let packed = packed_table(5000);
+        let fast_ctx = || {
+            ExecContext::new(
+                rodb_types::HardwareConfig::default(),
+                rodb_types::SystemConfig::default().with_scan_fast_path(true),
+                1.0,
+            )
+            .unwrap()
+        };
+        for preds in [
+            vec![Predicate::lt(1, 10)],
+            vec![Predicate::eq(2, "bb")],
+            vec![Predicate::ge(1, 97), Predicate::eq(2, "cc")],
+            vec![Predicate::eq(0, 1234)], // FOR-delta: not rewritable
+        ] {
+            let ctx = ExecContext::default_ctx();
+            let mut slow =
+                RowScanner::new(packed.clone(), vec![0, 1, 2], preds.clone(), &ctx).unwrap();
+            let slow_rows = collect_rows(&mut slow).unwrap();
+            let fctx = fast_ctx();
+            let mut fast =
+                RowScanner::new(packed.clone(), vec![0, 1, 2], preds.clone(), &fctx).unwrap();
+            let fast_rows = collect_rows(&mut fast).unwrap();
+            assert_eq!(fast_rows, slow_rows, "{preds:?}");
+        }
+        // A rewritable predicate skips its per-tuple decode + interpreted
+        // evaluation: modeled CPU must drop.
+        let run = |fast: bool| {
+            let ctx = if fast {
+                fast_ctx()
+            } else {
+                ExecContext::default_ctx()
+            };
+            let mut s =
+                RowScanner::new(packed.clone(), vec![1], vec![Predicate::lt(1, 1)], &ctx).unwrap();
+            while s.next().unwrap().is_some() {}
+            let uops = ctx.meter.borrow().counters().uops;
+            uops
+        };
+        assert!(run(true) < run(false));
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub struct CasePlan {
     pub aggs: Vec<AggSpec>,
     pub sorted_agg: bool,
     pub threads: usize,
+    /// Vectorized scan fast path (block decode + code-space predicates +
+    /// zone maps). Healthy-mode runs sweep both settings regardless; this
+    /// drawn value decides what fault-mode runs use.
+    pub scan_fast_path: bool,
     /// Per-column distribution tag, for failure reports.
     pub dist_tags: Vec<&'static str>,
 }
@@ -58,7 +62,7 @@ impl CasePlan {
             .collect();
         format!(
             "{} cols {:?} x {} rows, page {}, {:?}, codecs [{}], layout {:?}, proj {:?}, \
-             {} preds, group {:?}, {} aggs{}, {} threads",
+             {} preds, group {:?}, {} aggs{}, {} threads{}",
             self.schema.len(),
             self.dist_tags,
             self.rows.len(),
@@ -72,6 +76,11 @@ impl CasePlan {
             self.aggs.len(),
             if self.sorted_agg { " (sorted)" } else { "" },
             self.threads,
+            if self.scan_fast_path {
+                ", fast-path"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -311,6 +320,7 @@ pub fn generate(seed: u64) -> CasePlan {
         _ => ScanLayout::ColumnSingleIterator,
     };
     let threads = [1, 1, 2, 3, 4, 7][rng.below(6) as usize];
+    let scan_fast_path = rng.bool();
 
     // Transpose to row-major for the loader and the oracle.
     let rows: Vec<Vec<Value>> = (0..nrows)
@@ -331,6 +341,7 @@ pub fn generate(seed: u64) -> CasePlan {
         aggs,
         sorted_agg,
         threads,
+        scan_fast_path,
         dist_tags,
     }
 }

@@ -52,17 +52,19 @@ fn build_table(plan: &CasePlan) -> rodb_types::Result<Table> {
     b.finish()
 }
 
-/// Execute the plan through the engine with `threads` workers, optionally
-/// under 100 % fault injection.
+/// Execute the plan through the engine with `threads` workers and the given
+/// fast-path setting, optionally under 100 % fault injection.
 fn execute(
     plan: &CasePlan,
     table: Table,
     threads: usize,
+    fast: bool,
     faults: bool,
 ) -> rodb_types::Result<QueryResult> {
     let mut sys = SystemConfig {
         page_size: plan.page_size,
         threads,
+        scan_fast_path: fast,
         ..SystemConfig::default()
     };
     if faults {
@@ -130,30 +132,37 @@ pub fn run_case(seed: u64) -> Result<(), String> {
                 plan.describe()
             )
         })?;
+    // Four-mode sweep: {serial, parallel} × {scalar, fast path}. Every mode
+    // must produce bit-identical rows — the fast path is an execution
+    // strategy, never an answer change.
     for threads in thread_counts(&plan) {
-        let got = catching(|| execute(&plan, table.clone(), threads, false))
-            .map_err(|p| {
-                format!(
-                    "seed {seed}: engine panicked ({threads} threads): {p}\n  case: {}",
-                    plan.describe()
-                )
-            })?
-            .map_err(|e| {
-                format!(
-                    "seed {seed}: engine error ({threads} threads): {e:?}\n  case: {}",
-                    plan.describe()
-                )
-            })?;
-        if got.rows != want {
-            return Err(format!(
-                "seed {seed}: MISMATCH ({threads} threads): engine {} rows, oracle {} rows\n  \
-                 case: {}\n  engine: {:?}\n  oracle: {:?}",
-                got.rows.len(),
-                want.len(),
-                plan.describe(),
-                got.rows,
-                want,
-            ));
+        for fast in [false, true] {
+            let got = catching(|| execute(&plan, table.clone(), threads, fast, false))
+                .map_err(|p| {
+                    format!(
+                        "seed {seed}: engine panicked ({threads} threads, fast={fast}): {p}\n  \
+                         case: {}",
+                        plan.describe()
+                    )
+                })?
+                .map_err(|e| {
+                    format!(
+                        "seed {seed}: engine error ({threads} threads, fast={fast}): {e:?}\n  \
+                         case: {}",
+                        plan.describe()
+                    )
+                })?;
+            if got.rows != want {
+                return Err(format!(
+                    "seed {seed}: MISMATCH ({threads} threads, fast={fast}): engine {} rows, \
+                     oracle {} rows\n  case: {}\n  engine: {:?}\n  oracle: {:?}",
+                    got.rows.len(),
+                    want.len(),
+                    plan.describe(),
+                    got.rows,
+                    want,
+                ));
+            }
         }
     }
     Ok(())
@@ -161,22 +170,34 @@ pub fn run_case(seed: u64) -> Result<(), String> {
 
 /// Fault-mode case: with every page read corrupted, the engine must return
 /// `Err(Corrupt)` — no panic, no other error kind, no successful result.
+///
+/// One exception: the fast path's zone maps live in clean in-memory table
+/// metadata and can prove every driver page irrelevant, so no page is ever
+/// *parsed* — remaining bytes are only drained for I/O accounting, never
+/// decoded. That `Ok` is accepted only when the I/O stats confirm pages were
+/// zone-skipped and the rows still match the oracle (corrupt data that is
+/// actually decoded always fails its checksum).
 pub fn run_fault_case(seed: u64) -> Result<(), String> {
     let plan = gen::generate(seed);
     if plan.rows.is_empty() {
         // No pages, nothing to corrupt.
         return Ok(());
     }
+    let want = oracle::expected(&plan);
     let table = catching(|| build_table(&plan))
         .map_err(|p| format!("seed {seed}: build panicked: {p}"))?
         .map_err(|e| format!("seed {seed}: build failed: {e:?}"))?;
     for threads in thread_counts(&plan) {
-        let outcome = catching(|| execute(&plan, table.clone(), threads, true)).map_err(|p| {
-            format!(
-                "seed {seed}: PANIC under faults ({threads} threads): {p}\n  case: {}",
-                plan.describe()
-            )
-        })?;
+        // Fault mode honours the plan's drawn fast-path setting, so over the
+        // seed space both paths face corrupted pages.
+        let outcome =
+            catching(|| execute(&plan, table.clone(), threads, plan.scan_fast_path, true))
+                .map_err(|p| {
+                    format!(
+                        "seed {seed}: PANIC under faults ({threads} threads): {p}\n  case: {}",
+                        plan.describe()
+                    )
+                })?;
         match outcome {
             Err(Error::Corrupt(_)) => {}
             Err(other) => {
@@ -187,12 +208,16 @@ pub fn run_fault_case(seed: u64) -> Result<(), String> {
                 ));
             }
             Ok(res) => {
-                return Err(format!(
-                    "seed {seed}: fault-injected run returned {} rows without error \
-                     ({threads} threads)\n  case: {}",
-                    res.rows.len(),
-                    plan.describe()
-                ));
+                let zone_skipped = res.report.io.pages_skipped > 0;
+                if !(zone_skipped && res.rows == want) {
+                    return Err(format!(
+                        "seed {seed}: fault-injected run returned {} rows without error \
+                         ({threads} threads, skipped {} pages)\n  case: {}",
+                        res.rows.len(),
+                        res.report.io.pages_skipped,
+                        plan.describe()
+                    ));
+                }
             }
         }
     }

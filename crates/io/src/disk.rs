@@ -277,6 +277,12 @@ impl DiskArray {
         }
     }
 
+    /// Record `n` pages skipped via zone maps (no transfer was charged;
+    /// bookkeeping only, so benchmarks can report skip rates).
+    pub fn note_pages_skipped(&mut self, n: u64) {
+        self.stats.pages_skipped += n;
+    }
+
     /// Simulated seconds elapsed since construction.
     pub fn elapsed(&self) -> f64 {
         self.clock

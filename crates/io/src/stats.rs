@@ -20,6 +20,9 @@ pub struct IoStats {
     pub seek_s: f64,
     /// Seconds the disks spent serving competitors (their seeks + transfers).
     pub comp_s: f64,
+    /// Pages skipped without transfer because a zone map proved them
+    /// irrelevant (the fast scan path's page-skipping evidence).
+    pub pages_skipped: u64,
 }
 
 impl IoStats {
@@ -37,6 +40,7 @@ impl IoStats {
         self.transfer_s += other.transfer_s;
         self.seek_s += other.seek_s;
         self.comp_s += other.comp_s;
+        self.pages_skipped += other.pages_skipped;
     }
 }
 

@@ -147,6 +147,29 @@ impl FileStream {
         // read will pay the seek because the head no longer matches).
         self.fetched = self.fetched.max((self.next_page * self.page_size) as f64);
     }
+
+    /// Index of the page the next [`FileStream::next_page`] call would
+    /// return (== [`FileStream::pages`] at EOF). Scanners peek this to
+    /// consult zone maps before deciding whether to read or skip.
+    pub fn peek_index(&self) -> usize {
+        self.next_page
+    }
+
+    /// Skip `n` pages that a zone map proved free of qualifying values:
+    /// no transfer is charged (the burst covering them is never issued) and
+    /// the skip is recorded in the array's [`IoStats::pages_skipped`]
+    /// counter. The head reposition is paid by the next actual read, which
+    /// no longer continues a sequential run.
+    ///
+    /// [`IoStats::pages_skipped`]: crate::stats::IoStats
+    pub fn skip_pages_zoned(&mut self, n: usize) {
+        let before = self.next_page;
+        self.skip_pages(n);
+        let skipped = (self.next_page - before) as u64;
+        if skipped > 0 {
+            self.disk.borrow_mut().note_pages_skipped(skipped);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -246,5 +269,28 @@ mod tests {
         assert_eq!(p.page_index, 50);
         s.skip_pages(1000);
         assert!(s.next_page().is_none());
+    }
+
+    #[test]
+    fn zoned_skips_charge_no_transfer_and_are_counted() {
+        let d = disk(1); // burst = 128 KB = 32 pages
+        let f = file(100, 4096);
+        let mut s = FileStream::new(d.clone(), FileId(1), f, 4096).unwrap();
+        assert_eq!(s.peek_index(), 0);
+        s.skip_pages_zoned(40);
+        assert_eq!(s.peek_index(), 40);
+        let p = s.next_page().unwrap();
+        assert_eq!(p.page_index, 40);
+        // Pages 0..40 were never transferred: bytes cover the burst(s) that
+        // start at page 40, not the skipped prefix.
+        assert!(d.borrow().stats().bytes_read < (100 - 40) as f64 * 4096.0 + 0.5);
+        assert_eq!(d.borrow().stats().pages_skipped, 40);
+        // Skipping past EOF only counts real pages.
+        s.skip_pages_zoned(1_000);
+        assert_eq!(d.borrow().stats().pages_skipped, 99);
+        assert!(s.next_page().is_none());
+        // Clamped skip at EOF adds nothing.
+        s.skip_pages_zoned(1);
+        assert_eq!(d.borrow().stats().pages_skipped, 99);
     }
 }

@@ -16,7 +16,7 @@ pub mod wos;
 
 pub use catalog::Catalog;
 pub use loader::{BuildLayouts, TableBuilder};
-pub use page::{ColumnPage, ColumnPageBuilder, PageView, RowPage, RowPageBuilder};
+pub use page::{page_zone, ColumnPage, ColumnPageBuilder, PageView, RowPage, RowPageBuilder};
 pub use page_packed::{PackedRowPage, PackedRowPageBuilder};
 pub use page_pax::{PaxPage, PaxPageBuilder};
 pub use table::{ColStorage, ColumnStorage, Layout, Morsel, RowFormat, RowStorage, Table};

@@ -78,12 +78,43 @@ pub fn col_values_per_page(page_size: usize, bits: usize) -> usize {
 /// builder (row, packed row, PAX, column) must finish through here so the
 /// read side can verify unconditionally.
 pub(crate) fn write_trailer(page: &mut [u8], page_id: PageId, base: i64) {
+    write_trailer_zone(page, page_id, base, 0);
+}
+
+/// [`write_trailer`] with a zone map in the reserved word.
+///
+/// Integer column pages encode their value range as `[base, base + zone - 1]`
+/// — `base` is the page minimum and `zone` is `(max - min) + 1`. `zone == 0`
+/// means "no zone map" (row/PAX/packed/text pages, empty pages, and the
+/// degenerate full-`i32`-span page whose range does not fit the u32), which
+/// is also what every pre-zone page carries, so old and new trailers parse
+/// identically. The CRC is computed after the zone is written, so checksums
+/// cover it automatically.
+pub(crate) fn write_trailer_zone(page: &mut [u8], page_id: PageId, base: i64, zone: u32) {
     let n = page.len();
     page[n - 24..n - 16].copy_from_slice(&page_id.0.to_le_bytes());
     page[n - 16..n - 8].copy_from_slice(&base.to_le_bytes());
-    page[n - 8..n - 4].copy_from_slice(&0u32.to_le_bytes());
+    page[n - 8..n - 4].copy_from_slice(&zone.to_le_bytes());
     let crc = crc32(&page[..n - 4]);
     page[n - 4..n].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Parse the zone map out of a raw page's trailer without checksum
+/// verification (zone peeks model catalog-resident metadata — the scanner
+/// consults them *before* deciding to read the page, and a skipped page is
+/// never parsed). Returns `(min, max)` or `None` when the page carries no
+/// zone.
+pub fn page_zone(bytes: &[u8]) -> Option<(i64, i64)> {
+    let n = bytes.len();
+    if n < PAGE_HEADER + PAGE_TRAILER {
+        return None;
+    }
+    let zone = u32::from_le_bytes([bytes[n - 8], bytes[n - 7], bytes[n - 6], bytes[n - 5]]);
+    if zone == 0 {
+        return None;
+    }
+    let base = read_u64(&bytes[n - 16..n - 8]) as i64;
+    Some((base, base + (zone - 1) as i64))
 }
 
 fn read_u64(b: &[u8]) -> u64 {
@@ -303,7 +334,36 @@ impl ColumnPageBuilder {
         }
         page[0..4].copy_from_slice(&(self.values.len() as u32).to_le_bytes());
         page[PAGE_HEADER..PAGE_HEADER + enc.data.len()].copy_from_slice(&enc.data);
-        write_trailer(&mut page, page_id, enc.base);
+        // Zone map for integer pages: trailer base = page min, reserved =
+        // range + 1. Safe to overload base: FOR's encode base *is* the page
+        // min, FOR-delta's base (the first value of a non-decreasing page)
+        // equals the min, and the remaining codecs ignore base on decode.
+        let zone = match self.dtype {
+            DataType::Int if !self.values.is_empty() => {
+                let mut lo = i64::MAX;
+                let mut hi = i64::MIN;
+                for v in &self.values {
+                    let iv = v.as_int()? as i64;
+                    lo = lo.min(iv);
+                    hi = hi.max(iv);
+                }
+                u32::try_from(hi - lo + 1).ok().map(|z| (lo, z))
+            }
+            _ => None,
+        };
+        match zone {
+            Some((lo, z)) => {
+                debug_assert!(
+                    !matches!(
+                        comp.codec,
+                        rodb_compress::Codec::For { .. } | rodb_compress::Codec::ForDelta { .. }
+                    ) || enc.base == lo,
+                    "FOR-family base must equal the page min"
+                );
+                write_trailer_zone(&mut page, page_id, lo, z);
+            }
+            None => write_trailer(&mut page, page_id, enc.base),
+        }
         self.values.clear();
         Ok(page)
     }
@@ -437,6 +497,41 @@ mod tests {
         let pv = cp.values(&comp);
         assert_eq!(pv.int_at(0).unwrap(), -100);
         assert_eq!(pv.int_at(1).unwrap(), -50);
+    }
+
+    #[test]
+    fn zone_map_records_page_min_max() {
+        // Int pages carry [min, max] in the trailer regardless of codec.
+        for comp in [
+            ColumnCompression::none(),
+            ColumnCompression::new(Codec::For { bits: 8 }, None).unwrap(),
+            ColumnCompression::new(Codec::BitPack { bits: 8 }, None).unwrap(),
+        ] {
+            let mut b = ColumnPageBuilder::new(256, DataType::Int, &comp);
+            for v in [40, 7, 199, 7] {
+                b.push(Value::Int(v)).unwrap();
+            }
+            let page = b.build(&comp, PageId(1)).unwrap();
+            assert_eq!(page_zone(&page), Some((7, 199)), "{:?}", comp.codec.kind());
+            // Zones ride in the CRC-covered trailer; decode still works.
+            let cp = ColumnPage::new(&page, DataType::Int).unwrap();
+            let pv = cp.values(&comp);
+            assert_eq!(pv.int_at(0).unwrap(), 40);
+            assert_eq!(pv.int_at(2).unwrap(), 199);
+        }
+        // Text pages and row pages carry no zone.
+        let comp = ColumnCompression::none();
+        let mut b = ColumnPageBuilder::new(256, DataType::Text(4), &comp);
+        b.push(Value::text("ab")).unwrap();
+        let page = b.build(&comp, PageId(2)).unwrap();
+        assert_eq!(page_zone(&page), None);
+
+        // A single-value page has min == max (the Eq boundary case).
+        let comp = ColumnCompression::none();
+        let mut b = ColumnPageBuilder::new(256, DataType::Int, &comp);
+        b.push(Value::Int(-5)).unwrap();
+        let page = b.build(&comp, PageId(3)).unwrap();
+        assert_eq!(page_zone(&page), Some((-5, -5)));
     }
 
     #[test]

@@ -249,6 +249,15 @@ impl<'a> PackedRowPage<'a> {
         self.count
     }
 
+    /// The per-page base of column `col` (`Some` only for FOR / FOR-delta
+    /// columns) — the metadata code-space predicate rewrites key on.
+    pub fn base_of(&self, comps: &[ColumnCompression], col: usize) -> Option<i64> {
+        base_columns(comps)
+            .iter()
+            .position(|&c| c == col)
+            .map(|k| self.bases[k])
+    }
+
     /// Sequential decoder over the page's tuples.
     pub fn cursor(
         &'a self,
@@ -324,6 +333,22 @@ impl PackedRowCursor<'_> {
     /// Codes decoded so far (delta maintenance + field reads).
     pub fn codes_decoded(&self) -> u64 {
         self.codes_decoded
+    }
+
+    /// Read the raw stored code of a field without decoding it — the entry
+    /// point for code-space predicate evaluation. Only packed-code codecs
+    /// (BitPack / Dict / FOR) have position-independent codes.
+    pub fn field_code(&mut self, col: usize) -> Result<u64> {
+        let off = self.tuple * self.tuple_bits + self.field_bit_off[col];
+        match &self.comps[col].codec {
+            Codec::BitPack { bits } | Codec::Dict { bits } | Codec::For { bits } => {
+                self.reader.read_at(off, *bits)
+            }
+            c => Err(Error::InvalidConfig(format!(
+                "codec {:?} has no position-independent code",
+                c.kind()
+            ))),
+        }
     }
 
     /// Decode an integer field of the current tuple.

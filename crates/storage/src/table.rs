@@ -145,6 +145,17 @@ impl ColumnStorage {
         self.file.len() as u64
     }
 
+    /// The zone map `(min, max)` of page `i`, or `None` when the page has no
+    /// zone (text columns, pre-zone files). Peeked straight from the trailer
+    /// without a simulated read — zone maps model catalog-resident metadata.
+    pub fn zone_of(&self, i: usize) -> Option<(i64, i64)> {
+        if i >= self.pages {
+            return None;
+        }
+        let start = i * self.page_size;
+        crate::page::page_zone(&self.file[start..start + self.page_size])
+    }
+
     /// Which (page, slot) holds global row ordinal `row`.
     #[inline]
     pub fn locate(&self, row: u64) -> (usize, usize) {

@@ -52,6 +52,13 @@ pub struct SystemConfig {
     /// Optional deterministic fault injection on page reads (testing only;
     /// `None` = a healthy array).
     pub faults: Option<FaultSpec>,
+    /// Vectorized scan fast path: block decode kernels, predicate evaluation
+    /// in code space, and zone-map page skipping. Defaults to **off** — the
+    /// paper's engine is a scalar tuple-at-a-time interpreter and the shape
+    /// of its CPU curves (Figures 8/9) depends on that; the fast path is the
+    /// opt-in modern variant for A/B comparison. Results are bit-identical
+    /// either way.
+    pub scan_fast_path: bool,
 }
 
 impl Default for SystemConfig {
@@ -63,6 +70,7 @@ impl Default for SystemConfig {
             block_tuples: 100,
             threads: 1,
             faults: None,
+            scan_fast_path: false,
         }
     }
 }
@@ -111,6 +119,13 @@ impl SystemConfig {
     /// Convenience: the same config with fault injection installed.
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Convenience: the same config with the vectorized scan fast path
+    /// toggled (block decode + code-space predicates + zone-map skipping).
+    pub fn with_scan_fast_path(mut self, on: bool) -> Self {
+        self.scan_fast_path = on;
         self
     }
 }

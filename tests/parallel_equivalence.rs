@@ -288,6 +288,7 @@ fn io_stats_merge_sums_every_field() {
         transfer_s: 0.5,
         seek_s: 0.015,
         comp_s: 0.1,
+        pages_skipped: 11,
     };
     let b = IoStats {
         bytes_read: 2.0e6,
@@ -297,6 +298,7 @@ fn io_stats_merge_sums_every_field() {
         transfer_s: 1.0,
         seek_s: 0.020,
         comp_s: 0.2,
+        pages_skipped: 6,
     };
     let mut m = a;
     m.merge(&b);
@@ -304,6 +306,7 @@ fn io_stats_merge_sums_every_field() {
     assert_eq!(m.seeks, 7);
     assert_eq!(m.bursts, 12);
     assert_eq!(m.comp_bursts, 3);
+    assert_eq!(m.pages_skipped, 17);
     assert!((m.transfer_s - 1.5).abs() < 1e-12);
     assert!((m.seek_s - 0.035).abs() < 1e-12);
     assert!((m.comp_s - 0.3).abs() < 1e-12);
