@@ -132,7 +132,7 @@ impl<'a> BitReader<'a> {
             return Err(Error::InvalidConfig(format!("bit width {bits}")));
         }
         if bit_off + bits_us > self.data.len() * 8 {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "bit read [{bit_off}, {}) past end ({} bits)",
                 bit_off + bits_us,
                 self.data.len() * 8
@@ -187,7 +187,7 @@ impl<'a> BitReader<'a> {
         let start = first * bits as usize;
         let end = start + out.len() * bits as usize;
         if end > self.data.len() * 8 {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "block unpack [{start}, {end}) past end ({} bits)",
                 self.data.len() * 8
             )));

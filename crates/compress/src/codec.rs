@@ -338,7 +338,7 @@ impl<'a> PageValues<'a> {
     /// are checked once per call, not per value.
     pub fn codes_block(&self, first: usize, out: &mut [u64]) -> Result<()> {
         if first + out.len() > self.count {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "code block [{first}, {}) out of page (count {})",
                 first + out.len(),
                 self.count
@@ -395,7 +395,7 @@ impl<'a> PageValues<'a> {
                     self.data.unpack(first, *bits, &mut block[..n])?;
                     for &c in &block[..n] {
                         let v = *table.get(c as usize).ok_or_else(|| {
-                            Error::Corrupt(format!("dictionary code {c} out of range"))
+                            Error::corrupt(format!("dictionary code {c} out of range"))
                         })?;
                         out.push(v);
                     }
@@ -444,7 +444,7 @@ impl<'a> PageValues<'a> {
 
     fn check(&self, idx: usize) -> Result<()> {
         if idx >= self.count {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "value index {idx} out of page (count {})",
                 self.count
             )));

@@ -68,7 +68,7 @@ impl Dictionary {
     pub fn value_of(&self, code: u32) -> Result<&Value> {
         self.values
             .get(code as usize)
-            .ok_or_else(|| Error::Corrupt(format!("dictionary code {code} out of range")))
+            .ok_or_else(|| Error::corrupt(format!("dictionary code {code} out of range")))
     }
 
     /// Number of distinct values.

@@ -223,6 +223,22 @@ impl QueryBuilder {
         self
     }
 
+    /// Model `n`-way page mirroring: a read whose checksum fails is retried
+    /// against the next replica (seek + re-transfer charged to the simulated
+    /// clock). `1` — the default — means no redundancy.
+    pub fn mirror(mut self, n: usize) -> Self {
+        self.sys.mirror = n;
+        self
+    }
+
+    /// Policy for pages that stay bad after every replica was tried: fail
+    /// the query, retry anyway (default), or skip the page's rows and
+    /// continue degraded (reported in `report.io.recovery.dropped_rows`).
+    pub fn on_corrupt(mut self, policy: rodb_types::OnCorrupt) -> Self {
+        self.sys.on_corrupt = policy;
+        self
+    }
+
     fn context(&self) -> Result<ExecContext> {
         let scale = match self.virtual_rows {
             Some(v) if self.table.row_count > 0 => {

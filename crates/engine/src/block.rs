@@ -78,7 +78,7 @@ impl TupleBlock {
     /// Append a fully formed tuple.
     pub fn push_tuple(&mut self, raw: &[u8], position: u64) -> Result<()> {
         if raw.len() != self.width() {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "tuple of {} bytes into block of width {}",
                 raw.len(),
                 self.width()

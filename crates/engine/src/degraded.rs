@@ -1,0 +1,123 @@
+//! Degraded-scan support (`on_corrupt = Skip`).
+//!
+//! When a page is bad on every replica, a `Skip` scan quarantines it and
+//! drops exactly its rows. The unit of dropping is a **position range**: the
+//! global row ordinals the page *would* hold by file geometry
+//! (`page_index × capacity`), never the damaged page's own count — a
+//! truncated page cannot be trusted to describe itself. Every scanner of a
+//! projection consults the same [`DropSet`], so a multi-column scan drops
+//! matched ranges across all columns and projections never misalign.
+
+use rodb_types::{Error, OnCorrupt};
+
+/// Whether this error should be absorbed as a degraded skip: only under the
+/// `Skip` policy, and only for retryable media faults — structural format
+/// errors behind a valid checksum are software bugs and still abort.
+pub fn should_skip(policy: OnCorrupt, err: &Error) -> bool {
+    policy == OnCorrupt::Skip && err.is_retryable()
+}
+
+/// A set of half-open row-ordinal ranges `[start, end)` dropped by a
+/// degraded scan. Ranges are kept merged and sorted, so membership is a
+/// binary search and the total row count is exact even when several columns
+/// of one projection quarantine overlapping pages of different geometry.
+#[derive(Debug, Clone, Default)]
+pub struct DropSet {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl DropSet {
+    /// Add `[start, end)`, merging with any overlapping or adjacent ranges.
+    pub fn add(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Position of the first range whose end could touch [start, end).
+        let i = self.ranges.partition_point(|&(_, e)| e < start);
+        let mut lo = start;
+        let mut hi = end;
+        let mut j = i;
+        while j < self.ranges.len() && self.ranges[j].0 <= hi {
+            lo = lo.min(self.ranges[j].0);
+            hi = hi.max(self.ranges[j].1);
+            j += 1;
+        }
+        self.ranges.splice(i..j, [(lo, hi)]);
+    }
+
+    /// Whether row ordinal `pos` is inside a dropped range.
+    #[inline]
+    pub fn contains(&self, pos: u64) -> bool {
+        let i = self.ranges.partition_point(|&(_, e)| e <= pos);
+        i < self.ranges.len() && self.ranges[i].0 <= pos
+    }
+
+    /// Total rows covered (ranges are disjoint after merging).
+    pub fn total(&self) -> u64 {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The merged ranges, sorted (for tests and reports).
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rodb_types::CorruptKind;
+
+    #[test]
+    fn add_merges_overlaps_and_adjacency() {
+        let mut d = DropSet::default();
+        d.add(10, 20);
+        d.add(30, 40);
+        assert_eq!(d.ranges(), &[(10, 20), (30, 40)]);
+        assert_eq!(d.total(), 20);
+        // Adjacent on the left, overlapping on the right: one range.
+        d.add(20, 35);
+        assert_eq!(d.ranges(), &[(10, 40)]);
+        assert_eq!(d.total(), 30);
+        // Subsumed adds change nothing.
+        d.add(12, 13);
+        assert_eq!(d.total(), 30);
+        // Empty adds are ignored.
+        d.add(50, 50);
+        d.add(60, 50);
+        assert_eq!(d.ranges(), &[(10, 40)]);
+        // Bridge across several existing ranges.
+        d.add(100, 110);
+        d.add(0, 200);
+        assert_eq!(d.ranges(), &[(0, 200)]);
+    }
+
+    #[test]
+    fn contains_is_exact_at_boundaries() {
+        let mut d = DropSet::default();
+        d.add(10, 20);
+        d.add(40, 41);
+        assert!(!d.contains(9));
+        assert!(d.contains(10));
+        assert!(d.contains(19));
+        assert!(!d.contains(20));
+        assert!(d.contains(40));
+        assert!(!d.contains(41));
+        assert!(DropSet::default().is_empty());
+        assert!(!DropSet::default().contains(0));
+    }
+
+    #[test]
+    fn skip_gate_requires_policy_and_retryable_error() {
+        let media = rodb_types::Error::corrupt_kind(CorruptKind::Checksum, "crc");
+        let format = rodb_types::Error::corrupt("bad count");
+        assert!(should_skip(OnCorrupt::Skip, &media));
+        assert!(!should_skip(OnCorrupt::Skip, &format));
+        assert!(!should_skip(OnCorrupt::Retry, &media));
+        assert!(!should_skip(OnCorrupt::Fail, &media));
+    }
+}

@@ -8,6 +8,7 @@
 pub mod agg;
 pub mod block;
 pub mod codepred;
+pub mod degraded;
 pub mod exec;
 pub mod join;
 pub mod op;
@@ -23,6 +24,7 @@ pub mod sort;
 pub use agg::{merge_partials, AggFunc, AggPartial, AggSpec, AggStrategy, Aggregate};
 pub use block::TupleBlock;
 pub use codepred::{rewrite, rewrite_all, zone_rejects, CodePred};
+pub use degraded::DropSet;
 pub use exec::{run_to_completion, RunReport};
 pub use join::MergeJoin;
 pub use op::{ExecContext, Operator};

@@ -22,12 +22,13 @@
 use std::sync::Arc;
 
 use rodb_compress::{Codec, ColumnCompression};
-use rodb_io::{FileStream, PageRef};
-use rodb_storage::{ColumnPage, ColumnStorage, Table};
-use rodb_types::{DataType, Error, Result, Schema};
+use rodb_io::{FileId, FileStream, PageRef};
+use rodb_storage::{ColumnPage, ColumnStorage, QuarantinedPage, Table};
+use rodb_types::{DataType, Error, OnCorrupt, Result, Schema};
 
 use crate::block::TupleBlock;
 use crate::codepred::{rewrite_all, zone_rejects};
+use crate::degraded::{self, DropSet};
 use crate::op::{ExecContext, Operator};
 use crate::predicate::Predicate;
 
@@ -55,6 +56,12 @@ struct ColNode {
     /// Storage handle for zone-map trailer peeks (catalog-resident metadata).
     storage: ColumnStorage,
     stream: FileStream,
+    file_id: FileId,
+    /// Corruption policy: under `Skip`, damaged pages this node only streams
+    /// past are tolerated (quarantine is lazy — it happens when a requested
+    /// position actually targets the bad page, so serial and parallel scans
+    /// quarantine identical sets).
+    policy: OnCorrupt,
     page: Option<PageRef>,
     page_first_row: u64,
     page_count: usize,
@@ -95,16 +102,31 @@ impl ColNode {
                     return Ok(());
                 }
             }
-            let next_first = self.page_first_row + self.page_count as u64;
             match self.stream.next_page() {
                 Some(p) => {
-                    let page = ColumnPage::new(p.bytes(), self.dtype)?;
-                    let count = page.count();
-                    if self.page.is_some() {
-                        self.page_first_row = next_first;
-                    }
-                    self.page_count = count;
+                    let page_index = p.page_index as u64;
+                    let vpp = self.storage.values_per_page.max(1) as u64;
+                    // Boundaries come from file geometry, not a running sum of
+                    // per-page counts: a damaged page still spans its slots.
+                    self.page_first_row = page_index * vpp;
                     self.page_cached = false;
+                    let page = match ColumnPage::new(p.bytes(), self.dtype) {
+                        Ok(page) => page,
+                        Err(e) => {
+                            // Keep the damaged page with its geometric span so
+                            // node state stays consistent either way: a
+                            // position targeting it fails again on decode.
+                            let is_target = pos < self.page_first_row + vpp;
+                            self.page_count = vpp as usize;
+                            self.page = Some(p);
+                            if is_target || !degraded::should_skip(self.policy, &e) {
+                                return Err(e.with_page_context(self.file_id.0, page_index));
+                            }
+                            continue;
+                        }
+                    };
+                    let count = page.count();
+                    self.page_count = count;
                     let is_target = pos < self.page_first_row + count as u64;
                     if !self.comp.codec.random_access() {
                         // FOR-delta: sequential decode of the entire page —
@@ -136,7 +158,7 @@ impl ColNode {
                     self.page = Some(p);
                 }
                 None => {
-                    return Err(Error::Corrupt(format!(
+                    return Err(Error::corrupt(format!(
                         "position {pos} beyond column {} file",
                         self.col
                     )))
@@ -156,7 +178,8 @@ impl ColNode {
             }
         } else {
             let pref = self.page.as_ref().expect("advance_to ensures page");
-            let page = ColumnPage::new(pref.bytes(), self.dtype)?;
+            let page = ColumnPage::new(pref.bytes(), self.dtype)
+                .map_err(|e| e.with_page_context(self.file_id.0, pref.page_index as u64))?;
             let pv = page.values(&self.comp);
             pv.write_raw(slot, out)?;
             self.values_decoded += 1;
@@ -196,6 +219,7 @@ impl Pending {
 /// Scans a table's column representation through pipelined scan nodes.
 pub struct ColumnScanner {
     ctx: ExecContext,
+    table: Arc<Table>,
     out_schema: Arc<Schema>,
     nodes: Vec<ColNode>,
     pending: Pending,
@@ -206,6 +230,9 @@ pub struct ColumnScanner {
     done: bool,
     mode: ColumnScanMode,
     scratch: Vec<u8>,
+    /// Ordinal ranges dropped by degraded skips, shared by every scan node of
+    /// this projection so columns never misalign.
+    dropped: DropSet,
 }
 
 impl ColumnScanner {
@@ -262,9 +289,10 @@ impl ColumnScanner {
         let mut node0_first_row = 0u64;
         for &col in &node_cols {
             let storage = &cs.columns[col];
+            let file_id = ctx.next_file_id();
             let mut stream = FileStream::new(
                 ctx.disk.clone(),
-                ctx.next_file_id(),
+                file_id,
                 storage.file.clone(),
                 storage.page_size,
             )?;
@@ -293,6 +321,8 @@ impl ColumnScanner {
                 out_col: projection.iter().position(|&c| c == col),
                 storage: storage.clone(),
                 stream,
+                file_id,
+                policy: ctx.sys.on_corrupt,
                 page: None,
                 page_first_row: first_page as u64 * vpp,
                 page_count: 0,
@@ -323,6 +353,7 @@ impl ColumnScanner {
 
         Ok(ColumnScanner {
             ctx: ctx.clone(),
+            table,
             out_schema,
             nodes,
             pending: Pending::default(),
@@ -332,6 +363,7 @@ impl ColumnScanner {
             done: false,
             mode,
             scratch: Vec::new(),
+            dropped: DropSet::default(),
         })
     }
 
@@ -370,7 +402,30 @@ impl ColumnScanner {
             Some(p) => p,
             None => return Ok(false),
         };
-        let page = ColumnPage::new(pref.bytes(), node.dtype)?;
+        let page_index = pref.page_index as u64;
+        let vpp = node.storage.values_per_page.max(1) as u64;
+        // Ordinals come from file geometry: a skipped damaged page must not
+        // shift the positions of every value after it.
+        self.node0_next_row = page_index * vpp;
+        let page = match ColumnPage::new(pref.bytes(), node.dtype) {
+            Ok(page) => page,
+            Err(e) if degraded::should_skip(node.policy, &e) => {
+                // Degraded skip: quarantine the page and drop exactly the
+                // ordinals it would hold by geometry.
+                if self.table.quarantine.insert(QuarantinedPage::Col {
+                    col: node.col,
+                    page: page_index,
+                }) {
+                    self.ctx.disk.borrow_mut().note_quarantined(1);
+                }
+                let start = (page_index * vpp).max(self.range.0);
+                let end = ((page_index + 1) * vpp).min(self.range.1);
+                self.dropped.add(start, end);
+                self.node0_next_row += vpp;
+                return Ok(true);
+            }
+            Err(e) => return Err(e.with_page_context(node.file_id.0, page_index)),
+        };
         let pv = page.values(&node.comp);
         let count = pv.count();
         let first_row = self.node0_next_row;
@@ -397,7 +452,7 @@ impl ColumnScanner {
                     pv.codes_block(slot, &mut block[..n])?;
                     for (k, &code) in block[..n].iter().enumerate() {
                         let pos = first_row + (slot + k) as u64;
-                        if pos < self.range.0 || pos >= self.range.1 {
+                        if pos < self.range.0 || pos >= self.range.1 || self.dropped.contains(pos) {
                             continue;
                         }
                         if !cps.iter().all(|cp| cp.eval(code)) {
@@ -407,7 +462,7 @@ impl ColumnScanner {
                             (Codec::For { .. }, _) => (base + code as i64) as i32,
                             (Codec::Dict { .. }, Some(t)) => {
                                 *t.get(code as usize).ok_or_else(|| {
-                                    Error::Corrupt(format!(
+                                    Error::corrupt(format!(
                                         "dict code {code} out of table (col {})",
                                         node.col
                                     ))
@@ -439,7 +494,7 @@ impl ColumnScanner {
             for slot in 0..count {
                 let v = node.decoded[slot];
                 let pos = first_row + slot as u64;
-                if pos < self.range.0 || pos >= self.range.1 {
+                if pos < self.range.0 || pos >= self.range.1 || self.dropped.contains(pos) {
                     continue;
                 }
                 if node.preds.iter().all(|p| p.eval_int(v)) {
@@ -459,10 +514,11 @@ impl ColumnScanner {
             self.scratch.clear();
             cur.next_raw(&mut self.scratch)?;
             let pos = first_row + slot as u64;
-            if pos < self.range.0 || pos >= self.range.1 {
+            if pos < self.range.0 || pos >= self.range.1 || self.dropped.contains(pos) {
                 // Boundary page of a morsel: slots outside the window belong
                 // to a neighbouring worker (decode cost is still paid — the
-                // cursor walked over them).
+                // cursor walked over them). Dropped ordinals were lost to a
+                // quarantined page of another column.
                 continue;
             }
             let mut pass = true;
@@ -492,6 +548,10 @@ impl ColumnScanner {
             return;
         }
         self.done = true;
+        let dropped = self.dropped.total();
+        if dropped > 0 {
+            self.ctx.disk.borrow_mut().note_dropped_rows(dropped);
+        }
         let hw = self.ctx.hw;
         let mut meter = self.ctx.meter.borrow_mut();
         for (ni, node) in self.nodes.iter_mut().enumerate() {
@@ -575,16 +635,42 @@ impl Operator for ColumnScanner {
                 if block.is_empty() {
                     break;
                 }
-                let has_preds = !self.nodes[ni].preds.is_empty();
                 keep_buf.clear();
                 let mut scratch = std::mem::take(&mut self.scratch);
                 for i in 0..block.count() {
                     let pos = block.position(i).expect("scanners keep lineage");
+                    if self.dropped.contains(pos) {
+                        // Lost to a page another node quarantined after this
+                        // position had already been produced.
+                        continue;
+                    }
                     scratch.clear();
-                    {
+                    let read = {
                         let node = &mut self.nodes[ni];
                         node.positions_seen += 1;
-                        node.read_raw(pos, &mut scratch)?;
+                        node.read_raw(pos, &mut scratch)
+                    };
+                    if let Err(e) = read {
+                        if !degraded::should_skip(self.ctx.sys.on_corrupt, &e) {
+                            self.scratch = scratch;
+                            return Err(e);
+                        }
+                        // Degraded skip: the requested position targets a page
+                        // bad on every replica. Quarantine it and drop the
+                        // ordinals it holds by geometry.
+                        let node = &self.nodes[ni];
+                        let vpp = node.storage.values_per_page.max(1) as u64;
+                        let page_index = pos / vpp;
+                        if self.table.quarantine.insert(QuarantinedPage::Col {
+                            col: node.col,
+                            page: page_index,
+                        }) {
+                            self.ctx.disk.borrow_mut().note_quarantined(1);
+                        }
+                        let start = (page_index * vpp).max(self.range.0);
+                        let end = ((page_index + 1) * vpp).min(self.range.1);
+                        self.dropped.add(start, end);
+                        continue;
                     }
                     let node = &mut self.nodes[ni];
                     let mut pass = true;
@@ -606,8 +692,9 @@ impl Operator for ColumnScanner {
                     }
                 }
                 self.scratch = scratch;
-                if has_preds && keep_buf.len() < block.count() {
-                    // Predicate nodes re-write the surviving tuples (§2.2.2).
+                if keep_buf.len() < block.count() {
+                    // Predicate (or degraded) nodes re-write the surviving
+                    // tuples (§2.2.2).
                     let moved = block.retain_indices(&keep_buf);
                     self.ctx.meter.borrow_mut().project(0.0, 0.0, moved as f64);
                 }

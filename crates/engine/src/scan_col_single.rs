@@ -13,11 +13,12 @@
 
 use std::sync::Arc;
 
-use rodb_io::{FileStream, PageRef};
-use rodb_storage::{ColumnPage, Table};
-use rodb_types::{DataType, Error, Result, Schema};
+use rodb_io::{FileId, FileStream, PageRef};
+use rodb_storage::{ColumnPage, QuarantinedPage, Table};
+use rodb_types::{CorruptKind, DataType, Error, OnCorrupt, Result, Schema};
 
 use crate::block::TupleBlock;
+use crate::degraded::{self, DropSet};
 use crate::op::{ExecContext, Operator};
 use crate::predicate::Predicate;
 
@@ -29,9 +30,15 @@ struct ColCursor {
     preds: Vec<Predicate>,
     out_col: Option<usize>,
     stream: FileStream,
+    file_id: FileId,
+    policy: OnCorrupt,
+    /// Full-page value capacity — the geometric page → ordinal unit.
+    vpp: u64,
     page: Option<PageRef>,
     page_first_row: u64,
     page_count: usize,
+    /// Current page was bad on every replica (its span is geometric).
+    page_bad: bool,
     /// All values of the current page, decoded eagerly (raw full-width bytes,
     /// strided by `width`).
     decoded: Vec<u8>,
@@ -61,13 +68,40 @@ impl ColCursor {
     fn load_page_for(&mut self, pos: u64) -> Result<()> {
         loop {
             if self.page.is_some() && pos < self.page_first_row + self.page_count as u64 {
+                if self.page_bad {
+                    // Re-entry into a page already found bad: every one of
+                    // its rows fails identically (the scanner drops them).
+                    return Err(Error::corrupt_kind(
+                        CorruptKind::Checksum,
+                        "page bad on every replica",
+                    )
+                    .with_page_context(self.file_id.0, self.page_first_row / self.vpp));
+                }
                 return Ok(());
             }
-            let next_first = self.page_first_row + self.page_count as u64;
             let p = self.stream.next_page().ok_or_else(|| {
-                Error::Corrupt(format!("row {pos} beyond column {} file", self.col))
+                Error::corrupt(format!("row {pos} beyond column {} file", self.col))
             })?;
-            let page = ColumnPage::new(p.bytes(), self.dtype)?;
+            let page_index = p.page_index as u64;
+            // Boundaries come from file geometry, not a running sum of
+            // per-page counts: a damaged page still spans its slots.
+            self.page_first_row = page_index * self.vpp;
+            let page = match ColumnPage::new(p.bytes(), self.dtype) {
+                Ok(page) => page,
+                Err(e) => {
+                    let is_target = pos < self.page_first_row + self.vpp;
+                    self.page_count = self.vpp as usize;
+                    self.page = Some(p);
+                    self.page_bad = true;
+                    self.decoded.clear();
+                    if is_target || !degraded::should_skip(self.policy, &e) {
+                        return Err(e.with_page_context(self.file_id.0, page_index));
+                    }
+                    // Pass-through damage under `Skip`: the rows demanding
+                    // this page were already dropped by another column.
+                    continue;
+                }
+            };
             let count = page.count();
             // Eager whole-page decode — the defining trait of this scanner.
             self.decoded.clear();
@@ -97,11 +131,9 @@ impl ColCursor {
                 }
                 self.values_decoded += count as u64;
             }
-            if self.page.is_some() {
-                self.page_first_row = next_first;
-            }
             self.page_count = count;
             self.page = Some(p);
+            self.page_bad = false;
         }
     }
 
@@ -116,11 +148,14 @@ impl ColCursor {
 /// column pages.
 pub struct SingleIteratorColumnScanner {
     ctx: ExecContext,
+    table: Arc<Table>,
     out_schema: Arc<Schema>,
     cursors: Vec<ColCursor>,
     row_count: u64,
     next_row: u64,
     done: bool,
+    /// Ordinal ranges dropped by degraded skips, shared across the cursors.
+    dropped: DropSet,
 }
 
 impl SingleIteratorColumnScanner {
@@ -153,6 +188,7 @@ impl SingleIteratorColumnScanner {
         let mut cursors = Vec::with_capacity(cols.len());
         for &col in &cols {
             let storage = &cs.columns[col];
+            let file_id = ctx.next_file_id();
             cursors.push(ColCursor {
                 col,
                 dtype: table.schema.dtype(col),
@@ -166,13 +202,17 @@ impl SingleIteratorColumnScanner {
                 out_col: projection.iter().position(|&c| c == col),
                 stream: FileStream::new(
                     ctx.disk.clone(),
-                    ctx.next_file_id(),
+                    file_id,
                     storage.file.clone(),
                     storage.page_size,
                 )?,
+                file_id,
+                policy: ctx.sys.on_corrupt,
+                vpp: storage.values_per_page.max(1) as u64,
                 page: None,
                 page_first_row: 0,
                 page_count: 0,
+                page_bad: false,
                 decoded: Vec::new(),
                 ints: Vec::new(),
                 pass_map: Vec::new(),
@@ -195,8 +235,10 @@ impl SingleIteratorColumnScanner {
             out_schema,
             cursors,
             row_count: table.row_count,
+            table,
             next_row: 0,
             done: false,
+            dropped: DropSet::default(),
         })
     }
 
@@ -205,6 +247,10 @@ impl SingleIteratorColumnScanner {
             return;
         }
         self.done = true;
+        let dropped = self.dropped.total();
+        if dropped > 0 {
+            self.ctx.disk.borrow_mut().note_dropped_rows(dropped);
+        }
         let hw = self.ctx.hw;
         let mut meter = self.ctx.meter.borrow_mut();
         for c in &mut self.cursors {
@@ -242,10 +288,35 @@ impl Operator for SingleIteratorColumnScanner {
         while block.count() < cap && self.next_row < self.row_count {
             let pos = self.next_row;
             self.next_row += 1;
+            if self.dropped.contains(pos) {
+                continue;
+            }
             let mut pass = true;
+            let mut row_dropped = false;
             // Predicate pass over the row (cursors hold decoded pages).
-            for c in self.cursors.iter_mut() {
-                c.load_page_for(pos)?;
+            for ci in 0..self.cursors.len() {
+                if let Err(e) = self.cursors[ci].load_page_for(pos) {
+                    if !degraded::should_skip(self.ctx.sys.on_corrupt, &e) {
+                        return Err(e);
+                    }
+                    // Degraded skip: quarantine the bad page and drop the
+                    // ordinals it holds by geometry. Later cursors are not
+                    // advanced for this row; they catch up lazily.
+                    let c = &self.cursors[ci];
+                    let page_index = pos / c.vpp;
+                    if self.table.quarantine.insert(QuarantinedPage::Col {
+                        col: c.col,
+                        page: page_index,
+                    }) {
+                        self.ctx.disk.borrow_mut().note_quarantined(1);
+                    }
+                    let start = page_index * c.vpp;
+                    let end = ((page_index + 1) * c.vpp).min(self.row_count);
+                    self.dropped.add(start, end);
+                    row_dropped = true;
+                    break;
+                }
+                let c = &mut self.cursors[ci];
                 if pass {
                     if c.vectorized() {
                         // Verdict was computed in the page-load block pass.
@@ -263,6 +334,9 @@ impl Operator for SingleIteratorColumnScanner {
                         }
                     }
                 }
+            }
+            if row_dropped {
+                continue;
             }
             if pass {
                 let bi = block.push_blank(pos);

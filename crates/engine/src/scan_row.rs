@@ -14,12 +14,13 @@
 use std::sync::Arc;
 
 use rodb_compress::{Codec, CodecKind};
-use rodb_io::FileStream;
-use rodb_storage::{PackedRowPage, PaxPage, RowFormat, RowPage, Table};
+use rodb_io::{FileId, FileStream, PageRef};
+use rodb_storage::{PackedRowPage, PaxPage, QuarantinedPage, RowFormat, RowPage, Table};
 use rodb_types::{Error, Result, Schema};
 
 use crate::block::TupleBlock;
 use crate::codepred::{rewrite, CodePred};
+use crate::degraded::{self, DropSet};
 use crate::op::{ExecContext, Operator};
 use crate::predicate::Predicate;
 
@@ -32,8 +33,14 @@ pub struct RowScanner {
     predicates: Vec<Predicate>,
     out_schema: Arc<Schema>,
     stream: FileStream,
+    file_id: FileId,
     row_ordinal: u64,
+    /// Full-page tuple capacity: the geometric unit of page → ordinal math.
+    tpp: u64,
     done: bool,
+    /// Ordinal ranges dropped by degraded skips (empty unless `on_corrupt =
+    /// Skip` absorbed a page whose every replica was bad).
+    dropped: DropSet,
     /// Row-ordinal range `[start, end)` this scanner covers (whole table by
     /// default; a morsel of it under parallel execution).
     range: (u64, u64),
@@ -77,12 +84,8 @@ impl RowScanner {
         }
         let out_schema = Arc::new(table.schema.project(&projection)?);
         let rs = table.row_storage()?;
-        let mut stream = FileStream::new(
-            ctx.disk.clone(),
-            ctx.next_file_id(),
-            rs.file.clone(),
-            rs.page_size,
-        )?;
+        let file_id = ctx.next_file_id();
+        let mut stream = FileStream::new(ctx.disk.clone(), file_id, rs.file.clone(), rs.page_size)?;
         let range = match range {
             Some((s, e)) => (s.min(table.row_count), e.min(table.row_count)),
             None => (0, table.row_count),
@@ -104,8 +107,11 @@ impl RowScanner {
             predicates,
             out_schema,
             stream,
+            file_id,
             row_ordinal: first_page as u64 * tpp,
+            tpp,
             done: false,
+            dropped: DropSet::default(),
             range,
             window_bytes,
             proj_bytes,
@@ -126,6 +132,40 @@ impl RowScanner {
             Some(p) => p,
             None => return Ok(false),
         };
+        let page_index = pref.page_index as u64;
+        // Ordinals come from file geometry, not a running counter: a damaged
+        // page skipped under degraded reads must not shift the positions of
+        // every page after it.
+        self.row_ordinal = page_index * self.tpp;
+        let pend_bytes = self.pending.len();
+        let pend_rows = self.pending_pos.len();
+        match self.process_page(&pref) {
+            Ok(()) => Ok(true),
+            Err(e) if degraded::should_skip(self.ctx.sys.on_corrupt, &e) => {
+                // Degraded skip: roll back anything the half-parsed page
+                // contributed, quarantine it, and drop exactly the ordinals
+                // it would hold by geometry (never its own claimed count).
+                self.pending.truncate(pend_bytes);
+                self.pending_pos.truncate(pend_rows);
+                if self
+                    .table
+                    .quarantine
+                    .insert(QuarantinedPage::Row { page: page_index })
+                {
+                    self.ctx.disk.borrow_mut().note_quarantined(1);
+                }
+                let start = (page_index * self.tpp).max(self.range.0);
+                let end = ((page_index + 1) * self.tpp).min(self.range.1);
+                self.dropped.add(start, end);
+                Ok(true)
+            }
+            Err(e) => Err(e.with_page_context(self.file_id.0, page_index)),
+        }
+    }
+
+    /// Parse one page, appending qualifying projected tuples to the pending
+    /// buffer and charging CPU work.
+    fn process_page(&mut self, pref: &PageRef) -> Result<()> {
         let schema = self.table.schema.clone();
         let rs = self.table.row_storage()?;
         let out_width = self.out_schema.logical_width();
@@ -311,7 +351,7 @@ impl RowScanner {
                 meter.touch_l1(passed_total as f64, self.proj_bytes as f64);
             }
         }
-        Ok(true)
+        Ok(())
     }
 
     /// End-of-scan memory accounting: the scanner's page window streamed
@@ -322,6 +362,10 @@ impl RowScanner {
             return;
         }
         self.done = true;
+        let dropped = self.dropped.total();
+        if dropped > 0 {
+            self.ctx.disk.borrow_mut().note_dropped_rows(dropped);
+        }
         self.ctx.meter.borrow_mut().seq_region(self.window_bytes);
     }
 }

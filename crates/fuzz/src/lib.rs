@@ -18,8 +18,8 @@ pub mod gen;
 pub mod oracle;
 
 use rodb_core::{Database, QueryResult};
-use rodb_storage::{BuildLayouts, Table, TableBuilder};
-use rodb_types::{Error, FaultSpec, HardwareConfig, SystemConfig};
+use rodb_storage::{BuildLayouts, QuarantinedPage, Table, TableBuilder};
+use rodb_types::{Error, FaultSpec, HardwareConfig, OnCorrupt, SystemConfig};
 
 use gen::{CasePlan, StorageKind};
 
@@ -53,23 +53,26 @@ fn build_table(plan: &CasePlan) -> rodb_types::Result<Table> {
 }
 
 /// Execute the plan through the engine with `threads` workers and the given
-/// fast-path setting, optionally under 100 % fault injection.
+/// fast-path setting, optionally under fault injection with a recovery
+/// configuration (mirror count + corruption policy).
 fn execute(
     plan: &CasePlan,
     table: Table,
     threads: usize,
     fast: bool,
-    faults: bool,
+    faults: Option<FaultSpec>,
+    mirror: usize,
+    on_corrupt: OnCorrupt,
 ) -> rodb_types::Result<QueryResult> {
-    let mut sys = SystemConfig {
+    let sys = SystemConfig {
         page_size: plan.page_size,
         threads,
         scan_fast_path: fast,
+        faults,
+        mirror,
+        on_corrupt,
         ..SystemConfig::default()
     };
-    if faults {
-        sys.faults = Some(FaultSpec::always(plan.seed));
-    }
     let mut db = Database::with_config(HardwareConfig::default(), sys)?;
     db.register(table);
     let mut q = db
@@ -137,21 +140,31 @@ pub fn run_case(seed: u64) -> Result<(), String> {
     // strategy, never an answer change.
     for threads in thread_counts(&plan) {
         for fast in [false, true] {
-            let got = catching(|| execute(&plan, table.clone(), threads, fast, false))
-                .map_err(|p| {
-                    format!(
-                        "seed {seed}: engine panicked ({threads} threads, fast={fast}): {p}\n  \
+            let got = catching(|| {
+                execute(
+                    &plan,
+                    table.clone(),
+                    threads,
+                    fast,
+                    None,
+                    1,
+                    OnCorrupt::Fail,
+                )
+            })
+            .map_err(|p| {
+                format!(
+                    "seed {seed}: engine panicked ({threads} threads, fast={fast}): {p}\n  \
                          case: {}",
-                        plan.describe()
-                    )
-                })?
-                .map_err(|e| {
-                    format!(
-                        "seed {seed}: engine error ({threads} threads, fast={fast}): {e:?}\n  \
+                    plan.describe()
+                )
+            })?
+            .map_err(|e| {
+                format!(
+                    "seed {seed}: engine error ({threads} threads, fast={fast}): {e:?}\n  \
                          case: {}",
-                        plan.describe()
-                    )
-                })?;
+                    plan.describe()
+                )
+            })?;
             if got.rows != want {
                 return Err(format!(
                     "seed {seed}: MISMATCH ({threads} threads, fast={fast}): engine {} rows, \
@@ -190,14 +203,23 @@ pub fn run_fault_case(seed: u64) -> Result<(), String> {
     for threads in thread_counts(&plan) {
         // Fault mode honours the plan's drawn fast-path setting, so over the
         // seed space both paths face corrupted pages.
-        let outcome =
-            catching(|| execute(&plan, table.clone(), threads, plan.scan_fast_path, true))
-                .map_err(|p| {
-                    format!(
-                        "seed {seed}: PANIC under faults ({threads} threads): {p}\n  case: {}",
-                        plan.describe()
-                    )
-                })?;
+        let outcome = catching(|| {
+            execute(
+                &plan,
+                table.clone(),
+                threads,
+                plan.scan_fast_path,
+                Some(FaultSpec::always(plan.seed)),
+                1,
+                OnCorrupt::Fail,
+            )
+        })
+        .map_err(|p| {
+            format!(
+                "seed {seed}: PANIC under faults ({threads} threads): {p}\n  case: {}",
+                plan.describe()
+            )
+        })?;
         match outcome {
             Err(Error::Corrupt(_)) => {}
             Err(other) => {
@@ -224,6 +246,250 @@ pub fn run_fault_case(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Global row ordinals covered by a quarantined page, derived from file
+/// geometry the same way the scanners rebase (page index × full-page
+/// capacity, clamped to the table's row count).
+fn mark_quarantined_span(table: &Table, q: QuarantinedPage, dropped: &mut [bool]) {
+    let (start, cap) = match q {
+        QuarantinedPage::Row { page } => {
+            let tpp = table.row.as_ref().map(|r| r.tuples_per_page).unwrap_or(0) as u64;
+            (page * tpp, tpp)
+        }
+        QuarantinedPage::Col { col, page } => {
+            let vpp = table
+                .col
+                .as_ref()
+                .map(|c| c.columns[col].values_per_page)
+                .unwrap_or(0) as u64;
+            (page * vpp, vpp)
+        }
+    };
+    let end = (start + cap).min(dropped.len() as u64);
+    for p in start..end {
+        dropped[p as usize] = true;
+    }
+}
+
+/// Recovery-mode case, two halves.
+///
+/// **Mirrored repair** (mirror = 2, every primary read damaged, policy
+/// `Retry`): the second replica is always clean (`replica_rate_ppm` = 0), so
+/// every damaged read must be repaired transparently and the rows must be
+/// bit-identical to the oracle — nothing quarantined, nothing dropped, and
+/// every retry accounted as a repair.
+///
+/// **Degraded scan** (mirror = 1, policy `Skip`, 100 % and ~15 % fault
+/// rates): pages bad on the only replica are quarantined and their rows
+/// dropped. The result must equal the oracle evaluated over exactly the
+/// surviving positions — the complement of the quarantined pages' row
+/// spans — and the serial run's `dropped_rows` must equal that span union.
+/// A parallel run must produce the same rows and the same quarantine set;
+/// its `dropped_rows` may undercount the union (a straddling page demanded
+/// by only one morsel charges only that morsel's window) but never exceed
+/// it, and is non-zero whenever anything was quarantined.
+pub fn run_recovery_case(seed: u64) -> Result<(), String> {
+    let plan = gen::generate(seed);
+    let want = oracle::expected(&plan);
+
+    // --- Mode A: mirrored reads repair every damaged page. ---
+    let table = catching(|| build_table(&plan))
+        .map_err(|p| format!("seed {seed}: build panicked: {p}"))?
+        .map_err(|e| format!("seed {seed}: build failed: {e:?}"))?;
+    for threads in thread_counts(&plan) {
+        let res = catching(|| {
+            execute(
+                &plan,
+                table.clone(),
+                threads,
+                plan.scan_fast_path,
+                Some(FaultSpec::always(seed)),
+                2,
+                OnCorrupt::Retry,
+            )
+        })
+        .map_err(|p| {
+            format!(
+                "seed {seed}: PANIC under mirrored faults ({threads} threads): {p}\n  case: {}",
+                plan.describe()
+            )
+        })?
+        .map_err(|e| {
+            format!(
+                "seed {seed}: mirrored run failed ({threads} threads): {e:?}\n  case: {}",
+                plan.describe()
+            )
+        })?;
+        if res.rows != want {
+            return Err(format!(
+                "seed {seed}: mirrored run MISMATCH ({threads} threads): engine {} rows, \
+                 oracle {} rows\n  case: {}",
+                res.rows.len(),
+                want.len(),
+                plan.describe()
+            ));
+        }
+        let rec = res.report.io.recovery;
+        if rec.quarantined_pages != 0 || rec.dropped_rows != 0 {
+            return Err(format!(
+                "seed {seed}: mirrored run quarantined {} pages / dropped {} rows with a clean \
+                 replica available ({threads} threads)\n  case: {}",
+                rec.quarantined_pages,
+                rec.dropped_rows,
+                plan.describe()
+            ));
+        }
+        if rec.repairs != rec.retries {
+            return Err(format!(
+                "seed {seed}: mirrored run: {} retries but {} repairs — the clean replica must \
+                 repair every retry ({threads} threads)\n  case: {}",
+                rec.retries,
+                rec.repairs,
+                plan.describe()
+            ));
+        }
+        if !table.quarantine.is_empty() {
+            return Err(format!(
+                "seed {seed}: mirrored run left {} pages in the table quarantine\n  case: {}",
+                table.quarantine.len(),
+                plan.describe()
+            ));
+        }
+    }
+
+    // --- Mode B: single replica, Skip policy, degraded results. ---
+    for rate in [1_000_000u32, 150_000] {
+        // The quarantine is shared across clones of a table handle, so every
+        // run gets a freshly built table.
+        let mut serial_rows: Option<Vec<Vec<rodb_types::Value>>> = None;
+        let mut serial_quarantine: Option<Vec<QuarantinedPage>> = None;
+        let mut serial_union = 0u64;
+        for threads in thread_counts(&plan) {
+            let table = catching(|| build_table(&plan))
+                .map_err(|p| format!("seed {seed}: build panicked: {p}"))?
+                .map_err(|e| format!("seed {seed}: build failed: {e:?}"))?;
+            let res = catching(|| {
+                execute(
+                    &plan,
+                    table.clone(),
+                    threads,
+                    plan.scan_fast_path,
+                    Some(FaultSpec::at_rate(seed, rate)),
+                    1,
+                    OnCorrupt::Skip,
+                )
+            })
+            .map_err(|p| {
+                format!(
+                    "seed {seed}: PANIC in degraded scan (rate {rate}, {threads} threads): {p}\n  \
+                     case: {}",
+                    plan.describe()
+                )
+            })?
+            .map_err(|e| {
+                format!(
+                    "seed {seed}: degraded scan failed (rate {rate}, {threads} threads): {e:?}\n  \
+                     case: {}",
+                    plan.describe()
+                )
+            })?;
+
+            let snapshot = table.quarantine.snapshot();
+            let mut dropped = vec![false; plan.rows.len()];
+            for &q in &snapshot {
+                mark_quarantined_span(&table, q, &mut dropped);
+            }
+            let union: u64 = dropped.iter().filter(|&&d| d).count() as u64;
+
+            // Expected rows: the oracle over the surviving positions.
+            let mut degraded = plan.clone();
+            degraded.rows = plan
+                .rows
+                .iter()
+                .zip(&dropped)
+                .filter(|&(_, &d)| !d)
+                .map(|(r, _)| r.clone())
+                .collect();
+            let want_sub = oracle::expected(&degraded);
+            if res.rows != want_sub {
+                return Err(format!(
+                    "seed {seed}: degraded scan MISMATCH (rate {rate}, {threads} threads): \
+                     engine {} rows, oracle-over-survivors {} rows ({} of {} positions \
+                     dropped)\n  case: {}",
+                    res.rows.len(),
+                    want_sub.len(),
+                    union,
+                    plan.rows.len(),
+                    plan.describe()
+                ));
+            }
+            let rec = res.report.io.recovery;
+            if rec.quarantined_pages != snapshot.len() as u64 {
+                return Err(format!(
+                    "seed {seed}: degraded scan counted {} quarantined pages but the table \
+                     quarantine holds {} (rate {rate}, {threads} threads)\n  case: {}",
+                    rec.quarantined_pages,
+                    snapshot.len(),
+                    plan.describe()
+                ));
+            }
+            if threads == 1 {
+                if rec.dropped_rows != union {
+                    return Err(format!(
+                        "seed {seed}: serial degraded scan dropped_rows {} != quarantined span \
+                         union {} (rate {rate})\n  case: {}",
+                        rec.dropped_rows,
+                        union,
+                        plan.describe()
+                    ));
+                }
+                serial_rows = Some(res.rows);
+                serial_quarantine = Some(snapshot);
+                serial_union = union;
+            } else {
+                if rec.dropped_rows > union || (union > 0 && rec.dropped_rows == 0) {
+                    return Err(format!(
+                        "seed {seed}: parallel degraded scan dropped_rows {} outside (0, {}] \
+                         (rate {rate}, {threads} threads)\n  case: {}",
+                        rec.dropped_rows,
+                        union,
+                        plan.describe()
+                    ));
+                }
+                if let Some(sq) = &serial_quarantine {
+                    if *sq != snapshot {
+                        return Err(format!(
+                            "seed {seed}: parallel degraded scan quarantined {:?}, serial \
+                             quarantined {:?} (rate {rate}, {threads} threads)\n  case: {}",
+                            snapshot,
+                            sq,
+                            plan.describe()
+                        ));
+                    }
+                    if union != serial_union {
+                        return Err(format!(
+                            "seed {seed}: span union changed across runs: serial {}, parallel \
+                             {} (rate {rate})\n  case: {}",
+                            serial_union,
+                            union,
+                            plan.describe()
+                        ));
+                    }
+                }
+                if let Some(sr) = &serial_rows {
+                    if *sr != res.rows {
+                        return Err(format!(
+                            "seed {seed}: parallel degraded rows differ from serial (rate \
+                             {rate}, {threads} threads)\n  case: {}",
+                            plan.describe()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +507,13 @@ mod tests {
     fn smoke_faults_fail_closed() {
         for seed in 0..60 {
             run_fault_case(seed).unwrap();
+        }
+    }
+
+    #[test]
+    fn smoke_recovery_repairs_and_degrades() {
+        for seed in 0..60 {
+            run_recovery_case(seed).unwrap();
         }
     }
 

@@ -1,25 +1,32 @@
 //! Fuzzer CLI.
 //!
 //! ```text
-//! cargo run -p rodb-fuzz --release -- --iters 10000            # oracle diff
-//! cargo run -p rodb-fuzz --release -- --iters 10000 --faults   # fault mode
-//! cargo run -p rodb-fuzz -- --seed 1234                        # replay one
+//! cargo run -p rodb-fuzz --release -- --iters 10000             # oracle diff
+//! cargo run -p rodb-fuzz --release -- --iters 10000 --faults    # fault mode
+//! cargo run -p rodb-fuzz --release -- --iters 10000 --recovery  # recovery mode
+//! cargo run -p rodb-fuzz -- --seed 1234                         # replay one
 //! ```
 //!
 //! Every failure prints the reproducing seed; the exit code is non-zero if
-//! any seed failed.
+//! any seed failed. `--json PATH` additionally writes a one-object summary
+//! (mode, seed window, failing seeds) for CI artifacts.
 
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rodb-fuzz [--seed N | --start-seed N --iters N] [--faults]\n\
+        "usage: rodb-fuzz [--seed N | --start-seed N --iters N] [--faults | --recovery] \
+         [--json PATH]\n\
          \n\
          --seed N        run exactly one seed (replay a failure)\n\
          --start-seed N  first seed of a sweep (default 0)\n\
          --iters N       number of seeds to sweep (default 200)\n\
          --faults        fault-injection mode: every page read is corrupted\n\
-                         and the engine must return Err(Corrupt)"
+                         and the engine must return Err(Corrupt)\n\
+         --recovery      recovery mode: mirrored reads must repair to\n\
+                         oracle-identical rows; mirror=1 Skip scans must\n\
+                         return the oracle over exactly the surviving rows\n\
+         --json PATH     write a JSON summary of the sweep to PATH"
     );
     std::process::exit(2);
 }
@@ -31,50 +38,83 @@ fn parse_u64(v: Option<String>) -> u64 {
     }
 }
 
+fn write_json(
+    path: &str,
+    mode: &str,
+    first: u64,
+    count: u64,
+    failed: &[u64],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    let seeds: Vec<String> = failed.iter().map(u64::to_string).collect();
+    writeln!(
+        f,
+        "{{\n  \"mode\": \"{mode}\",\n  \"start_seed\": {first},\n  \"iters\": {count},\n  \
+         \"failures\": {},\n  \"failed_seeds\": [{}]\n}}",
+        failed.len(),
+        seeds.join(", ")
+    )
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut seed: Option<u64> = None;
     let mut start: u64 = 0;
     let mut iters: u64 = 200;
     let mut faults = false;
+    let mut recovery = false;
+    let mut json: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => seed = Some(parse_u64(args.next())),
             "--start-seed" => start = parse_u64(args.next()),
             "--iters" => iters = parse_u64(args.next()),
             "--faults" => faults = true,
+            "--recovery" => recovery = true,
+            "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
+    }
+    if faults && recovery {
+        usage();
     }
     let (first, count) = match seed {
         Some(s) => (s, 1),
         None => (start, iters),
     };
+    type CaseFn = fn(u64) -> Result<(), String>;
+    let (mode, run): (&str, CaseFn) = if faults {
+        ("faults", rodb_fuzz::run_fault_case)
+    } else if recovery {
+        ("recovery", rodb_fuzz::run_recovery_case)
+    } else {
+        ("healthy", rodb_fuzz::run_case)
+    };
 
-    let mut failures = 0u64;
+    let mut failed: Vec<u64> = Vec::new();
     for s in first..first.saturating_add(count) {
-        let result = if faults {
-            rodb_fuzz::run_fault_case(s)
-        } else {
-            rodb_fuzz::run_case(s)
-        };
-        if let Err(msg) = result {
-            failures += 1;
+        if let Err(msg) = run(s) {
+            failed.push(s);
             eprintln!("FAIL {msg}");
-            eprintln!(
-                "  reproduce: cargo run -p rodb-fuzz -- --seed {s}{}",
-                if faults { " --faults" } else { "" }
-            );
+            let flag = match mode {
+                "faults" => " --faults",
+                "recovery" => " --recovery",
+                _ => "",
+            };
+            eprintln!("  reproduce: cargo run -p rodb-fuzz -- --seed {s}{flag}");
         }
     }
-    if failures == 0 {
-        println!(
-            "ok: {count} seed(s) from {first} clean{}",
-            if faults { " (fault injection)" } else { "" }
-        );
+    if let Some(path) = &json {
+        if let Err(e) = write_json(path, mode, first, count, &failed) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+    if failed.is_empty() {
+        println!("ok: {count} seed(s) from {first} clean ({mode} mode)");
         ExitCode::SUCCESS
     } else {
-        eprintln!("{failures}/{count} seed(s) failed");
+        eprintln!("{}/{count} seed(s) failed ({mode} mode)", failed.len());
         ExitCode::FAILURE
     }
 }

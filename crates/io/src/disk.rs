@@ -26,7 +26,9 @@
 //! normal pipelined column scanner is "one step ahead" in its submissions
 //! (§4.5) and is favoured with `interleave = 2`.
 
-use rodb_types::{Error, FaultSpec, HardwareConfig, Result, SplitMix64, SystemConfig};
+use std::collections::HashSet;
+
+use rodb_types::{Error, FaultSpec, HardwareConfig, OnCorrupt, Result, SplitMix64, SystemConfig};
 
 use crate::stats::IoStats;
 
@@ -44,61 +46,119 @@ struct Competitor {
 
 /// Deterministic page-read fault injector (testing only).
 ///
-/// Damage is a pure function of the [`FaultSpec`] seed and the sequence of
-/// page reads, so a failing run replays exactly from its seed. Three fault
-/// kinds model the classic storage failure modes: a few flipped bits
+/// Damage is a pure function of the [`FaultSpec`] seed and the read's
+/// *position* — `(file, page index, replica)` — so any read order (serial
+/// morsels, parallel morsels, scalar or fast path) observes the same damage
+/// at the same site, and a failing run replays exactly from its seed. Three
+/// fault kinds model the classic storage failure modes: a few flipped bits
 /// (media/bus damage), a truncated page (partial sector) and a short read
 /// whose missing tail arrives as zeros. Every kind alters at least one byte,
 /// so the page CRC is guaranteed to see it.
 #[derive(Debug)]
 pub struct FaultInjector {
-    rng: SplitMix64,
+    seed: u64,
     rate_ppm: u32,
+    replica_rate_ppm: u32,
+    /// Sites whose primary copy was rewritten from a clean replica; their
+    /// later primary reads come back clean (write-back repair).
+    repaired: HashSet<(u64, u64)>,
+}
+
+/// Apply one fault kind to a copy of `page`. `rng` supplies the damage
+/// positions; the result always differs from the input in at least one byte
+/// (or in length), even for one-byte pages.
+fn apply_fault(rng: &mut SplitMix64, page: &[u8], kind: u64) -> Vec<u8> {
+    let mut bytes = page.to_vec();
+    match kind {
+        0 => {
+            // Flip 1..=8 random bits.
+            let flips = 1 + rng.below(8) as usize;
+            for _ in 0..flips {
+                let byte = rng.below(bytes.len() as u64) as usize;
+                let bit = rng.below(8) as u32;
+                bytes[byte] ^= 1u8 << bit;
+            }
+            if bytes == page {
+                // An even number of flips landed on the same bit (likely on
+                // tiny pages) — force a visible flip.
+                bytes[0] ^= 1;
+            }
+        }
+        1 => {
+            // Truncated page: the device returned fewer bytes. Clamp the
+            // kept prefix to 0..len-1 so at least one byte is always lost.
+            let keep = (rng.below(bytes.len() as u64) as usize).min(bytes.len() - 1);
+            bytes.truncate(keep);
+        }
+        _ => {
+            // Short read: the tail never arrived and reads as zeros.
+            let from = rng.below(bytes.len() as u64) as usize;
+            bytes[from..].fill(0);
+            if bytes == page {
+                // The tail was already zero — damage the checksum field
+                // instead so the fault is never a silent no-op.
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0xFF;
+            }
+        }
+    }
+    bytes
 }
 
 impl FaultInjector {
     pub fn new(spec: FaultSpec) -> FaultInjector {
         FaultInjector {
-            rng: SplitMix64::new(spec.seed),
+            seed: spec.seed,
             rate_ppm: spec.rate_ppm,
+            replica_rate_ppm: spec.replica_rate_ppm,
+            repaired: HashSet::new(),
         }
     }
 
-    /// Roll for one page read: `Some(damaged bytes)` when the fault fires
-    /// (possibly shorter than the input), `None` when this read survives.
-    pub fn corrupt(&mut self, page: &[u8]) -> Option<Vec<u8>> {
-        if page.is_empty() || self.rng.below(1_000_000) >= self.rate_ppm as u64 {
+    /// The per-site RNG: a SplitMix64 stream keyed on (seed, file, page,
+    /// replica) via golden-ratio mixing, so each site draws independent,
+    /// order-free randomness.
+    fn site_rng(&self, file: u64, page_index: u64, replica: u32) -> SplitMix64 {
+        let mut h = self.seed;
+        h ^= 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(file.wrapping_add(0x243F_6A88_85A3_08D3));
+        h ^= 0xBF58_476D_1CE4_E5B9u64.wrapping_mul(page_index.wrapping_add(0x1319_8A2E_0370_7344));
+        h ^= 0x94D0_49BB_1331_11EBu64.wrapping_mul(replica as u64 + 0xA409_3822_299F_31D0);
+        SplitMix64::new(h)
+    }
+
+    /// Roll for one read of replica `replica` of page `page_index` of `file`:
+    /// `Some(damaged bytes)` when the fault fires (possibly shorter than the
+    /// input), `None` when this read survives.
+    pub fn corrupt(
+        &mut self,
+        file: u64,
+        page_index: u64,
+        replica: u32,
+        page: &[u8],
+    ) -> Option<Vec<u8>> {
+        if page.is_empty() {
             return None;
         }
-        let mut bytes = page.to_vec();
-        match self.rng.below(3) {
-            0 => {
-                // Flip 1..=8 random bits.
-                let flips = 1 + self.rng.below(8) as usize;
-                for _ in 0..flips {
-                    let byte = self.rng.below(bytes.len() as u64) as usize;
-                    let bit = self.rng.below(8) as u32;
-                    bytes[byte] ^= 1u8 << bit;
-                }
-            }
-            1 => {
-                // Truncated page: the device returned fewer bytes.
-                let keep = self.rng.below(bytes.len() as u64) as usize;
-                bytes.truncate(keep);
-            }
-            _ => {
-                // Short read: the tail never arrived and reads as zeros.
-                let from = self.rng.below(bytes.len() as u64) as usize;
-                bytes[from..].fill(0);
-                if bytes == page {
-                    // The tail was already zero — damage the checksum field
-                    // instead so the fault is never a silent no-op.
-                    let last = bytes.len() - 1;
-                    bytes[last] ^= 0xFF;
-                }
-            }
+        if replica == 0 && self.repaired.contains(&(file, page_index)) {
+            return None;
         }
-        Some(bytes)
+        let rate = if replica == 0 {
+            self.rate_ppm
+        } else {
+            self.replica_rate_ppm
+        };
+        let mut rng = self.site_rng(file, page_index, replica);
+        if rng.below(1_000_000) >= rate as u64 {
+            return None;
+        }
+        let kind = rng.below(3);
+        Some(apply_fault(&mut rng, page, kind))
+    }
+
+    /// Record that the primary copy of a site was rewritten from a clean
+    /// replica; its later primary reads are clean.
+    pub fn mark_repaired(&mut self, file: u64, page_index: u64) {
+        self.repaired.insert((file, page_index));
     }
 }
 
@@ -130,6 +190,11 @@ pub struct DiskArray {
     stats: IoStats,
     /// Installed from [`SystemConfig::faults`]; `None` = healthy array.
     faults: Option<FaultInjector>,
+    /// R-way page replication ([`SystemConfig::mirror`]).
+    mirror: usize,
+    /// Degraded-scan policy ([`SystemConfig::on_corrupt`]); `Fail` disables
+    /// replica retries entirely.
+    on_corrupt: OnCorrupt,
 }
 
 impl DiskArray {
@@ -158,13 +223,72 @@ impl DiskArray {
             interleave: 1,
             stats: IoStats::default(),
             faults: sys.faults.map(FaultInjector::new),
+            mirror: sys.mirror,
+            on_corrupt: sys.on_corrupt,
         })
     }
 
-    /// Roll the installed fault injector for one page read. `None` when no
-    /// injector is installed or this read survives.
-    pub fn fault_for_page(&mut self, page: &[u8]) -> Option<Vec<u8>> {
-        self.faults.as_mut().and_then(|f| f.corrupt(page))
+    /// Roll the installed fault injector for one read of page `page_index`
+    /// of `file`, retrying CRC-failing reads against mirror replicas when
+    /// configured. Returns `None` when the read is clean (either the primary
+    /// copy survived, or a replica did and the site was repaired), or
+    /// `Some(damaged bytes)` when every tried replica came back bad.
+    ///
+    /// Each replica retry charges a modeled backoff to the simulated clock:
+    /// the head repositions to the replica (one seek) and re-transfers the
+    /// page. With `mirror == 1` or `on_corrupt == Fail` no retries happen and
+    /// the behavior is exactly the fail-fast path.
+    pub fn read_page(&mut self, file: FileId, page_index: u64, page: &[u8]) -> Option<Vec<u8>> {
+        self.faults.as_ref()?;
+        let mut last = self
+            .faults
+            .as_mut()
+            .unwrap()
+            .corrupt(file.0, page_index, 0, page)?;
+        if self.mirror < 2 || self.on_corrupt == OnCorrupt::Fail {
+            return Some(last);
+        }
+        for replica in 1..self.mirror as u32 {
+            // Backoff: reposition to the replica, then re-transfer the page.
+            let transfer = page.len() as f64 / self.bandwidth();
+            self.clock += self.seek_s + transfer;
+            self.stats.seeks += 1;
+            self.stats.seek_s += self.seek_s;
+            self.stats.transfer_s += transfer;
+            self.stats.bytes_read += page.len() as f64 * self.scale;
+            self.stats.recovery.retries += 1;
+            // The head moved away from the sequential run.
+            self.bytes_since_seek = page.len() as f64;
+            match self
+                .faults
+                .as_mut()
+                .unwrap()
+                .corrupt(file.0, page_index, replica, page)
+            {
+                None => {
+                    // Clean copy found: rewrite the primary (write-back
+                    // repair) so later reads of this site are clean.
+                    self.faults
+                        .as_mut()
+                        .unwrap()
+                        .mark_repaired(file.0, page_index);
+                    self.stats.recovery.repairs += 1;
+                    return None;
+                }
+                Some(d) => last = d,
+            }
+        }
+        Some(last)
+    }
+
+    /// Record `n` freshly quarantined pages (every replica bad).
+    pub fn note_quarantined(&mut self, n: u64) {
+        self.stats.recovery.quarantined_pages += n;
+    }
+
+    /// Record `n` rows dropped by a degraded (`Skip`) scan.
+    pub fn note_dropped_rows(&mut self, n: u64) {
+        self.stats.recovery.dropped_rows += n;
     }
 
     /// Burst size in actual bytes (what a stream should request per fetch).
@@ -464,22 +588,46 @@ mod tests {
     }
 
     #[test]
-    fn fault_injector_is_deterministic_and_never_a_noop() {
+    fn fault_injector_is_deterministic_and_positional() {
         let spec = FaultSpec::always(7);
         let page: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
         let mut a = FaultInjector::new(spec);
         let mut b = FaultInjector::new(spec);
-        for _ in 0..200 {
-            let x = a.corrupt(&page).expect("rate = 100%");
-            let y = b.corrupt(&page).expect("same seed, same damage");
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..200u64 {
+            let x = a.corrupt(1, p, 0, &page).expect("rate = 100%");
+            let y = b.corrupt(1, p, 0, &page).expect("same site, same damage");
             assert_eq!(x, y);
             assert_ne!(x, page, "a fault must alter the page");
+            seen.insert(x);
         }
-        let mut quiet = FaultInjector::new(FaultSpec {
-            seed: 7,
-            rate_ppm: 0,
-        });
-        assert!(quiet.corrupt(&page).is_none());
+        assert!(seen.len() > 150, "sites draw independent damage");
+        // Damage is a function of the site, not the read order.
+        let mut c = FaultInjector::new(spec);
+        let late = c.corrupt(1, 150, 0, &page).unwrap();
+        let mut d = FaultInjector::new(spec);
+        for p in 0..=150u64 {
+            d.corrupt(1, p, 0, &page);
+        }
+        assert_eq!(late, d.corrupt(1, 150, 0, &page).unwrap());
+        let mut quiet = FaultInjector::new(FaultSpec::at_rate(7, 0));
+        assert!(quiet.corrupt(1, 0, 0, &page).is_none());
+        // Replicas default to clean even at 100% primary rate.
+        let mut m = FaultInjector::new(spec);
+        assert!(m.corrupt(1, 0, 1, &page).is_none());
+    }
+
+    #[test]
+    fn repaired_sites_read_clean() {
+        let mut inj = FaultInjector::new(FaultSpec::always(5));
+        let page = vec![9u8; 256];
+        assert!(inj.corrupt(2, 4, 0, &page).is_some());
+        inj.mark_repaired(2, 4);
+        assert!(inj.corrupt(2, 4, 0, &page).is_none());
+        assert!(
+            inj.corrupt(2, 5, 0, &page).is_some(),
+            "other sites still bad"
+        );
     }
 
     #[test]
@@ -489,8 +637,27 @@ mod tests {
         let mut page = vec![0u8; 4096];
         page[0] = 1;
         let mut inj = FaultInjector::new(FaultSpec::always(1));
-        for _ in 0..500 {
-            assert_ne!(inj.corrupt(&page).unwrap(), page);
+        for p in 0..500u64 {
+            assert_ne!(inj.corrupt(0, p, 0, &page).unwrap(), page);
+        }
+    }
+
+    #[test]
+    fn every_fault_kind_alters_tiny_pages() {
+        // 1- and 2-byte pages: each kind must still change at least one byte
+        // (or the length) — the truncation arm in particular must never keep
+        // the whole page.
+        for page in [vec![0x5Au8], vec![0u8], vec![0xA5u8, 0x5A], vec![0u8, 0]] {
+            for kind in 0..3u64 {
+                for seed in 0..50u64 {
+                    let mut rng = SplitMix64::new(seed);
+                    let out = apply_fault(&mut rng, &page, kind);
+                    assert_ne!(out, page, "kind {kind} no-op on {page:?} (seed {seed})");
+                    if kind == 1 {
+                        assert!(out.len() < page.len(), "truncation kept every byte");
+                    }
+                }
+            }
         }
     }
 
@@ -498,8 +665,71 @@ mod tests {
     fn disk_array_installs_injector_from_sys_config() {
         let faulty = sys().with_faults(FaultSpec::always(3));
         let mut d = DiskArray::new(&hw(), &faulty, 1.0).unwrap();
-        assert!(d.fault_for_page(&[7u8; 64]).is_some());
+        assert!(d.read_page(FileId(0), 0, &[7u8; 64]).is_some());
         let mut healthy = DiskArray::new(&hw(), &sys(), 1.0).unwrap();
-        assert!(healthy.fault_for_page(&[7u8; 64]).is_none());
+        assert!(healthy.read_page(FileId(0), 0, &[7u8; 64]).is_none());
+    }
+
+    #[test]
+    fn mirrored_read_repairs_and_charges_backoff() {
+        let faulty = sys().with_faults(FaultSpec::always(3)).with_mirror(2);
+        let mut d = DiskArray::new(&hw(), &faulty, 1.0).unwrap();
+        let page = [7u8; 4096];
+        let before = d.elapsed();
+        assert!(
+            d.read_page(FileId(0), 0, &page).is_none(),
+            "replica copy is clean, read recovers"
+        );
+        let backoff = d.elapsed() - before;
+        let expect = hw().seek_s + page.len() as f64 / hw().aggregate_disk_bw();
+        assert!((backoff - expect).abs() < 1e-12, "backoff {backoff}");
+        assert_eq!(d.stats().recovery.retries, 1);
+        assert_eq!(d.stats().recovery.repairs, 1);
+        // The site was repaired: reading it again is clean and free.
+        let t = d.elapsed();
+        assert!(d.read_page(FileId(0), 0, &page).is_none());
+        assert_eq!(d.elapsed(), t);
+        assert_eq!(d.stats().recovery.retries, 1);
+    }
+
+    #[test]
+    fn mirror_fail_policy_and_bad_replicas_skip_retries() {
+        // on_corrupt = Fail: no retries even with a mirror.
+        let faulty = sys()
+            .with_faults(FaultSpec::always(3))
+            .with_mirror(2)
+            .with_on_corrupt(OnCorrupt::Fail);
+        let mut d = DiskArray::new(&hw(), &faulty, 1.0).unwrap();
+        assert!(d.read_page(FileId(0), 0, &[7u8; 64]).is_some());
+        assert_eq!(d.stats().recovery.retries, 0);
+        // Every replica bad: damage is returned after mirror-1 retries.
+        let allbad = sys()
+            .with_faults(FaultSpec {
+                seed: 3,
+                rate_ppm: 1_000_000,
+                replica_rate_ppm: 1_000_000,
+            })
+            .with_mirror(3);
+        let mut d = DiskArray::new(&hw(), &allbad, 1.0).unwrap();
+        assert!(d.read_page(FileId(0), 0, &[7u8; 64]).is_some());
+        assert_eq!(d.stats().recovery.retries, 2);
+        assert_eq!(d.stats().recovery.repairs, 0);
+    }
+
+    #[test]
+    fn mirror_is_free_without_faults() {
+        // The clean path charges nothing for redundancy: mirror=2 with no
+        // injector is byte-for-byte the mirror=1 clock.
+        let mut plain = DiskArray::new(&hw(), &sys(), 1.0).unwrap();
+        let mut mirrored = DiskArray::new(&hw(), &sys().with_mirror(2), 1.0).unwrap();
+        for d in [&mut plain, &mut mirrored] {
+            let burst = d.burst_bytes();
+            for i in 0..20 {
+                d.read(FileId(0), i as f64 * burst, burst);
+                assert!(d.read_page(FileId(0), i, &[1u8; 4096]).is_none());
+            }
+        }
+        assert_eq!(plain.elapsed(), mirrored.elapsed());
+        assert_eq!(plain.stats(), mirrored.stats());
     }
 }

@@ -13,5 +13,5 @@ pub mod stats;
 pub mod stream;
 
 pub use disk::{merge_parallel, DiskArray, FaultInjector, FileId};
-pub use stats::IoStats;
+pub use stats::{IoStats, RecoveryStats};
 pub use stream::{FileStream, PageRef, SharedDisk};

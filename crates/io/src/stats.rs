@@ -1,5 +1,30 @@
 //! I/O accounting.
 
+/// Fault-recovery counters for one query execution, carried inside
+/// [`IoStats`] so they merge across parallel morsels exactly like the rest
+/// of the I/O accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Replica reads attempted after a CRC-failing primary read.
+    pub retries: u64,
+    /// Pages recovered from a clean replica (and written back).
+    pub repairs: u64,
+    /// Pages newly quarantined because every replica was bad.
+    pub quarantined_pages: u64,
+    /// Rows dropped by degraded (`on_corrupt = Skip`) scans.
+    pub dropped_rows: u64,
+}
+
+impl RecoveryStats {
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.retries += other.retries;
+        self.repairs += other.repairs;
+        self.quarantined_pages += other.quarantined_pages;
+        self.dropped_rows += other.dropped_rows;
+    }
+}
+
 /// Counters accumulated by the disk-array simulator for one query execution.
 ///
 /// `bytes_read` / `seeks` / `bursts` cover the *foreground* query only;
@@ -23,6 +48,9 @@ pub struct IoStats {
     /// Pages skipped without transfer because a zone map proved them
     /// irrelevant (the fast scan path's page-skipping evidence).
     pub pages_skipped: u64,
+    /// Fault-recovery counters (mirrored-read retries, repairs, quarantine,
+    /// degraded-scan drops).
+    pub recovery: RecoveryStats,
 }
 
 impl IoStats {
@@ -41,6 +69,7 @@ impl IoStats {
         self.seek_s += other.seek_s;
         self.comp_s += other.comp_s;
         self.pages_skipped += other.pages_skipped;
+        self.recovery.merge(&other.recovery);
     }
 }
 

@@ -57,7 +57,7 @@ impl FileStream {
         page_size: usize,
     ) -> Result<FileStream> {
         if page_size == 0 || !data.len().is_multiple_of(page_size) {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "file of {} bytes is not page aligned ({page_size})",
                 data.len()
             )));
@@ -102,14 +102,16 @@ impl FileStream {
         let idx = self.next_page;
         self.next_page += 1;
         let start = idx * self.page_size;
-        // Fault injection (testing only): the injector may hand back a
-        // damaged copy of the page — the scanner's checksum verification is
-        // what must catch it.
-        if let Some(damaged) = self
-            .disk
-            .borrow_mut()
-            .fault_for_page(&self.data[start..start + self.page_size])
-        {
+        // Fault injection (testing only): the read may hand back a damaged
+        // copy of the page after exhausting any configured mirror replicas —
+        // the scanner's checksum verification is what must catch it. A
+        // successful replica retry returns `None` (clean) after charging the
+        // modeled backoff.
+        if let Some(damaged) = self.disk.borrow_mut().read_page(
+            self.file_id,
+            idx as u64,
+            &self.data[start..start + self.page_size],
+        ) {
             let len = damaged.len();
             return Some(PageRef {
                 data: Arc::new(damaged),

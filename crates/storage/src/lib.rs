@@ -11,6 +11,7 @@ pub mod loader;
 pub mod page;
 pub mod page_packed;
 pub mod page_pax;
+pub mod quarantine;
 pub mod table;
 pub mod wos;
 
@@ -19,5 +20,6 @@ pub use loader::{BuildLayouts, TableBuilder};
 pub use page::{page_zone, ColumnPage, ColumnPageBuilder, PageView, RowPage, RowPageBuilder};
 pub use page_packed::{PackedRowPage, PackedRowPageBuilder};
 pub use page_pax::{PaxPage, PaxPageBuilder};
+pub use quarantine::{scrub, Quarantine, QuarantinedPage, ScrubReport};
 pub use table::{ColStorage, ColumnStorage, Layout, Morsel, RowFormat, RowStorage, Table};
 pub use wos::WriteOptimizedStore;

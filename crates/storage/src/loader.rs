@@ -199,7 +199,7 @@ impl TableBuilder {
                 }
             }
         } else if values.len() != self.schema.len() {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "row with {} values for {}-column schema",
                 values.len(),
                 self.schema.len()
@@ -297,6 +297,7 @@ impl TableBuilder {
             row_count: self.row_count,
             row,
             col,
+            quarantine: crate::quarantine::Quarantine::default(),
         })
     }
 

@@ -20,7 +20,7 @@
 //! which is why verification happens at page-open time on the scan path.
 
 use rodb_compress::{ColumnCompression, PageValues};
-use rodb_types::{DataType, Error, PageId, Result, Schema, Value};
+use rodb_types::{CorruptKind, DataType, Error, PageId, Result, Schema, Value};
 
 /// Bytes of the page header (the entry count).
 pub const PAGE_HEADER: usize = 4;
@@ -132,14 +132,18 @@ impl<'a> PageView<'a> {
     pub fn new(bytes: &'a [u8]) -> Result<PageView<'a>> {
         let n = bytes.len();
         if n < PAGE_HEADER + PAGE_TRAILER {
-            return Err(Error::Corrupt(format!("page of {n} bytes")));
+            return Err(Error::corrupt_kind(
+                CorruptKind::Truncated,
+                format!("page of {n} bytes"),
+            ));
         }
         let stored = u32::from_le_bytes([bytes[n - 4], bytes[n - 3], bytes[n - 2], bytes[n - 1]]);
         let actual = crc32(&bytes[..n - 4]);
         if stored != actual {
-            return Err(Error::Corrupt(format!(
-                "page checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
-            )));
+            return Err(Error::corrupt_kind(
+                CorruptKind::Checksum,
+                format!("page checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"),
+            ));
         }
         Ok(PageView { bytes })
     }
@@ -205,10 +209,10 @@ impl RowPageBuilder {
     /// Append one tuple's raw bytes (logical width; padding added here).
     pub fn push(&mut self, raw_tuple: &[u8]) -> Result<()> {
         if self.is_full() {
-            return Err(Error::Corrupt("push into full row page".into()));
+            return Err(Error::corrupt("push into full row page"));
         }
         if raw_tuple.len() > self.stored_width {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "tuple of {} bytes, stored width {}",
                 raw_tuple.len(),
                 self.stored_width
@@ -247,7 +251,7 @@ impl<'a> RowPage<'a> {
         let view = PageView::new(bytes)?;
         let count = view.count();
         if count * stored_width > view.body().len() {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "row page claims {count} tuples of {stored_width} bytes"
             )));
         }
@@ -310,7 +314,7 @@ impl ColumnPageBuilder {
 
     pub fn push(&mut self, v: Value) -> Result<()> {
         if self.is_full() {
-            return Err(Error::Corrupt("push into full column page".into()));
+            return Err(Error::corrupt("push into full column page"));
         }
         if !v.fits(self.dtype) {
             return Err(Error::TypeMismatch {
@@ -327,7 +331,7 @@ impl ColumnPageBuilder {
         let enc = comp.encode_page(self.dtype, &self.values)?;
         let mut page = vec![0u8; self.page_size];
         if PAGE_HEADER + enc.data.len() > self.page_size - PAGE_TRAILER {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "encoded column body of {} bytes exceeds page",
                 enc.data.len()
             )));

@@ -97,7 +97,7 @@ impl PackedRowPageBuilder {
 
     pub fn push(&mut self, values: &[Value]) -> Result<()> {
         if self.is_full() {
-            return Err(Error::Corrupt("push into full packed row page".into()));
+            return Err(Error::corrupt("push into full packed row page"));
         }
         self.rows.push(values.to_vec());
         Ok(())
@@ -132,7 +132,7 @@ impl PackedRowPageBuilder {
         let mut prev: Vec<i64> = vec![0; schema.len()];
         for (ti, row) in self.rows.iter().enumerate() {
             if row.len() != schema.len() {
-                return Err(Error::Corrupt("row arity mismatch".into()));
+                return Err(Error::corrupt("row arity mismatch"));
             }
             for (ci, (v, comp)) in row.iter().zip(comps).enumerate() {
                 let dtype = schema.dtype(ci);
@@ -205,7 +205,7 @@ impl PackedRowPageBuilder {
         }
         let data = w.into_bytes();
         if off + data.len() > self.page_size - PAGE_TRAILER {
-            return Err(Error::Corrupt("packed rows overflow page".into()));
+            return Err(Error::corrupt("packed rows overflow page"));
         }
         page[off..off + data.len()].copy_from_slice(&data);
         write_trailer(&mut page, page_id, 0);
@@ -227,7 +227,7 @@ impl<'a> PackedRowPage<'a> {
         let count = view.count();
         let n_bases = base_columns(comps).len();
         if PAGE_HEADER + n_bases * 8 > bytes.len() - PAGE_TRAILER {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "packed row page too small for {n_bases} bases"
             )));
         }

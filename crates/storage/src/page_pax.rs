@@ -66,10 +66,10 @@ impl PaxPageBuilder {
     /// Append one raw tuple (logical width).
     pub fn push(&mut self, raw_tuple: &[u8]) -> Result<()> {
         if self.is_full() {
-            return Err(Error::Corrupt("push into full PAX page".into()));
+            return Err(Error::corrupt("push into full PAX page"));
         }
         if raw_tuple.len() != self.width {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "tuple of {} bytes for PAX width {}",
                 raw_tuple.len(),
                 self.width
@@ -114,7 +114,7 @@ impl<'a> PaxPage<'a> {
         let view = PageView::new(bytes)?;
         let capacity = pax_tuples_per_page(bytes.len(), schema);
         if view.count() > capacity {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "PAX page claims {} tuples, capacity {capacity}",
                 view.count()
             )));

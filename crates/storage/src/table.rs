@@ -78,7 +78,7 @@ impl RowStorage {
 
     fn page_slice(&self, i: usize) -> Result<&[u8]> {
         if i >= self.pages {
-            return Err(Error::Corrupt(format!("row page {i} of {}", self.pages)));
+            return Err(Error::corrupt(format!("row page {i} of {}", self.pages)));
         }
         let start = i * self.page_size;
         Ok(&self.file[start..start + self.page_size])
@@ -135,7 +135,7 @@ impl ColumnStorage {
     /// Borrow page `i` for a column of type `dtype`.
     pub fn page(&self, i: usize, dtype: rodb_types::DataType) -> Result<ColumnPage<'_>> {
         if i >= self.pages {
-            return Err(Error::Corrupt(format!("column page {i} of {}", self.pages)));
+            return Err(Error::corrupt(format!("column page {i} of {}", self.pages)));
         }
         let start = i * self.page_size;
         ColumnPage::new(&self.file[start..start + self.page_size], dtype)
@@ -213,6 +213,8 @@ pub struct Table {
     pub row_count: u64,
     pub row: Option<RowStorage>,
     pub col: Option<ColStorage>,
+    /// Pages bad on every replica (shared across clones of this table).
+    pub quarantine: crate::quarantine::Quarantine,
 }
 
 impl Table {
@@ -355,7 +357,7 @@ impl Table {
                         }
                     }
                     if row != self.row_count as usize {
-                        return Err(Error::Corrupt(format!(
+                        return Err(Error::corrupt(format!(
                             "column {ci} has {row} values, table has {}",
                             self.row_count
                         )));

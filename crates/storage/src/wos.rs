@@ -34,7 +34,7 @@ impl WriteOptimizedStore {
     /// Buffer one inserted row.
     pub fn insert(&mut self, values: Vec<Value>) -> Result<()> {
         if values.len() != self.schema.len() {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "insert with {} values for {}-column schema",
                 values.len(),
                 self.schema.len()

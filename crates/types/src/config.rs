@@ -19,16 +19,54 @@ use crate::error::{Error, Result};
 pub struct FaultSpec {
     /// Seed for the fault-site RNG.
     pub seed: u64,
-    /// Faults per million page reads (1_000_000 = every page).
+    /// Faults per million page reads of the *primary* replica
+    /// (1_000_000 = every page).
     pub rate_ppm: u32,
+    /// Fault rate for mirror replicas (replica index >= 1). Defaults to 0 so
+    /// a mirrored read always finds a clean copy; raise it to model
+    /// correlated media failure across the stripe.
+    pub replica_rate_ppm: u32,
 }
 
 impl FaultSpec {
-    /// Corrupt every page read (the fuzzer's corruption mode).
-    pub fn always(seed: u64) -> FaultSpec {
+    /// Faults on `rate_ppm` of primary reads, mirrors clean.
+    pub fn at_rate(seed: u64, rate_ppm: u32) -> FaultSpec {
         FaultSpec {
             seed,
-            rate_ppm: 1_000_000,
+            rate_ppm,
+            replica_rate_ppm: 0,
+        }
+    }
+
+    /// Corrupt every primary page read (the fuzzer's corruption mode).
+    pub fn always(seed: u64) -> FaultSpec {
+        FaultSpec::at_rate(seed, 1_000_000)
+    }
+}
+
+/// What a scan does when a page fails its checksum after all configured
+/// replicas have been tried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OnCorrupt {
+    /// Abort the query with `Err(Corrupt)` (PR 2's fail-fast behavior).
+    Fail,
+    /// Retry against mirror replicas; fail only when every replica is bad.
+    /// With `mirror == 1` there is nothing to retry against, so this behaves
+    /// exactly like `Fail`.
+    #[default]
+    Retry,
+    /// Retry like [`OnCorrupt::Retry`], but when every replica is bad,
+    /// quarantine the page and drop exactly its rows from the scan instead
+    /// of aborting (degraded read; `dropped_rows` is reported).
+    Skip,
+}
+
+impl std::fmt::Display for OnCorrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnCorrupt::Fail => write!(f, "fail"),
+            OnCorrupt::Retry => write!(f, "retry"),
+            OnCorrupt::Skip => write!(f, "skip"),
         }
     }
 }
@@ -59,6 +97,12 @@ pub struct SystemConfig {
     /// opt-in modern variant for A/B comparison. Results are bit-identical
     /// either way.
     pub scan_fast_path: bool,
+    /// R-way page replication on the simulated array (1 = no redundancy).
+    /// A CRC-failing read is retried against the next replica, charging a
+    /// modeled backoff (seek + re-transfer) to the simulated clock.
+    pub mirror: usize,
+    /// Degraded-scan policy when a page is bad on every replica.
+    pub on_corrupt: OnCorrupt,
 }
 
 impl Default for SystemConfig {
@@ -71,6 +115,8 @@ impl Default for SystemConfig {
             threads: 1,
             faults: None,
             scan_fast_path: false,
+            mirror: 1,
+            on_corrupt: OnCorrupt::Retry,
         }
     }
 }
@@ -96,9 +142,12 @@ impl SystemConfig {
             return Err(Error::InvalidConfig("threads == 0".into()));
         }
         if let Some(f) = &self.faults {
-            if f.rate_ppm > 1_000_000 {
+            if f.rate_ppm > 1_000_000 || f.replica_rate_ppm > 1_000_000 {
                 return Err(Error::InvalidConfig("fault rate_ppm > 1_000_000".into()));
             }
+        }
+        if self.mirror == 0 {
+            return Err(Error::InvalidConfig("mirror == 0".into()));
         }
         Ok(())
     }
@@ -126,6 +175,18 @@ impl SystemConfig {
     /// toggled (block decode + code-space predicates + zone-map skipping).
     pub fn with_scan_fast_path(mut self, on: bool) -> Self {
         self.scan_fast_path = on;
+        self
+    }
+
+    /// Convenience: the same config with `mirror`-way page replication.
+    pub fn with_mirror(mut self, mirror: usize) -> Self {
+        self.mirror = mirror;
+        self
+    }
+
+    /// Convenience: the same config with a different degraded-scan policy.
+    pub fn with_on_corrupt(mut self, policy: OnCorrupt) -> Self {
+        self.on_corrupt = policy;
         self
     }
 }
@@ -283,6 +344,25 @@ mod tests {
         let sc = SystemConfig::default().with_threads(0);
         assert!(sc.validate().is_err());
         assert!(SystemConfig::default().with_threads(8).validate().is_ok());
+        let sc = SystemConfig::default().with_mirror(0);
+        assert!(sc.validate().is_err());
+        assert!(SystemConfig::default().with_mirror(3).validate().is_ok());
+        let sc = SystemConfig::default().with_faults(FaultSpec {
+            seed: 1,
+            rate_ppm: 0,
+            replica_rate_ppm: 2_000_000,
+        });
+        assert!(sc.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_defaults_are_off() {
+        let sc = SystemConfig::default();
+        assert_eq!(sc.mirror, 1);
+        assert_eq!(sc.on_corrupt, OnCorrupt::Retry);
+        let f = FaultSpec::always(9);
+        assert_eq!(f.rate_ppm, 1_000_000);
+        assert_eq!(f.replica_rate_ppm, 0);
     }
 
     #[test]

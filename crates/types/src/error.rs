@@ -5,6 +5,33 @@ use std::fmt;
 /// Convenience alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// What kind of corruption a [`Error::Corrupt`] describes. The distinction
+/// drives the recovery layer: media damage ([`CorruptKind::Checksum`],
+/// [`CorruptKind::Truncated`]) is worth retrying against a mirror replica,
+/// while a structural [`CorruptKind::Format`] error (bad counts, impossible
+/// offsets *behind* a valid checksum) is a software bug no replica will fix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptKind {
+    /// Page checksum did not match its contents (bit rot, torn write).
+    Checksum,
+    /// Page or buffer shorter than the format requires (short read).
+    Truncated,
+    /// Contents are well-transferred but structurally invalid.
+    Format,
+}
+
+/// Context for a corruption error: the kind, where it was observed (when the
+/// reader knows), and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptError {
+    pub kind: CorruptKind,
+    /// Simulated file the page came from, if known at the failure site.
+    pub file_id: Option<u64>,
+    /// Page index within that file, if known at the failure site.
+    pub page_id: Option<u64>,
+    pub msg: String,
+}
+
 /// Errors raised by the storage manager, compression codecs, and query engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -16,8 +43,8 @@ pub enum Error {
     /// A value cannot be represented by the chosen compression scheme
     /// (e.g. it needs more bits than the codec was configured with).
     ValueOutOfDomain(String),
-    /// A page, file, or buffer was smaller/larger than the format requires.
-    Corrupt(String),
+    /// A page, file, or buffer failed validation; see [`CorruptError`].
+    Corrupt(Box<CorruptError>),
     /// A schema lookup failed (unknown column name or index).
     UnknownColumn(String),
     /// The catalog has no table with this name.
@@ -29,8 +56,58 @@ pub enum Error {
     InvalidPlan(String),
     /// Invalid configuration (zero disks, zero bandwidth, ...).
     InvalidConfig(String),
-    /// Underlying I/O error, stringified (std::io::Error is not Clone).
-    Io(String),
+    /// Underlying I/O error; the kind survives so retry policies can
+    /// classify it (std::io::Error itself is not Clone).
+    Io {
+        kind: std::io::ErrorKind,
+        msg: String,
+    },
+}
+
+impl Error {
+    /// A structural corruption error ([`CorruptKind::Format`]) with no page
+    /// context — the default for format-validation failure sites.
+    pub fn corrupt(msg: impl Into<String>) -> Error {
+        Error::corrupt_kind(CorruptKind::Format, msg)
+    }
+
+    /// A corruption error of an explicit kind.
+    pub fn corrupt_kind(kind: CorruptKind, msg: impl Into<String>) -> Error {
+        Error::Corrupt(Box::new(CorruptError {
+            kind,
+            file_id: None,
+            page_id: None,
+            msg: msg.into(),
+        }))
+    }
+
+    /// Attach file/page context to a corruption error (no-op for other
+    /// variants, and never overwrites context set closer to the failure).
+    pub fn with_page_context(self, file_id: u64, page_id: u64) -> Error {
+        match self {
+            Error::Corrupt(mut c) => {
+                c.file_id.get_or_insert(file_id);
+                c.page_id.get_or_insert(page_id);
+                Error::Corrupt(c)
+            }
+            other => other,
+        }
+    }
+
+    /// Whether a retry (against a mirror replica, or simply again) could
+    /// plausibly succeed: media faults yes, structural/format errors no.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            Error::Corrupt(c) => matches!(c.kind, CorruptKind::Checksum | CorruptKind::Truncated),
+            Error::Io { kind, .. } => matches!(
+                kind,
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -40,13 +117,21 @@ impl fmt::Display for Error {
                 write!(f, "type mismatch: expected {expected}, got {got}")
             }
             Error::ValueOutOfDomain(m) => write!(f, "value out of codec domain: {m}"),
-            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            Error::Corrupt(c) => {
+                write!(f, "corrupt data: {}", c.msg)?;
+                match (c.file_id, c.page_id) {
+                    (Some(fi), Some(pi)) => write!(f, " (file {fi}, page {pi})"),
+                    (Some(fi), None) => write!(f, " (file {fi})"),
+                    (None, Some(pi)) => write!(f, " (page {pi})"),
+                    (None, None) => Ok(()),
+                }
+            }
             Error::UnknownColumn(m) => write!(f, "unknown column: {m}"),
             Error::UnknownTable(m) => write!(f, "unknown table: {m}"),
             Error::LayoutUnavailable(m) => write!(f, "layout unavailable: {m}"),
             Error::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             Error::InvalidConfig(m) => write!(f, "invalid config: {m}"),
-            Error::Io(m) => write!(f, "i/o error: {m}"),
+            Error::Io { msg, .. } => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -55,7 +140,10 @@ impl std::error::Error for Error {}
 
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
-        Error::Io(e.to_string())
+        Error::Io {
+            kind: e.kind(),
+            msg: e.to_string(),
+        }
     }
 }
 
@@ -79,7 +167,46 @@ mod tests {
     fn io_error_converts() {
         let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
         let e: Error = ioe.into();
-        assert!(matches!(e, Error::Io(_)));
+        assert!(matches!(e, Error::Io { .. }));
         assert!(e.to_string().contains("nope"));
+        assert!(matches!(
+            e,
+            Error::Io {
+                kind: std::io::ErrorKind::NotFound,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn corrupt_context_and_display() {
+        let e = Error::corrupt_kind(CorruptKind::Checksum, "crc mismatch");
+        assert!(e.to_string().contains("corrupt data: crc mismatch"));
+        let e = e.with_page_context(3, 17);
+        assert!(e.to_string().contains("file 3, page 17"), "{e}");
+        // Context set closer to the failure wins over later wrapping.
+        let e2 = e.clone().with_page_context(9, 9);
+        assert_eq!(e, e2);
+        match e {
+            Error::Corrupt(c) => {
+                assert_eq!(c.kind, CorruptKind::Checksum);
+                assert_eq!(c.file_id, Some(3));
+                assert_eq!(c.page_id, Some(17));
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(Error::corrupt_kind(CorruptKind::Checksum, "x").is_retryable());
+        assert!(Error::corrupt_kind(CorruptKind::Truncated, "x").is_retryable());
+        assert!(!Error::corrupt_kind(CorruptKind::Format, "x").is_retryable());
+        assert!(!Error::corrupt("x").is_retryable());
+        let retryable: Error = std::io::Error::new(std::io::ErrorKind::Interrupted, "i").into();
+        assert!(retryable.is_retryable());
+        let terminal: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "n").into();
+        assert!(!terminal.is_retryable());
+        assert!(!Error::InvalidPlan("p".into()).is_retryable());
     }
 }

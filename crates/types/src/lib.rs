@@ -24,9 +24,9 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use config::{FaultSpec, HardwareConfig, SystemConfig};
+pub use config::{FaultSpec, HardwareConfig, OnCorrupt, SystemConfig};
 pub use datatype::DataType;
-pub use error::{Error, Result};
+pub use error::{CorruptError, CorruptKind, Error, Result};
 pub use ids::{ColumnId, PageId, RecordId, TableId};
 pub use rng::SplitMix64;
 pub use schema::{Column, Schema};

@@ -14,7 +14,7 @@ use crate::value::Value;
 /// exactly `schema.logical_width()` bytes.
 pub fn encode_tuple(schema: &Schema, values: &[Value], out: &mut Vec<u8>) -> Result<()> {
     if values.len() != schema.len() {
-        return Err(Error::Corrupt(format!(
+        return Err(Error::corrupt(format!(
             "tuple with {} values for {}-column schema",
             values.len(),
             schema.len()
@@ -31,7 +31,7 @@ pub fn encode_tuple(schema: &Schema, values: &[Value], out: &mut Vec<u8>) -> Res
 /// Decode every attribute of a raw tuple into owned [`Value`]s.
 pub fn decode_tuple(schema: &Schema, raw: &[u8]) -> Result<Vec<Value>> {
     if raw.len() < schema.logical_width() {
-        return Err(Error::Corrupt(format!(
+        return Err(Error::corrupt(format!(
             "tuple slice of {} bytes, schema needs {}",
             raw.len(),
             schema.logical_width()
@@ -48,7 +48,7 @@ pub fn decode_field(schema: &Schema, raw: &[u8], col: usize) -> Result<Value> {
     let w = schema.dtype(col).width();
     let slice = raw
         .get(off..off + w)
-        .ok_or_else(|| Error::Corrupt(format!("field {col} out of tuple bounds")))?;
+        .ok_or_else(|| Error::corrupt(format!("field {col} out of tuple bounds")))?;
     Value::decode(schema.dtype(col), slice)
 }
 

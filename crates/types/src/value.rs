@@ -115,7 +115,7 @@ impl Value {
     /// `dt.width()` bytes.
     pub fn decode(dt: DataType, raw: &[u8]) -> Result<Value> {
         if raw.len() != dt.width() {
-            return Err(Error::Corrupt(format!(
+            return Err(Error::corrupt(format!(
                 "value slice of {} bytes for {dt} (need {})",
                 raw.len(),
                 dt.width()

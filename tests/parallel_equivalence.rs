@@ -4,7 +4,7 @@
 //! equal the sum of its parts.
 
 use rodb::cpu::CpuMeter;
-use rodb::io::{merge_parallel, IoStats};
+use rodb::io::{merge_parallel, IoStats, RecoveryStats};
 use rodb::prelude::*;
 use std::sync::Arc;
 
@@ -289,6 +289,12 @@ fn io_stats_merge_sums_every_field() {
         seek_s: 0.015,
         comp_s: 0.1,
         pages_skipped: 11,
+        recovery: RecoveryStats {
+            retries: 2,
+            repairs: 1,
+            quarantined_pages: 1,
+            dropped_rows: 100,
+        },
     };
     let b = IoStats {
         bytes_read: 2.0e6,
@@ -299,6 +305,12 @@ fn io_stats_merge_sums_every_field() {
         seek_s: 0.020,
         comp_s: 0.2,
         pages_skipped: 6,
+        recovery: RecoveryStats {
+            retries: 5,
+            repairs: 3,
+            quarantined_pages: 0,
+            dropped_rows: 20,
+        },
     };
     let mut m = a;
     m.merge(&b);
@@ -307,6 +319,10 @@ fn io_stats_merge_sums_every_field() {
     assert_eq!(m.bursts, 12);
     assert_eq!(m.comp_bursts, 3);
     assert_eq!(m.pages_skipped, 17);
+    assert_eq!(m.recovery.retries, 7);
+    assert_eq!(m.recovery.repairs, 4);
+    assert_eq!(m.recovery.quarantined_pages, 1);
+    assert_eq!(m.recovery.dropped_rows, 120);
     assert!((m.transfer_s - 1.5).abs() < 1e-12);
     assert!((m.seek_s - 0.035).abs() < 1e-12);
     assert!((m.comp_s - 0.3).abs() < 1e-12);
