@@ -68,9 +68,9 @@ fn main() {
             "{:>6} {:>6} | {:>9.2} {:>9.2} {:>9.2} | {:>9.2} {:>9.2} {:>9.2} | {:>8.3} {:>8.3} {:>8.3}",
             rows[i].attrs,
             rows[i].selected_bytes,
-            r.io_s,
-            p.io_s,
-            c.io_s,
+            r.io_s(),
+            p.io_s(),
+            c.io_s(),
             r.cpu.total(),
             p.cpu.total(),
             c.cpu.total(),
@@ -85,7 +85,8 @@ fn main() {
         "\nPAX I/O vs row I/O at full projection: {:.2}s vs {:.2}s \
          (paper: \"I/O performance is identical to that of a row-store\"; \
          PAX packs slightly denser — no per-tuple padding)",
-        paxs[last].report.io_s, rows[last].report.io_s
+        paxs[last].report.io_s(),
+        rows[last].report.io_s()
     );
     println!(
         "PAX usr-L1 at 1 attr: {:.3}s vs plain-row {:.3}s, column {:.3}s \
@@ -94,6 +95,7 @@ fn main() {
     );
     assert!(paxs[0].report.cpu.usr_l1 < rows[0].report.cpu.usr_l1);
     assert!(
-        (paxs[last].report.io_s - rows[last].report.io_s).abs() / rows[last].report.io_s < 0.05
+        (paxs[last].report.io_s() - rows[last].report.io_s()).abs() / rows[last].report.io_s()
+            < 0.05
     );
 }

@@ -63,7 +63,7 @@ fn main() {
             )
             .expect("scan");
             // Concurrent queries: wall time is the slowest, CPU adds up.
-            indep_io = indep_io.max(r.io_s);
+            indep_io = indep_io.max(r.io_s());
             indep_cpu += r.cpu.total();
         }
 

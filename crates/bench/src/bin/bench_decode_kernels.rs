@@ -21,7 +21,6 @@
 //! Results land in `results/bench_decode_kernels.json`.
 //! `--smoke` shrinks rows/reps for CI.
 
-use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,6 +28,7 @@ use rodb_compress::{Codec, ColumnCompression, Dictionary};
 use rodb_core::{QueryBuilder, QueryResult};
 use rodb_engine::{CmpOp, ScanLayout};
 use rodb_storage::{BuildLayouts, Table, TableBuilder};
+use rodb_trace::{Json, MetricsRegistry};
 use rodb_types::{Column, DataType, HardwareConfig, Schema, SystemConfig, Value};
 
 const PAGE: usize = 4096;
@@ -245,49 +245,45 @@ fn main() {
         skip_frac * 100.0
     );
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"decode_kernels\",");
-    let _ = writeln!(json, "  \"rows\": {n},");
-    let _ = writeln!(json, "  \"reps\": {reps},");
-    let _ = writeln!(json, "  \"smoke\": {smoke},");
-    let _ = writeln!(json, "  \"page_size\": {PAGE},");
-    let _ = writeln!(
-        json,
-        "  \"zone\": {{\"pages_total\": {pages_total}, \"pages_skipped\": {}, \
-         \"skip_frac\": {skip_frac:.4}}},",
-        zfast.report.io.pages_skipped
-    );
-    let _ = writeln!(json, "  \"points\": [");
-    for (i, p) in points.iter().enumerate() {
-        let comma = if i + 1 < points.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"col\": \"{}\", \"codec\": \"{}\", \"selectivity\": {}, \"rows\": {}, \
-             \"slow_cpu_s\": {:.9}, \"fast_cpu_s\": {:.9}, \"slow_user_s\": {:.9}, \
-             \"fast_user_s\": {:.9}, \"user_cpu_ratio\": {:.3}, \
-             \"slow_wall_s\": {:.6}, \"fast_wall_s\": {:.6}, \"slow_bytes\": {:.0}, \
-             \"fast_bytes\": {:.0}, \"pages_skipped\": {}}}{comma}",
-            p.col,
-            p.codec,
-            p.sel,
-            p.rows,
-            p.slow_cpu_s,
-            p.fast_cpu_s,
-            p.slow_user_s,
-            p.fast_user_s,
-            p.cpu_ratio,
-            p.slow_wall_s,
-            p.fast_wall_s,
-            p.slow_bytes,
-            p.fast_bytes,
-            p.pages_skipped
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+    let doc = Json::obj()
+        .set("bench", "decode_kernels")
+        .set("rows", n)
+        .set("reps", reps)
+        .set("smoke", smoke)
+        .set("page_size", PAGE)
+        .set(
+            "zone",
+            Json::obj()
+                .set("pages_total", pages_total)
+                .set("pages_skipped", zfast.report.io.pages_skipped)
+                .set("skip_frac", skip_frac),
+        )
+        .set(
+            "points",
+            points
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .set("col", p.col)
+                        .set("codec", p.codec)
+                        .set("selectivity", p.sel)
+                        .set("rows", p.rows)
+                        .set("slow_cpu_s", p.slow_cpu_s)
+                        .set("fast_cpu_s", p.fast_cpu_s)
+                        .set("slow_user_s", p.slow_user_s)
+                        .set("fast_user_s", p.fast_user_s)
+                        .set("user_cpu_ratio", p.cpu_ratio)
+                        .set("slow_wall_s", p.slow_wall_s)
+                        .set("fast_wall_s", p.fast_wall_s)
+                        .set("slow_bytes", p.slow_bytes)
+                        .set("fast_bytes", p.fast_bytes)
+                        .set("pages_skipped", p.pages_skipped)
+                })
+                .collect::<Vec<_>>(),
+        )
+        .set("metrics", MetricsRegistry::drain());
     std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/bench_decode_kernels.json", &json).expect("write results");
+    std::fs::write("results/bench_decode_kernels.json", doc.pretty()).expect("write results");
     println!("wrote results/bench_decode_kernels.json");
 
     let mut failed = false;

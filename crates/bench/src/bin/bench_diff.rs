@@ -1,0 +1,332 @@
+//! Compare two bench result files (or per-span trace profiles) and fail on
+//! regressions.
+//!
+//! ```text
+//! bench_diff OLD.json NEW.json [--threshold PCT]   # compare two artifacts
+//! bench_diff --smoke [--threshold PCT]             # self-diff results/*.json
+//! ```
+//!
+//! Both files are parsed with the shared [`rodb_trace::Json`] reader and
+//! flattened to `(dotted.path, value)` leaves; array elements align on
+//! identity fields (`col`, `layout`, `threads`, `selectivity`, ...) rather
+//! than position, so reordering points between runs does not misalign the
+//! diff. Works on `results/bench_*.json` files and on
+//! `results/traces/*.trace.json` span trees alike — a span tree is just
+//! nested objects of numeric leaves.
+//!
+//! Each shared key gets a direction from its leaf name: durations
+//! (`*_s`), `bytes`, `cpu`, `wall`, `retries`, and `overhead` are
+//! lower-is-better; `ratio`, `speedup`, `skip`, `saving`, and `per_s`
+//! rates are higher-is-better; everything else is informational. A move in
+//! the bad direction beyond the threshold (default 5 %) is a regression
+//! and the exit code is 1.
+//!
+//! `--smoke` diffs every checked-in `results/*.json` against itself — a CI
+//! guard that the parse → flatten → align → judge pipeline runs clean on
+//! the repo's own artifacts and reports exactly zero regressions.
+
+use std::process::ExitCode;
+
+use rodb_trace::Json;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    LowerBetter,
+    HigherBetter,
+    Neutral,
+}
+
+/// Direction heuristic on the leaf field name (the final path segment),
+/// so `metrics.histograms.query.cpu_s.count` judges `count`, not `cpu`.
+fn direction(key: &str) -> Direction {
+    let leaf = key.rsplit(['.', ']']).next().unwrap_or(key);
+    const HIGHER: [&str; 5] = ["ratio", "speedup", "skip", "saving", "per_s"];
+    const LOWER: [&str; 5] = ["bytes", "cpu", "wall", "retries", "overhead"];
+    if HIGHER.iter().any(|t| leaf.contains(t)) {
+        Direction::HigherBetter
+    } else if leaf.ends_with("_s") || LOWER.iter().any(|t| leaf.contains(t)) {
+        Direction::LowerBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+struct Delta {
+    key: String,
+    old: f64,
+    new: f64,
+    /// Relative change `(new - old) / |old|`.
+    rel: f64,
+    regression: bool,
+}
+
+struct DiffReport {
+    deltas: Vec<Delta>,
+    only_old: Vec<String>,
+    only_new: Vec<String>,
+}
+
+impl DiffReport {
+    fn regressions(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regression).count()
+    }
+}
+
+fn diff(old: &Json, new: &Json, threshold: f64) -> DiffReport {
+    let old_flat = old.flatten();
+    let new_flat = new.flatten();
+    let mut deltas = Vec::new();
+    let mut only_old = Vec::new();
+    let lookup =
+        |flat: &[(String, f64)], key: &str| flat.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+    for (key, a) in &old_flat {
+        let Some(b) = lookup(&new_flat, key) else {
+            only_old.push(key.clone());
+            continue;
+        };
+        if a == &b {
+            continue;
+        }
+        let rel = (b - a) / a.abs().max(1e-12);
+        let regression = match direction(key) {
+            Direction::LowerBetter => rel > threshold,
+            Direction::HigherBetter => rel < -threshold,
+            Direction::Neutral => false,
+        };
+        deltas.push(Delta {
+            key: key.clone(),
+            old: *a,
+            new: b,
+            rel,
+            regression,
+        });
+    }
+    let only_new = new_flat
+        .iter()
+        .filter(|(k, _)| lookup(&old_flat, k).is_none())
+        .map(|(k, _)| k.clone())
+        .collect();
+    DiffReport {
+        deltas,
+        only_old,
+        only_new,
+    }
+}
+
+fn print_report(r: &DiffReport, threshold: f64) {
+    // Regressions first, then the largest moves in either direction.
+    let mut rows: Vec<&Delta> = r.deltas.iter().collect();
+    rows.sort_by(|a, b| {
+        b.regression
+            .cmp(&a.regression)
+            .then(b.rel.abs().total_cmp(&a.rel.abs()))
+    });
+    if rows.is_empty() {
+        println!("  no numeric changes");
+    } else {
+        println!(
+            "  {:<52} {:>14} {:>14} {:>9}",
+            "key", "old", "new", "change"
+        );
+        for d in rows.iter().take(40) {
+            println!(
+                "  {:<52} {:>14.6} {:>14.6} {:>+8.2}% {}",
+                d.key,
+                d.old,
+                d.new,
+                d.rel * 100.0,
+                if d.regression { "REGRESSION" } else { "" }
+            );
+        }
+        if rows.len() > 40 {
+            println!("  ... {} more changed key(s)", rows.len() - 40);
+        }
+    }
+    for k in &r.only_old {
+        println!("  only in old: {k}");
+    }
+    for k in &r.only_new {
+        println!("  only in new: {k}");
+    }
+    println!(
+        "  {} changed, {} regression(s) beyond {:.1}%, {} removed, {} added",
+        r.deltas.len(),
+        r.regressions(),
+        threshold * 100.0,
+        r.only_old.len(),
+        r.only_new.len()
+    );
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_diff OLD.json NEW.json [--threshold PCT]\n\
+         \x20      bench_diff --smoke [--threshold PCT]\n\
+         \n\
+         Compares two bench/trace JSON artifacts key-by-key and exits 1 if\n\
+         any metric moved in its bad direction by more than PCT percent\n\
+         (default 5). --smoke self-diffs every checked-in results/*.json."
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut files: Vec<String> = Vec::new();
+    let mut smoke = false;
+    let mut threshold = 0.05;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--threshold" => {
+                threshold = match args.next().map(|v| v.parse::<f64>()) {
+                    Some(Ok(p)) if p >= 0.0 => p / 100.0,
+                    _ => usage(),
+                }
+            }
+            _ if a.starts_with("--") => usage(),
+            _ => files.push(a),
+        }
+    }
+
+    if smoke {
+        if !files.is_empty() {
+            usage();
+        }
+        // Every checked-in artifact, self-diffed: parse + flatten + align
+        // must run clean and report exactly zero changes.
+        let mut checked = 0;
+        let entries = match std::fs::read_dir("results") {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("bench_diff: cannot read results/: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut paths: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path().display().to_string())
+            .filter(|p| p.ends_with(".json"))
+            .collect();
+        paths.sort();
+        for path in &paths {
+            let doc = match load(path) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("bench_diff: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let r = diff(&doc, &doc, threshold);
+            let leaves = doc.flatten().len();
+            if r.regressions() != 0 || !r.deltas.is_empty() || !r.only_old.is_empty() {
+                println!("FAIL: {path} does not self-diff clean");
+                print_report(&r, threshold);
+                return ExitCode::FAILURE;
+            }
+            println!("ok: {path} self-diffs clean ({leaves} leaves)");
+            checked += 1;
+        }
+        if checked == 0 {
+            eprintln!("bench_diff: no results/*.json artifacts found");
+            return ExitCode::from(2);
+        }
+        println!("smoke: {checked} artifact(s) clean");
+        return ExitCode::SUCCESS;
+    }
+
+    if files.len() != 2 {
+        usage();
+    }
+    let (old, new) = match (load(&files[0]), load(&files[1])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("bench_diff: {} -> {}", files[0], files[1]);
+    let r = diff(&old, &new, threshold);
+    print_report(&r, threshold);
+    if r.regressions() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_heuristics() {
+        assert!(matches!(
+            direction("points[row].clean_mirror1_s"),
+            Direction::LowerBetter
+        ));
+        assert!(matches!(
+            direction("points[4].wall_s"),
+            Direction::LowerBetter
+        ));
+        assert!(matches!(
+            direction("points[key:0.01].user_cpu_ratio"),
+            Direction::HigherBetter
+        ));
+        assert!(matches!(
+            direction("points[4].model_speedup"),
+            Direction::HigherBetter
+        ));
+        assert!(matches!(
+            direction("zone.pages_skipped"),
+            Direction::HigherBetter
+        ));
+        assert!(matches!(
+            direction("points[4].model_tuples_per_s"),
+            Direction::HigherBetter
+        ));
+        // Leaf-only: the `cpu` in the middle of the path must not trigger.
+        assert!(matches!(
+            direction("metrics.histograms.query.cpu_s.count"),
+            Direction::Neutral
+        ));
+        assert!(matches!(direction("rows"), Direction::Neutral));
+    }
+
+    #[test]
+    fn regression_detection_by_direction() {
+        let old = Json::obj().set("scan_s", 1.0).set("speedup", 2.0);
+        let slower = Json::obj().set("scan_s", 1.2).set("speedup", 2.0);
+        let faster = Json::obj().set("scan_s", 0.8).set("speedup", 2.0);
+        let worse_ratio = Json::obj().set("scan_s", 1.0).set("speedup", 1.5);
+        assert_eq!(diff(&old, &slower, 0.05).regressions(), 1);
+        assert_eq!(diff(&old, &faster, 0.05).regressions(), 0);
+        assert_eq!(diff(&old, &worse_ratio, 0.05).regressions(), 1);
+        // Inside the threshold is not a regression.
+        let barely = Json::obj().set("scan_s", 1.04).set("speedup", 2.0);
+        assert_eq!(diff(&old, &barely, 0.05).regressions(), 0);
+    }
+
+    #[test]
+    fn self_diff_is_clean_and_key_sets_tracked() {
+        let a = Json::obj().set("x_s", 1.0).set(
+            "points",
+            vec![Json::obj().set("layout", "row").set("y", 2.0)],
+        );
+        let r = diff(&a, &a, 0.05);
+        assert!(r.deltas.is_empty() && r.only_old.is_empty() && r.only_new.is_empty());
+
+        let b = Json::obj().set("x_s", 1.0).set(
+            "points",
+            vec![Json::obj().set("layout", "column").set("y", 2.0)],
+        );
+        let r = diff(&a, &b, 0.05);
+        assert_eq!(r.only_old, vec!["points[row].y".to_string()]);
+        assert_eq!(r.only_new, vec!["points[column].y".to_string()]);
+    }
+}

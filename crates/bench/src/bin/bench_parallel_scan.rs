@@ -14,13 +14,13 @@
 //!
 //! Results land in `results/bench_parallel_scan.json`.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use rodb_core::QueryBuilder;
 use rodb_engine::{CmpOp, ScanLayout};
 use rodb_storage::BuildLayouts;
 use rodb_tpch::{load_orders, orderdate_threshold, Variant};
+use rodb_trace::{Json, MetricsRegistry};
 use rodb_types::{HardwareConfig, SystemConfig};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -124,36 +124,33 @@ fn main() {
         points.push(point);
     }
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"parallel_scan\",");
-    let _ = writeln!(json, "  \"table\": \"orders_z\",");
-    let _ = writeln!(json, "  \"layout\": \"column\",");
-    let _ = writeln!(json, "  \"rows\": {rows},");
-    let _ = writeln!(json, "  \"reps\": {REPS},");
-    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
-    let _ = writeln!(json, "  \"platform_cpdb\": {:.2},", platform().cpdb());
-    let _ = writeln!(json, "  \"points\": [");
-    for (i, p) in points.iter().enumerate() {
-        let comma = if i + 1 < points.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"threads\": {}, \"model_s\": {:.6}, \"model_speedup\": {:.3}, \
-             \"model_tuples_per_s\": {:.0}, \"wall_s\": {:.6}, \"wall_speedup\": {:.3}, \
-             \"morsels\": {}}}{comma}",
-            p.threads,
-            p.model_s,
-            p.model_speedup,
-            p.tuples_per_s,
-            p.wall_s,
-            p.wall_speedup,
-            p.morsels
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+    let doc = Json::obj()
+        .set("bench", "parallel_scan")
+        .set("table", "orders_z")
+        .set("layout", "column")
+        .set("rows", rows)
+        .set("reps", REPS)
+        .set("host_cores", host_cores)
+        .set("platform_cpdb", platform().cpdb())
+        .set(
+            "points",
+            points
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .set("threads", p.threads)
+                        .set("model_s", p.model_s)
+                        .set("model_speedup", p.model_speedup)
+                        .set("model_tuples_per_s", p.tuples_per_s)
+                        .set("wall_s", p.wall_s)
+                        .set("wall_speedup", p.wall_speedup)
+                        .set("morsels", p.morsels)
+                })
+                .collect::<Vec<_>>(),
+        )
+        .set("metrics", MetricsRegistry::drain());
     std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/bench_parallel_scan.json", &json).expect("write results");
+    std::fs::write("results/bench_parallel_scan.json", doc.pretty()).expect("write results");
     println!("\nwrote results/bench_parallel_scan.json (host has {host_cores} core(s))");
 
     let four = points

@@ -20,12 +20,12 @@
 //! Results land in `results/bench_recovery.json`. `--smoke` shrinks the
 //! table for CI.
 
-use std::fmt::Write as _;
 use std::sync::Arc;
 
 use rodb_core::{QueryBuilder, QueryResult};
 use rodb_engine::{CmpOp, ScanLayout};
 use rodb_storage::{BuildLayouts, Table, TableBuilder};
+use rodb_trace::{Json, MetricsRegistry};
 use rodb_types::{Column, FaultSpec, HardwareConfig, OnCorrupt, Schema, SystemConfig, Value};
 
 const PAGE: usize = 4096;
@@ -205,36 +205,33 @@ fn main() {
         points.push(point);
     }
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"recovery\",");
-    let _ = writeln!(json, "  \"rows\": {n},");
-    let _ = writeln!(json, "  \"smoke\": {smoke},");
-    let _ = writeln!(json, "  \"page_size\": {PAGE},");
-    let _ = writeln!(json, "  \"fault_ppm\": {FAULT_PPM},");
-    let _ = writeln!(json, "  \"points\": [");
-    for (i, p) in points.iter().enumerate() {
-        let comma = if i + 1 < points.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"layout\": \"{}\", \"clean_mirror1_s\": {:.9}, \"clean_mirror2_s\": {:.9}, \
-             \"overhead_frac\": {:.6}, \"recovery_s\": {:.9}, \"retries\": {}, \
-             \"repairs\": {}, \"restart_expected_s\": {:.9}, \"saving\": {:.3}}}{comma}",
-            p.layout,
-            p.clean_m1_s,
-            p.clean_m2_s,
-            p.overhead_frac,
-            p.recovery_s,
-            p.retries,
-            p.repairs,
-            p.restart_expected_s,
-            p.saving
-        );
-    }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
+    let doc = Json::obj()
+        .set("bench", "recovery")
+        .set("rows", n)
+        .set("smoke", smoke)
+        .set("page_size", PAGE)
+        .set("fault_ppm", FAULT_PPM)
+        .set(
+            "points",
+            points
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .set("layout", p.layout)
+                        .set("clean_mirror1_s", p.clean_m1_s)
+                        .set("clean_mirror2_s", p.clean_m2_s)
+                        .set("overhead_frac", p.overhead_frac)
+                        .set("recovery_s", p.recovery_s)
+                        .set("retries", p.retries)
+                        .set("repairs", p.repairs)
+                        .set("restart_expected_s", p.restart_expected_s)
+                        .set("saving", p.saving)
+                })
+                .collect::<Vec<_>>(),
+        )
+        .set("metrics", MetricsRegistry::drain());
     std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/bench_recovery.json", &json).expect("write results");
+    std::fs::write("results/bench_recovery.json", doc.pretty()).expect("write results");
     println!("wrote results/bench_recovery.json");
 
     if failed {

@@ -97,7 +97,7 @@ fn main() {
         "Column store at full projection: cpu {:.1}s vs io {:.1}s -> {} \
          (paper: the compressed column store becomes CPU-bound)",
         last.report.cpu.total(),
-        last.report.io_s,
+        last.report.io_s(),
         if last.report.io_bound() {
             "io-bound"
         } else {

@@ -23,7 +23,7 @@ struct Measured {
 
 fn measure(r: &RunReport) -> Measured {
     Measured {
-        disk: r.io_s,
+        disk: r.io_s(),
         // Table 1's three columns are "elapsed disk, memory transfer, and
         // CPU time". We report user-mode CPU (uop + rest): kernel time
         // tracks disk activity one-for-one and is already captured by the

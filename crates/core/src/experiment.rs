@@ -138,7 +138,7 @@ pub fn format_sweep(title: &str, series: &[(&str, &[SweepPoint])]) -> String {
                 s,
                 " {:>12.2} {:>10.2} {:>10.2}",
                 r.elapsed_s,
-                r.io_s,
+                r.io_s(),
                 r.cpu.total()
             );
         }

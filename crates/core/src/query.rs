@@ -25,10 +25,11 @@ use std::sync::Arc;
 
 use rodb_engine::CmpOp;
 use rodb_engine::{
-    run_to_completion, AggPlan, AggSpec, AggStrategy, Aggregate, ExecContext, Operator,
-    ParallelExec, ParallelOutcome, Predicate, RunReport, ScanLayout, ScanSpec,
+    finish_query_trace, run_to_completion, AggPlan, AggSpec, AggStrategy, Aggregate, ExecContext,
+    Operator, ParallelExec, ParallelOutcome, Predicate, RunReport, ScanLayout, ScanSpec, TracedOp,
 };
 use rodb_storage::Table;
+use rodb_trace::{MetricsRegistry, QueryTrace, SpanKind};
 use rodb_types::{Error, HardwareConfig, Result, SystemConfig, Value};
 
 /// What a finished query hands back: the paper-style performance report and
@@ -41,6 +42,15 @@ pub struct QueryResult {
     pub rows: Vec<Vec<Value>>,
     /// Parallel-execution extras; `None` when the query ran serially.
     pub parallel: Option<ParallelInfo>,
+    /// Operator span trace; populated when [`QueryBuilder::trace`] is on.
+    pub trace: Option<QueryTrace>,
+}
+
+impl QueryResult {
+    /// The EXPLAIN ANALYZE-style span tree (requires tracing).
+    pub fn explain(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| t.explain())
+    }
 }
 
 /// What a parallel run knows beyond the merged [`RunReport`].
@@ -70,6 +80,7 @@ pub struct QueryBuilder {
     agg_strategy: AggStrategy,
     virtual_rows: Option<u64>,
     competing_scans: usize,
+    trace: bool,
 }
 
 impl QueryBuilder {
@@ -88,6 +99,7 @@ impl QueryBuilder {
             agg_strategy: AggStrategy::Hash,
             virtual_rows: None,
             competing_scans: 0,
+            trace: false,
         }
     }
 
@@ -239,6 +251,15 @@ impl QueryBuilder {
         self
     }
 
+    /// Record an operator span tree, per-phase CPU attribution and disk
+    /// events for this query. Off by default: untraced queries pay nothing
+    /// (operators are not even wrapped). The trace lands in
+    /// [`QueryResult::trace`]; see [`QueryResult::explain`].
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     fn context(&self) -> Result<ExecContext> {
         let scale = match self.virtual_rows {
             Some(v) if self.table.row_count > 0 => {
@@ -246,7 +267,10 @@ impl QueryBuilder {
             }
             _ => 1.0,
         };
-        let ctx = ExecContext::new(self.hw, self.sys, scale)?;
+        let mut ctx = ExecContext::new(self.hw, self.sys, scale)?;
+        if self.trace {
+            ctx = ctx.with_tracing();
+        }
         for _ in 0..self.competing_scans {
             ctx.add_competing_scan();
         }
@@ -278,13 +302,14 @@ impl QueryBuilder {
                 ),
                 None => None,
             };
-            Ok(Box::new(Aggregate::new(
+            let agg: Box<dyn Operator> = Box::new(Aggregate::new(
                 scan,
                 group,
                 self.aggs.clone(),
                 self.agg_strategy,
                 ctx,
-            )?))
+            )?);
+            Ok(TracedOp::wrap(agg, SpanKind::Agg, ctx))
         }
     }
 
@@ -336,9 +361,24 @@ impl QueryBuilder {
         }
     }
 
+    /// Bump the process-wide metrics registry once per execution.
+    fn register_run(&self, report: &RunReport, parallel: bool) {
+        MetricsRegistry::counter_add("query.runs", 1.0);
+        if parallel {
+            MetricsRegistry::counter_add("query.parallel_runs", 1.0);
+        }
+        if self.trace {
+            MetricsRegistry::counter_add("query.traced_runs", 1.0);
+        }
+        MetricsRegistry::counter_add("query.rows_out", report.rows as f64);
+        MetricsRegistry::observe("query.elapsed_s", report.elapsed_s);
+        MetricsRegistry::observe("query.cpu_s", report.cpu.total());
+        MetricsRegistry::observe("query.io_s", report.io_s());
+    }
+
     fn run_parallel(&self, collect: bool) -> Result<QueryResult> {
         let (spec, agg) = self.parallel_plan()?;
-        let exec = ParallelExec::new(self.sys.threads);
+        let exec = ParallelExec::new(self.sys.threads).traced(self.trace);
         let out: ParallelOutcome = if collect {
             exec.run_collect(
                 &spec,
@@ -358,6 +398,7 @@ impl QueryBuilder {
                 self.competing_scans,
             )?
         };
+        self.register_run(&out.report, true);
         Ok(QueryResult {
             report: out.report,
             rows: out.rows,
@@ -367,6 +408,7 @@ impl QueryBuilder {
                 threads: out.threads,
                 morsels: out.morsels,
             }),
+            trace: out.trace,
         })
     }
 
@@ -379,10 +421,13 @@ impl QueryBuilder {
         let ctx = self.context()?;
         let mut op = self.build(&ctx)?;
         let report = run_to_completion(op.as_mut(), &ctx)?;
+        self.register_run(&report, false);
+        let trace = finish_query_trace(&ctx, &report);
         Ok(QueryResult {
             report,
             rows: Vec::new(),
             parallel: None,
+            trace,
         })
     }
 
@@ -403,10 +448,13 @@ impl QueryBuilder {
         let mut report = run_to_completion(op.as_mut(), &ctx)?;
         report.rows = rows.len() as u64;
         report.blocks = blocks;
+        self.register_run(&report, false);
+        let trace = finish_query_trace(&ctx, &report);
         Ok(QueryResult {
             report,
             rows,
             parallel: None,
+            trace,
         })
     }
 
@@ -622,7 +670,7 @@ mod tests {
             .scale_to_rows(100_000_000)
             .run()
             .unwrap();
-        assert!(contested.report.io_s > base_scaled.report.io_s);
+        assert!(contested.report.io_s() > base_scaled.report.io_s());
         assert!(contested.report.io.comp_bursts > 0);
     }
 }

@@ -1,0 +1,62 @@
+//! Std-only JSON emission for the CPU-side accounting types.
+//!
+//! One serialization shared by the fuzzer's `--json` sweeps, the bench
+//! bins' `results/*.json` files and the tracer, replacing the hand-rolled
+//! per-binary writers. Field names match the struct fields so the output
+//! is greppable against the code.
+
+use rodb_trace::Json;
+
+use crate::breakdown::CpuBreakdown;
+use crate::counters::CpuCounters;
+
+impl CpuCounters {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("uops", self.uops)
+            .set("seq_bytes", self.seq_bytes)
+            .set("rand_misses", self.rand_misses)
+            .set("l1_lines", self.l1_lines)
+            .set("branch_mispredicts", self.branch_mispredicts)
+            .set("io_requests", self.io_requests)
+            .set("io_bytes", self.io_bytes)
+            .set("io_switches", self.io_switches)
+    }
+}
+
+impl CpuBreakdown {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("sys", self.sys)
+            .set("usr_uop", self.usr_uop)
+            .set("usr_l2", self.usr_l2)
+            .set("usr_l1", self.usr_l1)
+            .set("usr_rest", self.usr_rest)
+            .set("total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_json_round_trips() {
+        let b = CpuBreakdown {
+            sys: 1.0,
+            usr_uop: 2.5,
+            usr_l2: 0.5,
+            usr_l1: 0.25,
+            usr_rest: 0.125,
+        };
+        let j = b.to_json();
+        assert_eq!(j.get("total").unwrap().as_f64(), Some(b.total()));
+        let parsed = Json::parse(&j.pretty()).unwrap();
+        assert_eq!(parsed.get("usr_l2").unwrap().as_f64(), Some(0.5));
+        let c = CpuCounters {
+            uops: 10.0,
+            ..Default::default()
+        };
+        assert_eq!(c.to_json().get("uops").unwrap().as_f64(), Some(10.0));
+    }
+}

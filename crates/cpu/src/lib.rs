@@ -9,9 +9,12 @@
 pub mod breakdown;
 pub mod costs;
 pub mod counters;
+pub mod json;
 pub mod meter;
+pub mod phase;
 
 pub use breakdown::CpuBreakdown;
 pub use costs::{CostParams, OpCosts};
 pub use counters::CpuCounters;
 pub use meter::CpuMeter;
+pub use phase::{CpuPhase, PhaseProfile};

@@ -13,6 +13,7 @@ use rodb_types::HardwareConfig;
 use crate::breakdown::CpuBreakdown;
 use crate::costs::{CostParams, OpCosts};
 use crate::counters::CpuCounters;
+use crate::phase::{CpuPhase, PhaseProfile};
 
 /// Accumulates one execution's CPU work.
 #[derive(Debug, Clone)]
@@ -20,6 +21,9 @@ pub struct CpuMeter {
     counters: CpuCounters,
     costs: OpCosts,
     params: CostParams,
+    /// Per-phase attribution; `None` (the default) keeps the hot path at
+    /// one branch per event.
+    profile: Option<Box<PhaseProfile>>,
 }
 
 impl Default for CpuMeter {
@@ -34,11 +38,44 @@ impl CpuMeter {
             counters: CpuCounters::default(),
             costs,
             params,
+            profile: None,
         }
     }
 
     pub fn counters(&self) -> &CpuCounters {
         &self.counters
+    }
+
+    /// Turn on per-phase attribution (tracing). Existing totals stay; only
+    /// events from here on are attributed.
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// The per-phase profile, when profiling is on.
+    pub fn profile(&self) -> Option<&PhaseProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Copy of the current profile (empty when profiling is off) — what
+    /// the tracer snapshots around operator calls.
+    pub fn profile_snapshot(&self) -> PhaseProfile {
+        self.profile.as_deref().cloned().unwrap_or_default()
+    }
+
+    #[inline]
+    fn phase(&mut self, phase: CpuPhase) -> Option<&mut CpuCounters> {
+        self.profile.as_deref_mut().map(|p| p.get_mut(phase))
+    }
+
+    #[inline]
+    fn charge_uops(&mut self, phase: CpuPhase, uops: f64) {
+        self.counters.uops += uops;
+        if let Some(c) = self.phase(phase) {
+            c.uops += uops;
+        }
     }
 
     pub fn costs(&self) -> &OpCosts {
@@ -59,22 +96,37 @@ impl CpuMeter {
     /// tables are taken from `self`; workers of one query share them.
     pub fn merge(&mut self, other: &CpuMeter) {
         self.counters.add(&other.counters);
+        if let (Some(mine), Some(theirs)) = (self.profile.as_deref_mut(), other.profile.as_deref())
+        {
+            mine.merge(theirs);
+        }
     }
 
     // ----- raw events ------------------------------------------------------
 
     pub fn add_uops(&mut self, n: f64) {
-        self.counters.uops += n;
+        self.charge_uops(CpuPhase::Other, n);
     }
 
     /// Record `taken`/`not_taken` outcomes of one branch site; the minority
     /// outcome approximates mispredictions.
     pub fn branches(&mut self, taken: f64, not_taken: f64) {
-        self.counters.branch_mispredicts += taken.min(not_taken);
+        self.branches_in(CpuPhase::Other, taken, not_taken);
+    }
+
+    fn branches_in(&mut self, phase: CpuPhase, taken: f64, not_taken: f64) {
+        let mispredicts = taken.min(not_taken);
+        self.counters.branch_mispredicts += mispredicts;
+        if let Some(c) = self.phase(phase) {
+            c.branch_mispredicts += mispredicts;
+        }
     }
 
     pub fn random_miss(&mut self, n: f64) {
         self.counters.rand_misses += n;
+        if let Some(c) = self.phase(CpuPhase::Other) {
+            c.rand_misses += n;
+        }
     }
 
     // ----- I/O-side kernel work (driven from IoStats) -----------------------
@@ -84,86 +136,97 @@ impl CpuMeter {
     /// `switches` the number of file switches (seeks). When counters will be
     /// scaled to virtual row counts afterwards, pass pre-divided values.
     pub fn io_kernel_work(&mut self, bytes: f64, io_unit: usize, switches: f64) {
+        let requests = bytes / io_unit as f64;
         self.counters.io_bytes += bytes;
-        self.counters.io_requests += bytes / io_unit as f64;
+        self.counters.io_requests += requests;
         self.counters.io_switches += switches;
+        if let Some(c) = self.phase(CpuPhase::IoKernel) {
+            c.io_bytes += bytes;
+            c.io_requests += requests;
+            c.io_switches += switches;
+        }
     }
 
     // ----- scan-side events -------------------------------------------------
 
     /// Row scanner visited `n` tuples (loop overhead only).
     pub fn row_iter(&mut self, n: f64) {
-        self.counters.uops += n * self.costs.row_iter;
+        self.charge_uops(CpuPhase::Iter, n * self.costs.row_iter);
     }
 
     /// A column scan node visited `n` values (loop overhead only).
     pub fn col_iter(&mut self, n: f64) {
-        self.counters.uops += n * self.costs.col_iter;
+        self.charge_uops(CpuPhase::Iter, n * self.costs.col_iter);
     }
 
     /// Evaluated a predicate on `n` values of which `passed` qualified.
     pub fn predicate(&mut self, n: f64, passed: f64) {
-        self.counters.uops += n * self.costs.predicate;
-        self.branches(passed, n - passed);
+        self.charge_uops(CpuPhase::Predicate, n * self.costs.predicate);
+        self.branches_in(CpuPhase::Predicate, passed, n - passed);
     }
 
     /// Copied `tuples` projections of `attrs` attributes / `bytes` total
     /// bytes into an output block.
     pub fn project(&mut self, tuples: f64, attrs: f64, bytes: f64) {
-        self.counters.uops +=
-            tuples * attrs * self.costs.project_attr + bytes * self.costs.copy_byte;
+        self.charge_uops(
+            CpuPhase::Project,
+            tuples * attrs * self.costs.project_attr + bytes * self.costs.copy_byte,
+        );
     }
 
     /// Pipelined column scanner consumed `n` {position, value} pairs.
     pub fn position_pairs(&mut self, n: f64) {
-        self.counters.uops += n * self.costs.position_pair;
+        self.charge_uops(CpuPhase::Iter, n * self.costs.position_pair);
     }
 
     /// `n` block-iterator `next()` calls crossed operator boundaries.
     pub fn block_calls(&mut self, n: f64) {
-        self.counters.uops += n * self.costs.block_call;
+        self.charge_uops(CpuPhase::Iter, n * self.costs.block_call);
     }
 
     /// Decoded `n` stored codes of codec family `kind`.
     pub fn decode(&mut self, kind: CodecKind, n: f64) {
-        self.counters.uops += n * self.costs.decode(kind);
+        self.charge_uops(CpuPhase::Decode, n * self.costs.decode(kind));
     }
 
     /// Decoded `n` stored codes through the block kernels (fast path).
     pub fn decode_block(&mut self, kind: CodecKind, n: f64) {
-        self.counters.uops += n * self.costs.block_decode(kind);
+        self.charge_uops(CpuPhase::Decode, n * self.costs.block_decode(kind));
     }
 
     /// Evaluated a predicate on `n` values inside a vectorized loop (fast
     /// path). Branchless — compare results are appended to a selection
     /// vector, so no misprediction exposure is charged.
     pub fn vec_predicate(&mut self, n: f64) {
-        self.counters.uops += n * self.costs.vec_predicate;
+        self.charge_uops(CpuPhase::Predicate, n * self.costs.vec_predicate);
     }
 
     /// Gathered `n` surviving values out of decoded blocks via a selection
     /// vector (fast path).
     pub fn selvec_gather(&mut self, n: f64) {
-        self.counters.uops += n * self.costs.selvec_gather;
+        self.charge_uops(CpuPhase::Gather, n * self.costs.selvec_gather);
     }
 
     /// Updated `n` aggregate accumulators.
     pub fn agg_update(&mut self, n: f64) {
-        self.counters.uops += n * self.costs.agg_update;
+        self.charge_uops(CpuPhase::Agg, n * self.costs.agg_update);
     }
 
     /// `n` hash-table probes over a table of `table_bytes`; probes miss L2
     /// when the table exceeds it.
     pub fn hash_probe(&mut self, n: f64, table_bytes: f64, l2_bytes: f64) {
-        self.counters.uops += n * self.costs.hash_probe;
+        self.charge_uops(CpuPhase::Agg, n * self.costs.hash_probe);
         if table_bytes > l2_bytes {
             self.counters.rand_misses += n;
+            if let Some(c) = self.phase(CpuPhase::Agg) {
+                c.rand_misses += n;
+            }
         }
     }
 
     /// `n` key comparisons (sorting, merging).
     pub fn key_compare(&mut self, n: f64) {
-        self.counters.uops += n * self.costs.key_compare;
+        self.charge_uops(CpuPhase::Sort, n * self.costs.key_compare);
     }
 
     // ----- memory-hierarchy model -------------------------------------------
@@ -191,29 +254,45 @@ impl CpuMeter {
         let lines_per_value = (value_width / line).ceil().max(1.0);
         let region_lines = (region_bytes / line).ceil();
         let touched_lines = (touched_values * lines_per_value).min(region_lines);
-        if touched_lines * 2.0 >= region_lines {
+        let (seq_bytes, rand_misses) = if touched_lines * 2.0 >= region_lines {
             // Sequential: prefetcher streams the region.
-            self.counters.seq_bytes += region_bytes;
+            (region_bytes, 0.0)
         } else {
-            self.counters.rand_misses += touched_lines;
-        }
+            (0.0, touched_lines)
+        };
         // L2→L1 movement covers only the touched data either way.
         let l1_lines_per_value = (value_width / l1_line).ceil().max(1.0);
         let region_l1_lines = (region_bytes / l1_line).ceil();
-        self.counters.l1_lines += (touched_values * l1_lines_per_value).min(region_l1_lines);
+        let l1_lines = (touched_values * l1_lines_per_value).min(region_l1_lines);
+        self.counters.seq_bytes += seq_bytes;
+        self.counters.rand_misses += rand_misses;
+        self.counters.l1_lines += l1_lines;
+        if let Some(c) = self.phase(CpuPhase::Memory) {
+            c.seq_bytes += seq_bytes;
+            c.rand_misses += rand_misses;
+            c.l1_lines += l1_lines;
+        }
     }
 
     /// Charge purely sequential streaming of `bytes` (e.g. writing output
     /// blocks).
     pub fn stream_bytes(&mut self, bytes: f64) {
+        let l1_lines = bytes / self.params.l1_line_bytes;
         self.counters.seq_bytes += bytes;
-        self.counters.l1_lines += bytes / self.params.l1_line_bytes;
+        self.counters.l1_lines += l1_lines;
+        if let Some(c) = self.phase(CpuPhase::Memory) {
+            c.seq_bytes += bytes;
+            c.l1_lines += l1_lines;
+        }
     }
 
     /// Charge the memory→L2 side only: a region streamed sequentially by the
     /// hardware prefetcher (a scanner passing over a whole file).
     pub fn seq_region(&mut self, bytes: f64) {
         self.counters.seq_bytes += bytes;
+        if let Some(c) = self.phase(CpuPhase::Memory) {
+            c.seq_bytes += bytes;
+        }
     }
 
     /// Charge the L2→L1 side only: `n` values of `width` bytes actually
@@ -221,13 +300,21 @@ impl CpuMeter {
     /// every tuple's field sits on a different line).
     pub fn touch_l1(&mut self, n: f64, width: f64) {
         let lines_per_value = (width / self.params.l1_line_bytes).ceil().max(1.0);
-        self.counters.l1_lines += n * lines_per_value;
+        let l1_lines = n * lines_per_value;
+        self.counters.l1_lines += l1_lines;
+        if let Some(c) = self.phase(CpuPhase::Memory) {
+            c.l1_lines += l1_lines;
+        }
     }
 
     /// Charge the L2→L1 side for *densely packed* access: `bytes` contiguous
     /// bytes share lines (column minipages — the PAX cache benefit).
     pub fn touch_l1_dense(&mut self, bytes: f64) {
-        self.counters.l1_lines += bytes / self.params.l1_line_bytes;
+        let l1_lines = bytes / self.params.l1_line_bytes;
+        self.counters.l1_lines += l1_lines;
+        if let Some(c) = self.phase(CpuPhase::Memory) {
+            c.l1_lines += l1_lines;
+        }
     }
 }
 
@@ -323,5 +410,56 @@ mod tests {
         m.memory_access(&hw(), 0.0, 0.0, 4.0);
         m.memory_access(&hw(), 100.0, 0.0, 4.0);
         assert_eq!(*m.counters(), CpuCounters::default());
+    }
+
+    #[test]
+    fn phase_profile_partitions_the_totals() {
+        use crate::phase::CpuPhase;
+        let run = |profiled: bool| {
+            let mut m = CpuMeter::default();
+            if profiled {
+                m.enable_profiling();
+            }
+            m.row_iter(1000.0);
+            m.predicate(1000.0, 100.0);
+            m.decode(CodecKind::For, 500.0);
+            m.decode_block(CodecKind::Dict, 500.0);
+            m.vec_predicate(500.0);
+            m.selvec_gather(50.0);
+            m.project(100.0, 2.0, 800.0);
+            m.agg_update(100.0);
+            m.hash_probe(100.0, 2.0e6, 1.0e6);
+            m.key_compare(64.0);
+            m.io_kernel_work(1.0e6, 131072, 3.0);
+            m.memory_access(&hw(), 4.0e6, 1.0e6, 4.0);
+            m.memory_access(&hw(), 4.0e6, 1000.0, 4.0);
+            m.stream_bytes(2048.0);
+            m.seq_region(4096.0);
+            m.touch_l1(10.0, 4.0);
+            m.touch_l1_dense(256.0);
+            m.add_uops(7.0);
+            m.branches(3.0, 9.0);
+            m.random_miss(2.0);
+            m
+        };
+        // Profiling must not change the query-wide totals at all.
+        let plain = run(false);
+        let profiled = run(true);
+        assert_eq!(plain.counters(), profiled.counters());
+        assert!(plain.profile().is_none());
+        // The per-phase counters partition the totals exactly.
+        let profile = profiled.profile().unwrap();
+        assert_eq!(profile.total(), *profiled.counters());
+        assert!(profile.get(CpuPhase::Decode).uops > 0.0);
+        assert!(profile.get(CpuPhase::Predicate).branch_mispredicts > 0.0);
+        assert!(profile.get(CpuPhase::Memory).seq_bytes > 0.0);
+        assert!(profile.get(CpuPhase::IoKernel).io_bytes > 0.0);
+        // Merging meters merges profiles too.
+        let mut a = run(true);
+        a.merge(&run(true));
+        assert_eq!(
+            a.profile().unwrap().get(CpuPhase::Decode).uops,
+            2.0 * profile.get(CpuPhase::Decode).uops
+        );
     }
 }

@@ -433,6 +433,13 @@ impl Operator for Aggregate {
         &self.out_schema
     }
 
+    fn label(&self) -> String {
+        match self.strategy {
+            AggStrategy::Hash => "aggregate[hash]".to_string(),
+            AggStrategy::Sorted => "aggregate[sort]".to_string(),
+        }
+    }
+
     fn next(&mut self) -> Result<Option<TupleBlock>> {
         if self.results.is_none() {
             self.materialize()?;

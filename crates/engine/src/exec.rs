@@ -20,8 +20,6 @@ pub struct RunReport {
     pub blocks: u64,
     /// Disk-side counters (bytes are virtual — paper-scale).
     pub io: IoStats,
-    /// Simulated disk elapsed seconds (virtual).
-    pub io_s: f64,
     /// Modelled CPU breakdown (virtual — scaled by the context's row scale).
     pub cpu: CpuBreakdown,
     /// End-to-end elapsed seconds with CPU/I/O overlap.
@@ -29,9 +27,17 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Simulated disk elapsed seconds (virtual). Derived from the I/O
+    /// counters — the disk clock advances by exactly the transfer, seek and
+    /// competitor time it accounts in [`IoStats`], so a separate stored
+    /// copy could only ever agree or drift.
+    pub fn io_s(&self) -> f64 {
+        self.io.total_s()
+    }
+
     /// True if the disks, not the CPU, bound this execution.
     pub fn io_bound(&self) -> bool {
-        self.io_s >= self.cpu.total()
+        self.io_s() >= self.cpu.total()
     }
 
     /// Tuples per second at paper scale, given the virtual row count scanned.
@@ -58,15 +64,13 @@ pub fn run_to_completion(root: &mut dyn Operator, ctx: &ExecContext) -> Result<R
     }
 
     let scale = ctx.row_scale;
-    let (io, io_s) = {
-        let disk = ctx.disk.borrow();
-        (*disk.stats(), disk.elapsed())
-    };
+    let io = *ctx.disk.borrow().stats();
     // Kernel-side CPU work mirrors the disk traffic; settlement is
     // idempotent so repeated executions on one context never double-count.
     ctx.settle_io_kernel_work();
     let cpu = ctx.meter.borrow().breakdown(&ctx.hw).scaled(scale);
 
+    let io_s = io.total_s();
     let cpu_s = cpu.total();
     let overlapped = io_s.min(cpu_s);
     let elapsed_s = io_s.max(cpu_s) + DEFAULT_OVERLAP_LOSS * overlapped;
@@ -75,7 +79,6 @@ pub fn run_to_completion(root: &mut dyn Operator, ctx: &ExecContext) -> Result<R
         rows,
         blocks,
         io,
-        io_s,
         cpu,
         elapsed_s,
     })
@@ -124,8 +127,27 @@ mod tests {
         assert!(r.io.bytes_read > 0.0);
         assert!(r.cpu.total() > 0.0);
         assert!(r.cpu.sys > 0.0);
-        assert!(r.elapsed_s >= r.io_s.max(r.cpu.total()) - 1e-12);
+        assert!(r.elapsed_s >= r.io_s().max(r.cpu.total()) - 1e-12);
         assert!(r.tuple_rate(10_000.0) > 0.0);
+    }
+
+    #[test]
+    fn io_time_has_one_source_of_truth() {
+        // The report's disk seconds are *derived* from the I/O counters and
+        // must equal the simulator's own clock: the clock advances by
+        // exactly the quantities it accounts.
+        let t = table(20_000);
+        let ctx = ExecContext::default_ctx();
+        let mut s = RowScanner::new(t, vec![0, 1], vec![Predicate::lt(0, 500)], &ctx).unwrap();
+        let r = run_to_completion(&mut s, &ctx).unwrap();
+        assert_eq!(r.io_s(), r.io.total_s());
+        let clock = ctx.disk.borrow().elapsed();
+        assert!(
+            (r.io_s() - clock).abs() < 1e-9,
+            "derived io_s {} vs disk clock {}",
+            r.io_s(),
+            clock
+        );
     }
 
     #[test]
@@ -150,7 +172,7 @@ mod tests {
         // (the burst count matches the virtual file's).
         assert!((r10.io.bytes_read / r1.io.bytes_read - 10.0).abs() < 0.2);
         assert!((r10.io.transfer_s / r1.io.transfer_s - 10.0).abs() < 0.2);
-        assert!(r10.io_s > r1.io_s);
+        assert!(r10.io_s() > r1.io_s());
         assert!((r10.cpu.user() / r1.cpu.user() - 10.0).abs() < 0.5);
         assert!(r10.cpu.sys >= r1.cpu.sys);
         // Output rows are actual, not scaled.
@@ -165,6 +187,6 @@ mod tests {
         let ctx = ExecContext::default_ctx();
         let mut s = RowScanner::new(t, vec![0], vec![], &ctx).unwrap();
         let r = run_to_completion(&mut s, &ctx).unwrap();
-        assert!(r.io_bound(), "io={} cpu={}", r.io_s, r.cpu.total());
+        assert!(r.io_bound(), "io={} cpu={}", r.io_s(), r.cpu.total());
     }
 }

@@ -168,6 +168,10 @@ impl Operator for MergeJoin {
         &self.out_schema
     }
 
+    fn label(&self) -> String {
+        "merge-join".to_string()
+    }
+
     fn next(&mut self) -> Result<Option<TupleBlock>> {
         if self.done {
             return Ok(None);

@@ -20,6 +20,7 @@ pub mod scan_col_single;
 pub mod scan_row;
 pub mod scan_shared;
 pub mod sort;
+pub mod traced;
 
 pub use agg::{merge_partials, AggFunc, AggPartial, AggSpec, AggStrategy, Aggregate};
 pub use block::TupleBlock;
@@ -36,3 +37,4 @@ pub use scan_col_single::SingleIteratorColumnScanner;
 pub use scan_row::RowScanner;
 pub use scan_shared::{shared_row_scan, SharedScanOutput, SharedScanQuery};
 pub use sort::Sort;
+pub use traced::{apply_report, finish_query_trace, record_block, TracedOp};

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use rodb_cpu::CpuMeter;
 use rodb_io::{DiskArray, SharedDisk};
+use rodb_trace::Tracer;
 use rodb_types::{HardwareConfig, Result, Schema, SystemConfig};
 
 use crate::block::TupleBlock;
@@ -26,6 +27,9 @@ pub struct ExecContext {
     /// virtual rows ÷ actual rows; CPU counters are multiplied by this at
     /// report time (the disk simulator applies it internally).
     pub row_scale: f64,
+    /// Span recorder; `None` (the default) keeps execution trace-free with
+    /// zero per-block overhead (operators are not even wrapped).
+    pub tracer: Option<Tracer>,
     file_counter: Rc<RefCell<u64>>,
     /// Disk traffic already charged as kernel CPU work: (bytes, seeks).
     /// Settlement is idempotent across multiple executions on one context.
@@ -42,9 +46,22 @@ impl ExecContext {
             hw,
             sys,
             row_scale: row_scale.max(1.0),
+            tracer: None,
             file_counter: Rc::new(RefCell::new(0)),
             settled_io: Rc::new(RefCell::new((0.0, 0))),
         })
+    }
+
+    /// Turn on span tracing for every operator built on this context:
+    /// installs a [`Tracer`], routes disk-simulator events (bursts, zone
+    /// skips, replica retries…) into its sink, and enables the CPU meter's
+    /// per-phase attribution.
+    pub fn with_tracing(mut self) -> ExecContext {
+        let tracer = Tracer::new();
+        self.disk.borrow_mut().set_trace_sink(tracer.sink());
+        self.meter.borrow_mut().enable_profiling();
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Default platform, no scaling.
@@ -105,6 +122,11 @@ pub trait Operator {
     /// Produce the next block, or `None` at end of stream. Returned blocks
     /// are non-empty.
     fn next(&mut self) -> Result<Option<TupleBlock>>;
+
+    /// Display label for EXPLAIN/trace output (e.g. `scan[column]`).
+    fn label(&self) -> String {
+        "op".to_string()
+    }
 }
 
 impl<T: Operator + ?Sized> Operator for Box<T> {
@@ -113,6 +135,9 @@ impl<T: Operator + ?Sized> Operator for Box<T> {
     }
     fn next(&mut self) -> Result<Option<TupleBlock>> {
         (**self).next()
+    }
+    fn label(&self) -> String {
+        (**self).label()
     }
 }
 

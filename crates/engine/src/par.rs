@@ -32,12 +32,14 @@ use std::time::Instant;
 
 use rodb_cpu::CpuBreakdown;
 use rodb_io::IoStats;
+use rodb_trace::{QueryTrace, SpanKind};
 use rodb_types::{Error, HardwareConfig, Result, SystemConfig, Value};
 
 use crate::agg::{merge_partials, AggPartial, AggSpec, AggStrategy, Aggregate};
 use crate::exec::{RunReport, DEFAULT_OVERLAP_LOSS};
 use crate::op::{drain, ExecContext, Operator};
 use crate::plan::ScanSpec;
+use crate::traced::{apply_report, finish_query_trace, record_block};
 
 /// Morsels per worker thread: small enough that the queue load-balances,
 /// large enough that per-morsel setup stays negligible.
@@ -76,6 +78,8 @@ pub struct ParallelOutcome {
     /// Threads requested and morsels actually executed.
     pub threads: usize,
     pub morsels: usize,
+    /// Merged per-morsel span trace (only when tracing was requested).
+    pub trace: Option<QueryTrace>,
 }
 
 /// Everything a morsel execution sends back across the thread boundary
@@ -85,9 +89,9 @@ struct MorselOutcome {
     nrows: u64,
     blocks: u64,
     io: IoStats,
-    io_s: f64,
     cpu: CpuBreakdown,
     partial: Option<AggPartial>,
+    trace: Option<QueryTrace>,
 }
 
 /// Morsel-driven parallel executor: the scan-level analogue of
@@ -95,11 +99,23 @@ struct MorselOutcome {
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelExec {
     pub threads: usize,
+    /// Trace every morsel and merge the span trees (off by default).
+    pub trace: bool,
 }
 
 impl ParallelExec {
     pub fn new(threads: usize) -> ParallelExec {
-        ParallelExec { threads }
+        ParallelExec {
+            threads,
+            trace: false,
+        }
+    }
+
+    /// Enable per-morsel span tracing; the merged trace lands in
+    /// [`ParallelOutcome::trace`].
+    pub fn traced(mut self, on: bool) -> ParallelExec {
+        self.trace = on;
+        self
     }
 
     /// Execute for measurement only (results produced and discarded).
@@ -174,6 +190,7 @@ impl ParallelExec {
                             competing_scans,
                             (m.start, m.end),
                             collect,
+                            self.trace,
                         )?;
                         mine.push((idx, out));
                     }
@@ -187,19 +204,17 @@ impl ParallelExec {
             Ok(())
         })?;
         tagged.sort_by_key(|(idx, _)| *idx);
-        let outcomes: Vec<MorselOutcome> = tagged.into_iter().map(|(_, o)| o).collect();
+        let mut outcomes: Vec<MorselOutcome> = tagged.into_iter().map(|(_, o)| o).collect();
+        // Per-morsel traces, in morsel order (matching the accounting merge).
+        let traces: Vec<QueryTrace> = outcomes.iter_mut().filter_map(|o| o.trace.take()).collect();
 
         // ---- deterministic merge --------------------------------------
         let per_io: Vec<IoStats> = outcomes.iter().map(|o| o.io).collect();
-        let mut summed = IoStats::default();
-        for s in &per_io {
-            summed.merge(s);
-        }
         let merged_io = rodb_io::merge_parallel(&per_io, self.threads, hw.seek_s);
         // Workers share one array: transfer/seek time serializes, plus the
-        // head-switch seeks merge_parallel charged on top.
-        let io_s =
-            outcomes.iter().map(|o| o.io_s).sum::<f64>() + (merged_io.seek_s - summed.seek_s);
+        // head-switch seeks merge_parallel charged on top — both of which
+        // the merged counters carry, so disk seconds derive from them.
+        let io_s = merged_io.total_s();
 
         let mut cpu = CpuBreakdown::default();
         let mut max_morsel_cpu = 0.0f64;
@@ -254,10 +269,16 @@ impl ParallelExec {
             rows: nrows,
             blocks,
             io: merged_io,
-            io_s,
             cpu,
             elapsed_s,
         };
+        // Merge the span trees the same way the accounting merged, then pin
+        // the merged root to the final report (which additionally carries
+        // the head-switch seek recharge and the serial aggregation tail).
+        let trace = QueryTrace::merge_morsels(&traces).map(|mut t| {
+            apply_report(&mut t, &report);
+            t
+        });
         Ok(ParallelOutcome {
             report,
             rows,
@@ -265,6 +286,7 @@ impl ParallelExec {
             wall_s: start.elapsed().as_secs_f64(),
             threads: self.threads,
             morsels: morsels.len(),
+            trace,
         })
     }
 }
@@ -281,8 +303,12 @@ fn run_morsel(
     competing_scans: usize,
     range: (u64, u64),
     collect: bool,
+    traced: bool,
 ) -> Result<MorselOutcome> {
-    let ctx = ExecContext::new(*hw, *sys, row_scale)?;
+    let mut ctx = ExecContext::new(*hw, *sys, row_scale)?;
+    if traced {
+        ctx = ctx.with_tracing();
+    }
     for _ in 0..competing_scans {
         ctx.add_competing_scan();
     }
@@ -292,9 +318,9 @@ fn run_morsel(
         nrows: 0,
         blocks: 0,
         io: IoStats::default(),
-        io_s: 0.0,
         cpu: CpuBreakdown::default(),
         partial: None,
+        trace: None,
     };
     match agg {
         None => {
@@ -314,16 +340,23 @@ fn run_morsel(
         Some(plan) => {
             let agg_op =
                 Aggregate::new(scan, plan.group_by, plan.specs.clone(), plan.strategy, &ctx)?;
-            out.partial = Some(agg_op.into_partial()?);
+            let label = agg_op.label();
+            out.partial = Some(record_block(&ctx, &label, SpanKind::Agg, move || {
+                agg_op.into_partial()
+            })?);
         }
     }
     ctx.settle_io_kernel_work();
-    {
-        let disk = ctx.disk.borrow();
-        out.io = *disk.stats();
-        out.io_s = disk.elapsed();
-    }
+    out.io = *ctx.disk.borrow().stats();
     out.cpu = ctx.meter.borrow().breakdown(hw).scaled(row_scale);
+    let report = RunReport {
+        rows: out.nrows,
+        blocks: out.blocks,
+        io: out.io,
+        cpu: out.cpu,
+        elapsed_s: out.io.total_s().max(out.cpu.total()),
+    };
+    out.trace = finish_query_trace(&ctx, &report);
     Ok(out)
 }
 

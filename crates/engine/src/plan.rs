@@ -15,6 +15,8 @@ use crate::predicate::Predicate;
 use crate::scan_col::{ColumnScanMode, ColumnScanner};
 use crate::scan_col_single::SingleIteratorColumnScanner;
 use crate::scan_row::RowScanner;
+use crate::traced::TracedOp;
+use rodb_trace::SpanKind;
 
 /// Which physical access path a scan uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +92,7 @@ impl ScanSpec {
                 self.layout
             )));
         }
-        Ok(match self.layout {
+        let scan: Box<dyn Operator> = match self.layout {
             ScanLayout::Row => Box::new(RowScanner::new_range(
                 self.table,
                 self.projection,
@@ -119,7 +121,8 @@ impl ScanSpec {
                 self.predicates,
                 ctx,
             )?),
-        })
+        };
+        Ok(TracedOp::wrap(scan, SpanKind::Scan, ctx))
     }
 
     /// Build the scan with an aggregation on top.
@@ -131,9 +134,9 @@ impl ScanSpec {
         ctx: &ExecContext,
     ) -> Result<Box<dyn Operator>> {
         let scan = self.build(ctx)?;
-        Ok(Box::new(Aggregate::new(
-            scan, group_by, specs, strategy, ctx,
-        )?))
+        let agg: Box<dyn Operator> =
+            Box::new(Aggregate::new(scan, group_by, specs, strategy, ctx)?);
+        Ok(TracedOp::wrap(agg, SpanKind::Agg, ctx))
     }
 }
 

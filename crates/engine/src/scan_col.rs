@@ -594,6 +594,14 @@ impl Operator for ColumnScanner {
         &self.out_schema
     }
 
+    fn label(&self) -> String {
+        let mode = match self.mode {
+            ColumnScanMode::Pipelined => "column",
+            ColumnScanMode::Slow => "column-slow",
+        };
+        format!("scan[{mode}] {}", self.table.name)
+    }
+
     fn next(&mut self) -> Result<Option<TupleBlock>> {
         if self.done {
             return Ok(None);

@@ -279,6 +279,10 @@ impl Operator for SingleIteratorColumnScanner {
         &self.out_schema
     }
 
+    fn label(&self) -> String {
+        format!("scan[column-single] {}", self.table.name)
+    }
+
     fn next(&mut self) -> Result<Option<TupleBlock>> {
         if self.done {
             return Ok(None);

@@ -375,6 +375,10 @@ impl Operator for RowScanner {
         &self.out_schema
     }
 
+    fn label(&self) -> String {
+        format!("scan[row] {}", self.table.name)
+    }
+
     fn next(&mut self) -> Result<Option<TupleBlock>> {
         if self.done {
             return Ok(None);

@@ -95,6 +95,10 @@ impl Operator for Sort {
         &self.schema
     }
 
+    fn label(&self) -> String {
+        "sort".to_string()
+    }
+
     fn next(&mut self) -> Result<Option<TupleBlock>> {
         if self.sorted.is_none() {
             self.materialize()?;

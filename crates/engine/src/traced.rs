@@ -1,0 +1,372 @@
+//! Span-recording operator wrapper and trace finalization.
+//!
+//! When an [`ExecContext`] carries a tracer (see
+//! [`ExecContext::with_tracing`]), every plan node built through
+//! [`crate::plan::ScanSpec`] or the query builder is wrapped in a
+//! [`TracedOp`]. The wrapper snapshots the context's accounting — raw
+//! [`CpuCounters`], the meter's per-phase profile, [`IoStats`] and the
+//! simulated disk clock — around each `next()` call and accumulates the
+//! deltas on the node's span. Deltas are *inclusive*: a parent's span
+//! includes the work of the children pulled inside its `next()`, which is
+//! the EXPLAIN ANALYZE convention.
+//!
+//! [`finish_query_trace`] then converts raw counter deltas into the
+//! paper's modelled CPU seconds per span, synthesizes [`SpanKind::Phase`]
+//! children (decode, predicate, gather…) from each node's *self* share of
+//! the phase profile, and overwrites the root span with the final
+//! [`RunReport`] numbers so the trace reconciles with the engine's own
+//! accounting exactly — including the nonlinear prefetch-overlap term and
+//! the parallel executor's head-switch seek recharge, neither of which
+//! distributes over per-span summation.
+
+use std::time::Instant;
+
+use rodb_cpu::{CpuBreakdown, CpuCounters, CpuPhase, PhaseProfile};
+use rodb_io::IoStats;
+use rodb_trace::{keys, QueryTrace, SpanId, SpanKind, SpanNode, Tracer};
+use rodb_types::Result;
+use std::sync::Arc;
+
+use crate::block::TupleBlock;
+use crate::exec::RunReport;
+use crate::op::{ExecContext, Operator};
+
+/// An operator wrapped with span recording. Built only when the context
+/// traces; untraced plans never see this type.
+pub struct TracedOp {
+    inner: Box<dyn Operator>,
+    ctx: ExecContext,
+    tracer: Tracer,
+    span: SpanId,
+}
+
+impl TracedOp {
+    /// Wrap `inner` in a span of `kind` — or return it untouched when the
+    /// context does not trace (the zero-overhead default).
+    pub fn wrap(inner: Box<dyn Operator>, kind: SpanKind, ctx: &ExecContext) -> Box<dyn Operator> {
+        let Some(tracer) = &ctx.tracer else {
+            return inner;
+        };
+        let span = tracer.op_span(&inner.label(), kind);
+        Box::new(TracedOp {
+            inner,
+            ctx: ctx.clone(),
+            tracer: tracer.clone(),
+            span,
+        })
+    }
+}
+
+impl Operator for TracedOp {
+    fn schema(&self) -> &Arc<rodb_types::Schema> {
+        self.inner.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<TupleBlock>> {
+        let before = Snapshot::take(&self.ctx);
+        let out = self.inner.next();
+        before.record(&self.ctx, &self.tracer, self.span);
+        self.tracer.add(self.span, keys::CALLS, 1.0);
+        if let Ok(Some(b)) = &out {
+            self.tracer.add(self.span, keys::ROWS, b.count() as f64);
+            self.tracer.add(self.span, keys::BLOCKS, 1.0);
+        }
+        out
+    }
+
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+}
+
+/// Record a span around an arbitrary piece of traced work (used where an
+/// operator is consumed by value — e.g. the parallel executor folding an
+/// [`crate::agg::Aggregate`] into a partial — and cannot be wrapped).
+pub fn record_block<T>(
+    ctx: &ExecContext,
+    label: &str,
+    kind: SpanKind,
+    f: impl FnOnce() -> Result<T>,
+) -> Result<T> {
+    let Some(tracer) = ctx.tracer.clone() else {
+        return f();
+    };
+    let span = tracer.op_span(label, kind);
+    let before = Snapshot::take(ctx);
+    let out = f();
+    before.record(ctx, &tracer, span);
+    tracer.add(span, keys::CALLS, 1.0);
+    out
+}
+
+/// Accounting state captured before an operator call; [`Snapshot::record`]
+/// charges the difference to a span.
+struct Snapshot {
+    cnt: CpuCounters,
+    phases: PhaseProfile,
+    io: IoStats,
+    io_elapsed: f64,
+    wall: Instant,
+}
+
+impl Snapshot {
+    fn take(ctx: &ExecContext) -> Snapshot {
+        let meter = ctx.meter.borrow();
+        let disk = ctx.disk.borrow();
+        Snapshot {
+            cnt: *meter.counters(),
+            phases: meter.profile_snapshot(),
+            io: *disk.stats(),
+            io_elapsed: disk.elapsed(),
+            wall: Instant::now(),
+        }
+    }
+
+    fn record(&self, ctx: &ExecContext, tracer: &Tracer, span: SpanId) {
+        tracer.add(span, keys::WALL_S, self.wall.elapsed().as_secs_f64());
+        {
+            let meter = ctx.meter.borrow();
+            add_counter_deltas(tracer, span, &self.cnt, meter.counters());
+            if let Some(now) = meter.profile() {
+                for (phase, after) in now.iter() {
+                    add_phase_deltas(tracer, span, phase, self.phases.get(phase), after);
+                }
+            }
+        }
+        let disk = ctx.disk.borrow();
+        let now = disk.stats();
+        tracer.add(span, keys::IO_S, disk.elapsed() - self.io_elapsed);
+        tracer.add(span, keys::IO_BYTES, now.bytes_read - self.io.bytes_read);
+        tracer.add(span, keys::IO_SEEKS, (now.seeks - self.io.seeks) as f64);
+        tracer.add(span, keys::IO_BURSTS, (now.bursts - self.io.bursts) as f64);
+        tracer.add(
+            span,
+            keys::IO_COMP_BURSTS,
+            (now.comp_bursts - self.io.comp_bursts) as f64,
+        );
+        tracer.add(
+            span,
+            keys::IO_TRANSFER_S,
+            now.transfer_s - self.io.transfer_s,
+        );
+        tracer.add(span, keys::IO_SEEK_S, now.seek_s - self.io.seek_s);
+        tracer.add(span, keys::IO_COMP_S, now.comp_s - self.io.comp_s);
+        tracer.add(
+            span,
+            keys::IO_PAGES_SKIPPED,
+            (now.pages_skipped - self.io.pages_skipped) as f64,
+        );
+        let (r0, r1) = (&self.io.recovery, &now.recovery);
+        tracer.add(span, keys::IO_RETRIES, (r1.retries - r0.retries) as f64);
+        tracer.add(span, keys::IO_REPAIRS, (r1.repairs - r0.repairs) as f64);
+        tracer.add(
+            span,
+            keys::IO_QUARANTINED,
+            (r1.quarantined_pages - r0.quarantined_pages) as f64,
+        );
+        tracer.add(
+            span,
+            keys::IO_DROPPED_ROWS,
+            (r1.dropped_rows - r0.dropped_rows) as f64,
+        );
+    }
+}
+
+fn add_counter_deltas(tracer: &Tracer, span: SpanId, before: &CpuCounters, after: &CpuCounters) {
+    tracer.add(span, keys::CNT_UOPS, after.uops - before.uops);
+    tracer.add(
+        span,
+        keys::CNT_SEQ_BYTES,
+        after.seq_bytes - before.seq_bytes,
+    );
+    tracer.add(
+        span,
+        keys::CNT_RAND_MISSES,
+        after.rand_misses - before.rand_misses,
+    );
+    tracer.add(span, keys::CNT_L1_LINES, after.l1_lines - before.l1_lines);
+    tracer.add(
+        span,
+        keys::CNT_MISPREDICTS,
+        after.branch_mispredicts - before.branch_mispredicts,
+    );
+    tracer.add(
+        span,
+        keys::CNT_IO_REQUESTS,
+        after.io_requests - before.io_requests,
+    );
+    tracer.add(span, keys::CNT_IO_BYTES, after.io_bytes - before.io_bytes);
+    tracer.add(
+        span,
+        keys::CNT_IO_SWITCHES,
+        after.io_switches - before.io_switches,
+    );
+}
+
+/// Per-phase deltas land under `phase.<name>.<field>`; the annotation pass
+/// folds them into synthesized phase child spans and removes the raw keys.
+fn add_phase_deltas(
+    tracer: &Tracer,
+    span: SpanId,
+    phase: CpuPhase,
+    before: &CpuCounters,
+    after: &CpuCounters,
+) {
+    let name = phase.name();
+    let put = |field: &str, delta: f64| {
+        if delta != 0.0 {
+            tracer.add(span, &format!("phase.{name}.{field}"), delta);
+        }
+    };
+    put("uops", after.uops - before.uops);
+    put("seq_bytes", after.seq_bytes - before.seq_bytes);
+    put("rand_misses", after.rand_misses - before.rand_misses);
+    put("l1_lines", after.l1_lines - before.l1_lines);
+    put(
+        "branch_mispredicts",
+        after.branch_mispredicts - before.branch_mispredicts,
+    );
+    put("io_requests", after.io_requests - before.io_requests);
+    put("io_bytes", after.io_bytes - before.io_bytes);
+    put("io_switches", after.io_switches - before.io_switches);
+}
+
+const CNT_FIELDS: [&str; 8] = [
+    "uops",
+    "seq_bytes",
+    "rand_misses",
+    "l1_lines",
+    "branch_mispredicts",
+    "io_requests",
+    "io_bytes",
+    "io_switches",
+];
+
+fn counters_from(get: impl Fn(&str) -> f64) -> CpuCounters {
+    CpuCounters {
+        uops: get("uops"),
+        seq_bytes: get("seq_bytes"),
+        rand_misses: get("rand_misses"),
+        l1_lines: get("l1_lines"),
+        branch_mispredicts: get("branch_mispredicts"),
+        io_requests: get("io_requests"),
+        io_bytes: get("io_bytes"),
+        io_switches: get("io_switches"),
+    }
+}
+
+/// Assemble the finished trace from a traced context: convert raw counter
+/// deltas to modelled CPU seconds, synthesize phase child spans, and pin
+/// the root to the report's exact totals. Returns `None` when the context
+/// does not trace.
+pub fn finish_query_trace(ctx: &ExecContext, report: &RunReport) -> Option<QueryTrace> {
+    let tracer = ctx.tracer.as_ref()?;
+    let mut trace = tracer.finish();
+    annotate(&mut trace.root, ctx);
+    apply_report(&mut trace, report);
+    Some(trace)
+}
+
+/// Overwrite the root span with the report's totals (the single source of
+/// truth). Used both per morsel and — through the parallel merge — on the
+/// final merged trace, so span totals reconcile with the engine exactly.
+pub fn apply_report(trace: &mut QueryTrace, report: &RunReport) {
+    let m = &mut trace.root.metrics;
+    m.set(keys::ROWS, report.rows as f64);
+    m.set(keys::BLOCKS, report.blocks as f64);
+    m.set(keys::CPU_TOTAL_S, report.cpu.total());
+    m.set(keys::CPU_SYS_S, report.cpu.sys);
+    m.set(keys::CPU_USR_UOP_S, report.cpu.usr_uop);
+    m.set(keys::CPU_USR_L2_S, report.cpu.usr_l2);
+    m.set(keys::CPU_USR_L1_S, report.cpu.usr_l1);
+    m.set(keys::CPU_USR_REST_S, report.cpu.usr_rest);
+    m.set(keys::IO_S, report.io_s());
+    m.set(keys::IO_BYTES, report.io.bytes_read);
+    m.set(keys::IO_SEEKS, report.io.seeks as f64);
+    m.set(keys::IO_BURSTS, report.io.bursts as f64);
+    m.set(keys::IO_COMP_BURSTS, report.io.comp_bursts as f64);
+    m.set(keys::IO_TRANSFER_S, report.io.transfer_s);
+    m.set(keys::IO_SEEK_S, report.io.seek_s);
+    m.set(keys::IO_COMP_S, report.io.comp_s);
+    m.set(keys::IO_PAGES_SKIPPED, report.io.pages_skipped as f64);
+    m.set(keys::IO_RETRIES, report.io.recovery.retries as f64);
+    m.set(keys::IO_REPAIRS, report.io.recovery.repairs as f64);
+    m.set(
+        keys::IO_QUARANTINED,
+        report.io.recovery.quarantined_pages as f64,
+    );
+    m.set(
+        keys::IO_DROPPED_ROWS,
+        report.io.recovery.dropped_rows as f64,
+    );
+    m.set(keys::ELAPSED_S, report.elapsed_s);
+}
+
+/// Top-down annotation: each node's inclusive raw counters become modelled
+/// CPU seconds, and its *self* share of the phase profile (inclusive minus
+/// direct children, whose keys are still raw at this point) becomes
+/// synthesized [`SpanKind::Phase`] children.
+fn annotate(node: &mut SpanNode, ctx: &ExecContext) {
+    let scale = ctx.row_scale;
+    let params = *ctx.meter.borrow().params();
+    let c = counters_from(|f| node.metrics.get(&format!("cnt.{f}")));
+    if c != CpuCounters::default() {
+        let b = CpuBreakdown::from_counters(&c, &ctx.hw, &params).scaled(scale);
+        node.metrics.set(keys::CPU_TOTAL_S, b.total());
+        node.metrics.set(keys::CPU_SYS_S, b.sys);
+        node.metrics.set(keys::CPU_USR_UOP_S, b.usr_uop);
+        node.metrics.set(keys::CPU_USR_L2_S, b.usr_l2);
+        node.metrics.set(keys::CPU_USR_L1_S, b.usr_l1);
+        node.metrics.set(keys::CPU_USR_REST_S, b.usr_rest);
+    }
+
+    // Self phase share: inclusive deltas minus the direct children's
+    // (their phase keys are still raw — they have not recursed yet).
+    let mut own: Vec<(String, f64)> = node.metrics.remove_prefix("phase.");
+    for child in &node.children {
+        for (key, child_v) in child.metrics.iter() {
+            if !key.starts_with("phase.") {
+                continue;
+            }
+            if let Some((_, v)) = own.iter_mut().find(|(k, _)| k == key) {
+                *v -= child_v;
+            }
+        }
+    }
+    for phase in CpuPhase::ALL {
+        let prefix = format!("phase.{}.", phase.name());
+        let get = |f: &str| {
+            own.iter()
+                .find(|(k, _)| k.starts_with(&prefix) && k[prefix.len()..] == *f)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        let c = counters_from(|f| get(f).max(0.0));
+        if c == CpuCounters::default() {
+            continue;
+        }
+        let b = CpuBreakdown::from_counters(&c, &ctx.hw, &params).scaled(scale);
+        let mut metrics = rodb_trace::Metrics::default();
+        metrics.set(keys::CPU_TOTAL_S, b.total());
+        metrics.set(keys::CPU_USR_UOP_S, b.usr_uop);
+        metrics.set(keys::CPU_USR_L2_S, b.usr_l2);
+        for f in CNT_FIELDS {
+            metrics.add(&format!("cnt.{f}"), get(f).max(0.0));
+        }
+        node.children.push(SpanNode {
+            label: format!("phase:{}", phase.name()),
+            kind: SpanKind::Phase,
+            metrics,
+            children: Vec::new(),
+        });
+    }
+
+    for child in &mut node.children {
+        if child.kind != SpanKind::Phase {
+            annotate(child, ctx);
+        } else {
+            // Synthesized above (or merged in); raw keys already folded.
+            child.metrics.remove_prefix("phase.");
+        }
+    }
+}

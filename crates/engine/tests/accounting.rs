@@ -72,9 +72,9 @@ fn io_time_decomposes_into_components() {
         let r = run(&t, layout, vec![0, 1, 2, 3], vec![], 60.0);
         let total = r.io.transfer_s + r.io.seek_s + r.io.comp_s;
         assert!(
-            (r.io_s - total).abs() < 1e-9,
+            (r.io_s() - total).abs() < 1e-9,
             "{layout}: elapsed {} vs components {total}",
-            r.io_s
+            r.io_s()
         );
         assert!(r.io.comp_s == 0.0); // no competitor registered
     }
@@ -102,7 +102,7 @@ fn breakdown_total_is_sum_of_parts_and_nonnegative() {
         }
         let sum = b.sys + b.usr_uop + b.usr_l2 + b.usr_l1 + b.usr_rest;
         assert!((b.total() - sum).abs() < 1e-12);
-        assert!(r.elapsed_s + 1e-12 >= r.io_s.max(b.total()));
+        assert!(r.elapsed_s + 1e-12 >= r.io_s().max(b.total()));
     }
 }
 
@@ -126,7 +126,7 @@ fn equal_work_same_counters_across_runs() {
     );
     assert_eq!(a.rows, b.rows);
     assert_eq!(a.io.seeks, b.io.seeks);
-    assert!((a.io_s - b.io_s).abs() < 1e-12);
+    assert!((a.io_s() - b.io_s()).abs() < 1e-12);
     assert!((a.cpu.total() - b.cpu.total()).abs() < 1e-12);
 }
 

@@ -55,7 +55,8 @@ fn build_table(plan: &CasePlan) -> rodb_types::Result<Table> {
 /// Execute the plan through the engine with `threads` workers and the given
 /// fast-path setting, optionally under fault injection with a recovery
 /// configuration (mirror count + corruption policy).
-fn execute(
+#[allow(clippy::too_many_arguments)]
+fn execute_traced(
     plan: &CasePlan,
     table: Table,
     threads: usize,
@@ -63,6 +64,7 @@ fn execute(
     faults: Option<FaultSpec>,
     mirror: usize,
     on_corrupt: OnCorrupt,
+    trace: bool,
 ) -> rodb_types::Result<QueryResult> {
     let sys = SystemConfig {
         page_size: plan.page_size,
@@ -78,7 +80,8 @@ fn execute(
     let mut q = db
         .query("t")?
         .layout(plan.layout)
-        .select_indices(&plan.projection);
+        .select_indices(&plan.projection)
+        .trace(trace);
     for p in &plan.predicates {
         q = q.filter_pred(p.clone())?;
     }
@@ -92,6 +95,55 @@ fn execute(
         q = q.sorted_aggregation();
     }
     q.run_collect()
+}
+
+/// [`execute_traced`] without tracing — what every sweep mode runs.
+fn execute(
+    plan: &CasePlan,
+    table: Table,
+    threads: usize,
+    fast: bool,
+    faults: Option<FaultSpec>,
+    mirror: usize,
+    on_corrupt: OnCorrupt,
+) -> rodb_types::Result<QueryResult> {
+    execute_traced(
+        plan, table, threads, fast, faults, mirror, on_corrupt, false,
+    )
+}
+
+/// Re-run one seed with span tracing on and save both trace formats
+/// (`<dir>/fuzz_<mode>_seed_<n>.{trace,chrome}.json`) — the CI artifact
+/// path. `"recovery"` runs the mirrored-repair configuration (every primary
+/// read damaged, clean second replica) so the trace carries retry/repair
+/// events; any other mode runs the plan healthy.
+pub fn save_case_trace(seed: u64, mode: &str, dir: &str) -> Result<std::path::PathBuf, String> {
+    let plan = gen::generate(seed);
+    let table = catching(|| build_table(&plan))
+        .map_err(|p| format!("seed {seed}: build panicked: {p}"))?
+        .map_err(|e| format!("seed {seed}: build failed: {e:?}"))?;
+    let (faults, mirror, policy) = if mode == "recovery" {
+        (Some(FaultSpec::always(seed)), 2, OnCorrupt::Retry)
+    } else {
+        (None, 1, OnCorrupt::Fail)
+    };
+    let res = execute_traced(
+        &plan,
+        table,
+        plan.threads,
+        plan.scan_fast_path,
+        faults,
+        mirror,
+        policy,
+        true,
+    )
+    .map_err(|e| format!("seed {seed}: traced run failed: {e:?}"))?;
+    let trace = res
+        .trace
+        .ok_or_else(|| format!("seed {seed}: traced run produced no trace"))?;
+    trace
+        .save(dir, &format!("fuzz_{mode}_seed_{seed}"))
+        .map_err(|e| format!("seed {seed}: could not save trace: {e}"))
 }
 
 /// Run `f`, converting a panic into `Err(message)`. A panic anywhere in the

@@ -9,9 +9,13 @@
 //!
 //! Every failure prints the reproducing seed; the exit code is non-zero if
 //! any seed failed. `--json PATH` additionally writes a one-object summary
-//! (mode, seed window, failing seeds) for CI artifacts.
+//! (mode, seed window, failing seeds, drained metrics registry) for CI
+//! artifacts; `--trace-dir DIR` re-runs the sweep's first seed with span
+//! tracing and saves both trace formats there.
 
 use std::process::ExitCode;
+
+use rodb_trace::{Json, MetricsRegistry};
 
 fn usage() -> ! {
     eprintln!(
@@ -26,7 +30,9 @@ fn usage() -> ! {
          --recovery      recovery mode: mirrored reads must repair to\n\
                          oracle-identical rows; mirror=1 Skip scans must\n\
                          return the oracle over exactly the surviving rows\n\
-         --json PATH     write a JSON summary of the sweep to PATH"
+         --json PATH     write a JSON summary of the sweep to PATH\n\
+         --trace-dir DIR re-run the first seed traced; save span + Chrome\n\
+                         trace JSON under DIR"
     );
     std::process::exit(2);
 }
@@ -45,16 +51,17 @@ fn write_json(
     count: u64,
     failed: &[u64],
 ) -> std::io::Result<()> {
-    use std::io::Write;
-    let mut f = std::fs::File::create(path)?;
-    let seeds: Vec<String> = failed.iter().map(u64::to_string).collect();
-    writeln!(
-        f,
-        "{{\n  \"mode\": \"{mode}\",\n  \"start_seed\": {first},\n  \"iters\": {count},\n  \
-         \"failures\": {},\n  \"failed_seeds\": [{}]\n}}",
-        failed.len(),
-        seeds.join(", ")
-    )
+    let doc = Json::obj()
+        .set("mode", mode)
+        .set("start_seed", first)
+        .set("iters", count)
+        .set("failures", failed.len() as u64)
+        .set(
+            "failed_seeds",
+            failed.iter().map(|&s| Json::from(s)).collect::<Vec<_>>(),
+        )
+        .set("metrics", MetricsRegistry::drain());
+    std::fs::write(path, doc.pretty())
 }
 
 fn main() -> ExitCode {
@@ -65,6 +72,7 @@ fn main() -> ExitCode {
     let mut faults = false;
     let mut recovery = false;
     let mut json: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => seed = Some(parse_u64(args.next())),
@@ -73,6 +81,7 @@ fn main() -> ExitCode {
             "--faults" => faults = true,
             "--recovery" => recovery = true,
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-dir" => trace_dir = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -103,6 +112,12 @@ fn main() -> ExitCode {
                 _ => "",
             };
             eprintln!("  reproduce: cargo run -p rodb-fuzz -- --seed {s}{flag}");
+        }
+    }
+    if let Some(dir) = &trace_dir {
+        match rodb_fuzz::save_case_trace(first, mode, dir) {
+            Ok(path) => println!("trace: {}", path.display()),
+            Err(e) => eprintln!("warning: could not save trace: {e}"),
         }
     }
     if let Some(path) = &json {

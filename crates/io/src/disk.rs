@@ -28,6 +28,7 @@
 
 use std::collections::HashSet;
 
+use rodb_trace::{EventKind, TraceEvent, TraceSink};
 use rodb_types::{Error, FaultSpec, HardwareConfig, OnCorrupt, Result, SplitMix64, SystemConfig};
 
 use crate::stats::IoStats;
@@ -195,6 +196,9 @@ pub struct DiskArray {
     /// Degraded-scan policy ([`SystemConfig::on_corrupt`]); `Fail` disables
     /// replica retries entirely.
     on_corrupt: OnCorrupt,
+    /// Trace event sink; `None` (the default) keeps the hot path at one
+    /// branch per burst.
+    sink: Option<TraceSink>,
 }
 
 impl DiskArray {
@@ -225,7 +229,28 @@ impl DiskArray {
             faults: sys.faults.map(FaultInjector::new),
             mirror: sys.mirror,
             on_corrupt: sys.on_corrupt,
+            sink: None,
         })
+    }
+
+    /// Install a trace event sink: bursts, zone skips, replica retries,
+    /// repairs, quarantines and row drops are emitted with their
+    /// simulated-clock timestamps from here on.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.sink = Some(sink);
+    }
+
+    #[inline]
+    fn emit(&self, kind: EventKind, file: u64, page: u64, count: u64) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().push(TraceEvent {
+                ts_s: self.clock,
+                kind,
+                file,
+                page,
+                count,
+            });
+        }
     }
 
     /// Roll the installed fault injector for one read of page `page_index`
@@ -257,6 +282,7 @@ impl DiskArray {
             self.stats.transfer_s += transfer;
             self.stats.bytes_read += page.len() as f64 * self.scale;
             self.stats.recovery.retries += 1;
+            self.emit(EventKind::Retry, file.0, page_index, replica as u64);
             // The head moved away from the sequential run.
             self.bytes_since_seek = page.len() as f64;
             match self
@@ -273,6 +299,7 @@ impl DiskArray {
                         .unwrap()
                         .mark_repaired(file.0, page_index);
                     self.stats.recovery.repairs += 1;
+                    self.emit(EventKind::Repair, file.0, page_index, 1);
                     return None;
                 }
                 Some(d) => last = d,
@@ -284,11 +311,13 @@ impl DiskArray {
     /// Record `n` freshly quarantined pages (every replica bad).
     pub fn note_quarantined(&mut self, n: u64) {
         self.stats.recovery.quarantined_pages += n;
+        self.emit(EventKind::Quarantine, 0, 0, n);
     }
 
     /// Record `n` rows dropped by a degraded (`Skip`) scan.
     pub fn note_dropped_rows(&mut self, n: u64) {
         self.stats.recovery.dropped_rows += n;
+        self.emit(EventKind::DropRows, 0, 0, n);
     }
 
     /// Burst size in actual bytes (what a stream should request per fetch).
@@ -371,6 +400,7 @@ impl DiskArray {
             self.bytes_since_seek += len;
         }
         self.stats.transfer_s += transfer;
+        self.emit(EventKind::Burst, file.0, offset as u64, 1);
         self.clock
     }
 
@@ -405,6 +435,7 @@ impl DiskArray {
     /// bookkeeping only, so benchmarks can report skip rates).
     pub fn note_pages_skipped(&mut self, n: u64) {
         self.stats.pages_skipped += n;
+        self.emit(EventKind::ZoneSkip, 0, 0, n);
     }
 
     /// Simulated seconds elapsed since construction.
@@ -714,6 +745,36 @@ mod tests {
         assert!(d.read_page(FileId(0), 0, &[7u8; 64]).is_some());
         assert_eq!(d.stats().recovery.retries, 2);
         assert_eq!(d.stats().recovery.repairs, 0);
+    }
+
+    #[test]
+    fn trace_sink_sees_bursts_skips_and_retries() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let faulty = sys().with_faults(FaultSpec::always(3)).with_mirror(2);
+        let mut d = DiskArray::new(&hw(), &faulty, 1.0).unwrap();
+        let sink: TraceSink = Rc::new(RefCell::new(rodb_trace::EventBuf::default()));
+        d.set_trace_sink(sink.clone());
+        let burst = d.burst_bytes();
+        d.read(FileId(0), 0.0, burst);
+        d.note_pages_skipped(4);
+        assert!(d.read_page(FileId(0), 0, &[7u8; 512]).is_none());
+        let buf = sink.borrow();
+        let kinds: Vec<EventKind> = buf.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Burst,
+                EventKind::ZoneSkip,
+                EventKind::Retry,
+                EventKind::Repair
+            ]
+        );
+        // Timestamps are the simulated clock, monotone along the stream.
+        for pair in buf.events.windows(2) {
+            assert!(pair[1].ts_s >= pair[0].ts_s);
+        }
+        assert_eq!(buf.events[1].count, 4);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! I/O accounting.
 
+use rodb_trace::Json;
+
 /// Fault-recovery counters for one query execution, carried inside
 /// [`IoStats`] so they merge across parallel morsels exactly like the rest
 /// of the I/O accounting.
@@ -22,6 +24,16 @@ impl RecoveryStats {
         self.repairs += other.repairs;
         self.quarantined_pages += other.quarantined_pages;
         self.dropped_rows += other.dropped_rows;
+    }
+
+    /// Std-only JSON emission shared by fuzz `--json`, the bench bins and
+    /// the tracer.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("retries", self.retries)
+            .set("repairs", self.repairs)
+            .set("quarantined_pages", self.quarantined_pages)
+            .set("dropped_rows", self.dropped_rows)
     }
 }
 
@@ -59,6 +71,22 @@ impl IoStats {
         self.transfer_s + self.seek_s + self.comp_s
     }
 
+    /// Std-only JSON emission shared by fuzz `--json`, the bench bins and
+    /// the tracer. Field names match the struct fields.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("bytes_read", self.bytes_read)
+            .set("seeks", self.seeks)
+            .set("bursts", self.bursts)
+            .set("comp_bursts", self.comp_bursts)
+            .set("transfer_s", self.transfer_s)
+            .set("seek_s", self.seek_s)
+            .set("comp_s", self.comp_s)
+            .set("pages_skipped", self.pages_skipped)
+            .set("total_s", self.total_s())
+            .set("recovery", self.recovery.to_json())
+    }
+
     /// Element-wise accumulate (merging per-worker stats of a parallel scan).
     pub fn merge(&mut self, other: &IoStats) {
         self.bytes_read += other.bytes_read;
@@ -87,5 +115,30 @@ mod tests {
         };
         assert!((s.total_s() - 1.75).abs() < 1e-12);
         assert_eq!(IoStats::default().total_s(), 0.0);
+    }
+
+    #[test]
+    fn json_carries_every_field() {
+        let s = IoStats {
+            bytes_read: 1.0e6,
+            seeks: 3,
+            bursts: 5,
+            transfer_s: 0.5,
+            seek_s: 0.012,
+            pages_skipped: 7,
+            recovery: RecoveryStats {
+                retries: 2,
+                repairs: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert_eq!(j.get("seeks").unwrap().as_f64(), Some(3.0));
+        assert_eq!(j.get("total_s").unwrap().as_f64(), Some(s.total_s()));
+        let rec = j.get("recovery").unwrap();
+        assert_eq!(rec.get("retries").unwrap().as_f64(), Some(2.0));
+        // Round-trips through the shared parser.
+        assert!(Json::parse(&j.pretty()).is_ok());
     }
 }

@@ -1,0 +1,31 @@
+//! rodb-trace — query tracing and profiling for the read-optimized DB repro.
+//!
+//! Std-only (zero external crates). Three pieces:
+//!
+//! - [`span`]: a per-execution-context [`Tracer`] building hierarchical
+//!   operator spans (one per plan node per morsel) whose metrics are the
+//!   same simulated-clock seconds and raw counters the engine's
+//!   accounting reports, merged across morsels identically — so a
+//!   trace's root totals reconcile *exactly* with the query report.
+//!   Finished traces render as an `EXPLAIN ANALYZE` tree or export as
+//!   Chrome trace-event JSON under `results/traces/`.
+//! - [`metrics`]: a process-wide [`MetricsRegistry`] of named counters
+//!   and log2-bucket histograms, drained by sweep drivers (fuzzer,
+//!   bench bins) into their JSON output.
+//! - [`json`]: the std-only [`Json`] build/render/parse/flatten value
+//!   used by every JSON writer in the workspace (traces, fuzz `--json`,
+//!   bench outputs, `bench_diff`).
+//!
+//! Tracing defaults off everywhere: the engine holds `Option<Tracer>`
+//! and the disk sim `Option<TraceSink>`, so the measured paper paths pay
+//! one predictable branch per block at most.
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use json::Json;
+pub use metrics::MetricsRegistry;
+pub use sink::{EventBuf, EventKind, TraceEvent, TraceSink};
+pub use span::{keys, Metrics, QueryTrace, SpanId, SpanKind, SpanNode, Tracer, ROOT};

@@ -1,0 +1,170 @@
+//! Process-wide registry of named counters and histograms.
+//!
+//! Queries bump a handful of registry entries once per run (cheap and
+//! unconditional — a mutex lock per *query*, not per row); long-running
+//! drivers like the fuzzer and the bench bins [`drain`] the registry into
+//! their JSON output so sweep-level aggregates ride along for free.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::Json;
+
+#[derive(Debug, Default, Clone)]
+struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// log2 buckets: index `i` counts observations in `[2^i, 2^(i+1))`.
+    buckets: BTreeMap<i32, u64>,
+}
+
+impl Histogram {
+    fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        let idx = if v > 0.0 {
+            (v.log2().floor() as i32).clamp(-64, 64)
+        } else {
+            // Zero and negatives land in a sentinel underflow bucket.
+            -65
+        };
+        *self.buckets.entry(idx).or_insert(0) += 1;
+    }
+
+    fn to_json(&self) -> Json {
+        let mut buckets = Json::obj();
+        for (idx, n) in &self.buckets {
+            let label = if *idx == -65 {
+                "le_0".to_string()
+            } else {
+                format!("p2_{idx}")
+            };
+            buckets = buckets.set(&label, *n);
+        }
+        Json::obj()
+            .set("count", self.count)
+            .set("sum", self.sum)
+            .set("min", if self.count > 0 { self.min } else { 0.0 })
+            .set("max", if self.count > 0 { self.max } else { 0.0 })
+            .set(
+                "mean",
+                if self.count > 0 {
+                    self.sum / self.count as f64
+                } else {
+                    0.0
+                },
+            )
+            .set("buckets", buckets)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Namespace struct over the process-wide registry.
+pub struct MetricsRegistry;
+
+impl MetricsRegistry {
+    /// Add `delta` to a named counter (created at zero on first use).
+    pub fn counter_add(name: &str, delta: f64) {
+        let mut reg = registry().lock().unwrap();
+        *reg.counters.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Record one observation in a named log2-bucket histogram.
+    pub fn observe(name: &str, value: f64) {
+        let mut reg = registry().lock().unwrap();
+        reg.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current counter value (0 if never bumped).
+    pub fn counter(name: &str) -> f64 {
+        registry()
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Snapshot the registry as JSON without resetting it.
+    pub fn snapshot() -> Json {
+        let reg = registry().lock().unwrap();
+        let mut counters = Json::obj();
+        for (k, v) in &reg.counters {
+            counters = counters.set(k, *v);
+        }
+        let mut histograms = Json::obj();
+        for (k, h) in &reg.histograms {
+            histograms = histograms.set(k, h.to_json());
+        }
+        Json::obj()
+            .set("counters", counters)
+            .set("histograms", histograms)
+    }
+
+    /// Snapshot and reset — what sweep drivers call when writing output.
+    pub fn drain() -> Json {
+        let snap = Self::snapshot();
+        let mut reg = registry().lock().unwrap();
+        reg.counters.clear();
+        reg.histograms.clear();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_accumulate_and_drain() {
+        // The registry is process-global; use test-unique names.
+        MetricsRegistry::counter_add("test.metrics.queries", 1.0);
+        MetricsRegistry::counter_add("test.metrics.queries", 2.0);
+        MetricsRegistry::observe("test.metrics.io_s", 0.5);
+        MetricsRegistry::observe("test.metrics.io_s", 3.0);
+        MetricsRegistry::observe("test.metrics.io_s", 0.0);
+        assert_eq!(MetricsRegistry::counter("test.metrics.queries"), 3.0);
+        let snap = MetricsRegistry::snapshot();
+        let h = snap
+            .get("histograms")
+            .and_then(|h| h.get("test.metrics.io_s"))
+            .unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(3.0));
+        assert_eq!(h.get("sum").unwrap().as_f64(), Some(3.5));
+        assert_eq!(h.get("max").unwrap().as_f64(), Some(3.0));
+        let buckets = h.get("buckets").unwrap();
+        assert_eq!(buckets.get("le_0").unwrap().as_f64(), Some(1.0));
+        assert_eq!(buckets.get("p2_-1").unwrap().as_f64(), Some(1.0));
+        assert_eq!(buckets.get("p2_1").unwrap().as_f64(), Some(1.0));
+        let drained = MetricsRegistry::drain();
+        assert!(drained
+            .get("counters")
+            .unwrap()
+            .get("test.metrics.queries")
+            .is_some());
+        assert_eq!(MetricsRegistry::counter("test.metrics.queries"), 0.0);
+    }
+}

@@ -49,13 +49,13 @@ fn main() -> Result<()> {
     println!(
         "\nrow store:    {:>8.2} simulated s  (io {:>6.2}s, cpu {:>6.2}s)",
         cmp.row.elapsed_s,
-        cmp.row.io_s,
+        cmp.row.io_s(),
         cmp.row.cpu.total()
     );
     println!(
         "column store: {:>8.2} simulated s  (io {:>6.2}s, cpu {:>6.2}s)",
         cmp.column.elapsed_s,
-        cmp.column.io_s,
+        cmp.column.io_s(),
         cmp.column.cpu.total()
     );
     println!("column-over-row speedup: {:.2}x", cmp.speedup());

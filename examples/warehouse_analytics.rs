@@ -128,7 +128,7 @@ fn main() -> Result<()> {
         let report = rodb_engine::run_to_completion(root.as_mut(), &ctx)?;
         println!(
             "  {layout:>6}: {:>7.2} simulated s, {} priority groups",
-            report.elapsed_s.max(report.io_s),
+            report.elapsed_s.max(report.io_s()),
             groups.len()
         );
         if layout == ScanLayout::Column {

@@ -21,6 +21,7 @@ pub use rodb_io as io;
 pub use rodb_model as model;
 pub use rodb_storage as storage;
 pub use rodb_tpch as tpch;
+pub use rodb_trace as trace;
 pub use rodb_types as types;
 
 /// The most commonly used items, re-exported flat.
@@ -44,6 +45,7 @@ pub mod prelude {
     pub use rodb_tpch::{
         load_lineitem, load_orders, orderdate_threshold, partkey_threshold, Variant,
     };
+    pub use rodb_trace::{Json, MetricsRegistry, QueryTrace};
     pub use rodb_types::{
         Column, DataType, Error, HardwareConfig, Result, Schema, SystemConfig, Value,
     };

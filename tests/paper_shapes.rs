@@ -123,7 +123,7 @@ fn fig9_compression_makes_columns_cpu_bound_and_for_beats_delta_on_cpu() {
     let plain = orders(Variant::Plain);
     let rows_z = projectivity_sweep(&z, ScanLayout::Row, &pred, &cfg()).unwrap();
     let rows_p = projectivity_sweep(&plain, ScanLayout::Row, &pred, &cfg()).unwrap();
-    assert!(rows_z[6].report.io_s < 0.6 * rows_p[6].report.io_s);
+    assert!(rows_z[6].report.io_s() < 0.6 * rows_p[6].report.io_s());
     assert!(rows_z[6].report.cpu.user() > rows_p[6].report.cpu.user());
     assert!(rows_z[6].report.cpu.sys < rows_p[6].report.cpu.sys);
 }
