@@ -194,7 +194,12 @@ impl<'a> BitReader<'a> {
         }
         if out.len() == BLOCK && bits <= 32 && start.is_multiple_of(8) {
             let block: &mut [u64; BLOCK] = (&mut out[..]).try_into().expect("len checked");
-            unpack_block_aligned(&self.data[start / 8..], bits, block);
+            let src = &self.data[start / 8..];
+            // Runtime-dispatched SIMD kernel first; the scalar word-at-a-time
+            // kernel is the always-correct fallback.
+            if !crate::simd::unpack_block(src, bits, block) {
+                unpack_block_aligned(src, bits, block);
+            }
         } else {
             unpack_generic(self.data, start, bits, out);
         }
@@ -264,8 +269,10 @@ fn unpack_block_aligned(src: &[u8], bits: u8, out: &mut [u64; BLOCK]) {
 
 /// The single tail path: decode any run (partial blocks, unaligned starts,
 /// widths up to 64) byte-at-a-time. Bounds were hoisted by the caller, so
-/// the inner loop carries no `Result`.
-fn unpack_generic(data: &[u8], start_bit: usize, bits: u8, out: &mut [u64]) {
+/// the inner loop carries no `Result`. Shared by the scalar *and* SIMD
+/// dispatch paths (SIMD kernels route straggler groups here), so the two
+/// can't diverge on non-multiple-of-block tails.
+pub(crate) fn unpack_generic(data: &[u8], start_bit: usize, bits: u8, out: &mut [u64]) {
     let w = bits as usize;
     debug_assert!(start_bit + out.len() * w <= data.len() * 8);
     let mut pos = start_bit;

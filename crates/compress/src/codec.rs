@@ -41,6 +41,27 @@ pub enum Codec {
     /// `bytes` bytes (the rest of the declared width is zero padding) —
     /// the paper's "pack, 28 bytes" for L_COMMENT.
     TextPack { bytes: u16 },
+    /// Run-length encoding: the page blob is `[n_runs u32][runs]` where each
+    /// run packs `(value − base)` in `value_bits` and `(length − 1)` in
+    /// `len_bits` (base = page minimum, like FOR). Runs longer than
+    /// `2^len_bits` split, so any value sequence whose range fits
+    /// `value_bits` encodes. Variable-rate, no random access.
+    Rle { value_bits: u8, len_bits: u8 },
+    /// Patched frame-of-reference (PFOR): codes are `value − base` like FOR,
+    /// but codes that overflow `bits` are stored as 0 in the main vector and
+    /// patched from an exception list appended after it:
+    /// `[codes][pad][n_exc u32][(pos u32, code u64)…]`. The vectorized main
+    /// loop decodes every slot, then the (rare) exceptions are patched in.
+    Pfor { bits: u8 },
+    /// Composite dictionary→FOR: dictionary codes re-based per page. Blob is
+    /// `[code_base u32][codes]` with each stored code = dict code −
+    /// `code_base` in `bits` bits, so clustered low-cardinality columns pack
+    /// below the dictionary's global code width.
+    DictFor { bits: u8 },
+    /// Composite RLE over dictionary codes: like [`Codec::Rle`] but each
+    /// run's value is a raw dictionary code in `value_bits` (no base).
+    /// Variable-rate, no random access.
+    RleDict { value_bits: u8, len_bits: u8 },
 }
 
 /// Codec family, used by the CPU cost model to charge decompression work.
@@ -52,6 +73,10 @@ pub enum CodecKind {
     For,
     ForDelta,
     TextPack,
+    Rle,
+    Pfor,
+    DictFor,
+    RleDict,
 }
 
 impl Codec {
@@ -63,32 +88,79 @@ impl Codec {
             Codec::For { .. } => CodecKind::For,
             Codec::ForDelta { .. } => CodecKind::ForDelta,
             Codec::TextPack { .. } => CodecKind::TextPack,
+            Codec::Rle { .. } => CodecKind::Rle,
+            Codec::Pfor { .. } => CodecKind::Pfor,
+            Codec::DictFor { .. } => CodecKind::DictFor,
+            Codec::RleDict { .. } => CodecKind::RleDict,
         }
     }
 
-    /// Stored bits per value for a column of type `dtype`.
+    /// Stored bits per value for a column of type `dtype`. For the
+    /// variable-rate codecs this is the *worst-case* (run-per-value for RLE,
+    /// exception-free for PFOR) — real pages fit more values, which the
+    /// loader discovers by trial encoding ([`Codec::variable_rate`]).
     pub fn bits_per_value(&self, dtype: DataType) -> usize {
         match self {
             Codec::None => dtype.width() * 8,
             Codec::BitPack { bits }
             | Codec::Dict { bits }
             | Codec::For { bits }
-            | Codec::ForDelta { bits } => *bits as usize,
+            | Codec::ForDelta { bits }
+            | Codec::Pfor { bits }
+            | Codec::DictFor { bits } => *bits as usize,
             Codec::TextPack { bytes } => *bytes as usize * 8,
+            Codec::Rle {
+                value_bits,
+                len_bits,
+            }
+            | Codec::RleDict {
+                value_bits,
+                len_bits,
+            } => *value_bits as usize + *len_bits as usize,
+        }
+    }
+
+    /// Does the encoded size of a page depend on the values (not just their
+    /// count)? True for RLE (run structure) and PFOR (exception list); such
+    /// columns need a trial-encode capacity search at load time because
+    /// `values_per_page` is a per-file constant.
+    pub fn variable_rate(&self) -> bool {
+        matches!(
+            self,
+            Codec::Rle { .. } | Codec::Pfor { .. } | Codec::RleDict { .. }
+        )
+    }
+
+    /// Bytes of fixed per-page header inside the blob, before the packed
+    /// codes (`code_base` for Dict→FOR, `n_runs` for the RLE family).
+    pub fn blob_header_bytes(&self) -> usize {
+        match self {
+            Codec::DictFor { .. } | Codec::Rle { .. } | Codec::RleDict { .. } => 4,
+            _ => 0,
         }
     }
 
     /// Can value *i* be decoded without touching values `0..i`?
-    /// Only FOR-delta says no.
+    /// FOR-delta and the RLE family say no.
     pub fn random_access(&self) -> bool {
-        !matches!(self, Codec::ForDelta { .. })
+        !matches!(
+            self,
+            Codec::ForDelta { .. } | Codec::Rle { .. } | Codec::RleDict { .. }
+        )
     }
 
     /// Check codec/type compatibility.
     pub fn validate_for(&self, dtype: DataType) -> Result<()> {
         let ok = match self {
-            Codec::None | Codec::Dict { .. } => true,
-            Codec::BitPack { .. } | Codec::For { .. } | Codec::ForDelta { .. } => dtype.is_int(),
+            Codec::None | Codec::Dict { .. } | Codec::DictFor { .. } => true,
+            Codec::BitPack { .. }
+            | Codec::For { .. }
+            | Codec::ForDelta { .. }
+            | Codec::Rle { .. }
+            | Codec::Pfor { .. }
+            // RLE-over-dict-codes is int-only: the engine's eager decode of
+            // non-random-access pages materializes `i32`s.
+            | Codec::RleDict { .. } => dtype.is_int(),
             Codec::TextPack { bytes } => match dtype {
                 DataType::Text(n) => *bytes as usize <= n,
                 DataType::Int | DataType::Long => false,
@@ -148,12 +220,43 @@ impl ColumnCompression {
                     d.code_bits()
                 )));
             }
-            (Codec::Dict { .. }, None) => {
+            (Codec::Dict { .. }, None) | (Codec::DictFor { .. }, None) => {
                 return Err(Error::InvalidConfig("Dict codec without dictionary".into()));
+            }
+            (Codec::RleDict { value_bits, .. }, Some(d)) if d.code_bits() > *value_bits => {
+                return Err(Error::InvalidConfig(format!(
+                    "dictionary needs {} bits, RLE-dict configured with {value_bits}",
+                    d.code_bits()
+                )));
+            }
+            (Codec::RleDict { .. }, None) => {
+                return Err(Error::InvalidConfig(
+                    "RleDict codec without dictionary".into(),
+                ));
             }
             _ => {}
         }
         Ok(ColumnCompression { codec, dict })
+    }
+
+    /// The fixed-width, position-addressable codec used in place of this one
+    /// inside *packed row* pages. Packed tuples need every field at a
+    /// computable bit offset, which the variable-rate and composite codecs
+    /// don't provide; the demotion map is data-independent so build and
+    /// parse always agree: RLE/PFOR → raw, Dict composites → plain Dict at
+    /// the dictionary's global code width.
+    pub fn packed_equivalent(&self) -> ColumnCompression {
+        match (&self.codec, &self.dict) {
+            (Codec::Rle { .. } | Codec::Pfor { .. }, _) => ColumnCompression::none(),
+            (Codec::DictFor { .. } | Codec::RleDict { .. }, Some(d)) => ColumnCompression {
+                codec: Codec::Dict {
+                    bits: d.code_bits(),
+                },
+                dict: self.dict.clone(),
+            },
+            (Codec::DictFor { .. } | Codec::RleDict { .. }, None) => ColumnCompression::none(),
+            _ => self.clone(),
+        }
     }
 
     pub fn bits_per_value(&self, dtype: DataType) -> usize {
@@ -235,6 +338,101 @@ impl ColumnCompression {
                     })?;
                 }
             }
+            Codec::Rle {
+                value_bits,
+                len_bits,
+            } => {
+                let ivs = values
+                    .iter()
+                    .map(|v| v.as_int().map(|i| i as i64))
+                    .collect::<Result<Vec<_>>>()?;
+                base = ivs.iter().copied().min().unwrap_or(0);
+                let max_len = 1u64 << (*len_bits).min(63);
+                let mut runs: Vec<(u64, u64)> = Vec::new();
+                for &iv in &ivs {
+                    let code = (iv - base) as u64;
+                    match runs.last_mut() {
+                        Some((c, n)) if *c == code && *n + 1 < max_len => *n += 1,
+                        _ => runs.push((code, 0)),
+                    }
+                }
+                w.write_bytes(&(runs.len() as u32).to_le_bytes());
+                for (code, len_minus_1) in runs {
+                    w.write(code, *value_bits).map_err(|_| {
+                        Error::ValueOutOfDomain(format!(
+                            "RLE range {code} exceeds {value_bits} bits"
+                        ))
+                    })?;
+                    w.write(len_minus_1, *len_bits)?;
+                }
+            }
+            Codec::Pfor { bits } => {
+                let ivs = values
+                    .iter()
+                    .map(|v| v.as_int().map(|i| i as i64))
+                    .collect::<Result<Vec<_>>>()?;
+                base = ivs.iter().copied().min().unwrap_or(0);
+                let limit = if *bits >= 64 { u64::MAX } else { 1u64 << *bits };
+                let mut exceptions: Vec<(u32, u64)> = Vec::new();
+                for (i, &iv) in ivs.iter().enumerate() {
+                    let code = (iv - base) as u64;
+                    if code < limit {
+                        w.write(code, *bits)?;
+                    } else {
+                        // Placeholder slot; the real code rides the patch list.
+                        w.write(0, *bits)?;
+                        exceptions.push((i as u32, code));
+                    }
+                }
+                w.align();
+                w.write_bytes(&(exceptions.len() as u32).to_le_bytes());
+                for (pos, code) in exceptions {
+                    w.write_bytes(&pos.to_le_bytes());
+                    w.write_bytes(&code.to_le_bytes());
+                }
+            }
+            Codec::DictFor { bits } => {
+                let dict = self
+                    .dict
+                    .as_ref()
+                    .ok_or_else(|| Error::InvalidConfig("Dict codec without dictionary".into()))?;
+                let codes = values
+                    .iter()
+                    .map(|v| dict.code_of(dtype, v))
+                    .collect::<Result<Vec<_>>>()?;
+                let code_base = codes.iter().copied().min().unwrap_or(0);
+                w.write_bytes(&code_base.to_le_bytes());
+                for c in codes {
+                    w.write((c - code_base) as u64, *bits).map_err(|_| {
+                        Error::ValueOutOfDomain(format!(
+                            "Dict→FOR page code range exceeds {bits} bits"
+                        ))
+                    })?;
+                }
+            }
+            Codec::RleDict {
+                value_bits,
+                len_bits,
+            } => {
+                let dict = self
+                    .dict
+                    .as_ref()
+                    .ok_or_else(|| Error::InvalidConfig("Dict codec without dictionary".into()))?;
+                let max_len = 1u64 << (*len_bits).min(63);
+                let mut runs: Vec<(u64, u64)> = Vec::new();
+                for v in values {
+                    let code = dict.code_of(dtype, v)? as u64;
+                    match runs.last_mut() {
+                        Some((c, n)) if *c == code && *n + 1 < max_len => *n += 1,
+                        _ => runs.push((code, 0)),
+                    }
+                }
+                w.write_bytes(&(runs.len() as u32).to_le_bytes());
+                for (code, len_minus_1) in runs {
+                    w.write(code, *value_bits)?;
+                    w.write(len_minus_1, *len_bits)?;
+                }
+            }
             Codec::TextPack { bytes } => {
                 let nb = *bytes as usize;
                 for v in values {
@@ -273,12 +471,28 @@ impl ColumnCompression {
         count: usize,
         base: i64,
     ) -> PageValues<'a> {
+        // Codecs with a blob header parse it here; the code reader starts
+        // after it. A truncated blob (corruption that slipped past the page
+        // CRC) degrades to an empty code region, so every decode call fails
+        // its bounds check rather than reading garbage.
+        let (codes, aux) = if self.codec.blob_header_bytes() == 4 && data.len() >= 4 {
+            (
+                &data[4..],
+                u32::from_le_bytes(data[..4].try_into().expect("4-byte header")),
+            )
+        } else if self.codec.blob_header_bytes() > 0 {
+            (&data[..0], 0)
+        } else {
+            (data, 0)
+        };
         PageValues {
             comp: self,
             dtype,
-            data: BitReader::new(data),
+            data: BitReader::new(codes),
+            raw: data,
             count,
             base,
+            aux,
         }
     }
 }
@@ -291,14 +505,38 @@ pub struct EncodedValues {
     pub count: usize,
 }
 
+/// Parsed view of a PFOR page's exception list.
+struct PforExceptions<'a> {
+    entries: &'a [u8],
+    n: usize,
+}
+
+impl PforExceptions<'_> {
+    /// Exception `i` as `(position, patched code)`.
+    fn get(&self, i: usize) -> (u32, u64) {
+        let e = &self.entries[i * 12..i * 12 + 12];
+        (
+            u32::from_le_bytes(e[..4].try_into().expect("4 bytes")),
+            u64::from_le_bytes(e[4..].try_into().expect("8 bytes")),
+        )
+    }
+}
+
 /// Read-side view of one page's packed values.
 #[derive(Debug, Clone, Copy)]
 pub struct PageValues<'a> {
     comp: &'a ColumnCompression,
     dtype: DataType,
+    /// Packed codes, positioned after any blob header.
     data: BitReader<'a>,
+    /// The whole blob (header + codes + trailing sections like the PFOR
+    /// exception list).
+    raw: &'a [u8],
     count: usize,
     base: i64,
+    /// Parsed blob header: `code_base` for Dict→FOR, `n_runs` for the RLE
+    /// family, 0 otherwise.
+    aux: u32,
 }
 
 impl<'a> PageValues<'a> {
@@ -321,21 +559,53 @@ impl<'a> PageValues<'a> {
     }
 
     /// Fixed code width in bits when the page stores sub-byte packed codes
-    /// (BitPack/Dict/FOR/FOR-delta); `None` for raw and byte-packed pages.
+    /// (BitPack/Dict/FOR/FOR-delta/PFOR/Dict→FOR); `None` for raw,
+    /// byte-packed and run-length pages.
     pub fn code_bits(&self) -> Option<u8> {
         match self.comp.codec {
             Codec::BitPack { bits }
             | Codec::Dict { bits }
             | Codec::For { bits }
-            | Codec::ForDelta { bits } => Some(bits),
-            Codec::None | Codec::TextPack { .. } => None,
+            | Codec::ForDelta { bits }
+            | Codec::Pfor { bits }
+            | Codec::DictFor { bits } => Some(bits),
+            Codec::None | Codec::TextPack { .. } | Codec::Rle { .. } | Codec::RleDict { .. } => {
+                None
+            }
         }
+    }
+
+    /// Per-page dictionary code offset of a Dict→FOR page (stored codes are
+    /// `dict code − code_base`); 0 for every other codec.
+    pub fn code_base(&self) -> u32 {
+        match self.comp.codec {
+            Codec::DictFor { .. } => self.aux,
+            _ => 0,
+        }
+    }
+
+    /// Parse the PFOR exception list appended after the packed codes.
+    fn pfor_exceptions(&self, bits: u8) -> Result<PforExceptions<'a>> {
+        let exc_off = (self.count * bits as usize).div_ceil(8);
+        let tail = self.raw.get(exc_off..).ok_or_else(|| {
+            Error::corrupt(format!("PFOR exception list at {exc_off} past blob end"))
+        })?;
+        if tail.len() < 4 {
+            return Err(Error::corrupt("PFOR exception count truncated".to_string()));
+        }
+        let n = u32::from_le_bytes(tail[..4].try_into().expect("4 bytes")) as usize;
+        let entries = tail.get(4..4 + n * 12).ok_or_else(|| {
+            Error::corrupt(format!("PFOR exception list ({n} entries) truncated"))
+        })?;
+        Ok(PforExceptions { entries, n })
     }
 
     /// Block-unpack the raw stored codes of values `first ..
     /// first + out.len()` — before any base addition or dictionary lookup.
     /// This is the entry point for code-space predicate evaluation; bounds
-    /// are checked once per call, not per value.
+    /// are checked once per call, not per value. PFOR codes come back
+    /// **patched** (exception slots carry their real, possibly over-width
+    /// code), so comparisons on them stay order-preserving.
     pub fn codes_block(&self, first: usize, out: &mut [u64]) -> Result<()> {
         if first + out.len() > self.count {
             return Err(Error::corrupt(format!(
@@ -345,7 +615,20 @@ impl<'a> PageValues<'a> {
             )));
         }
         match self.code_bits() {
-            Some(bits) => self.data.unpack(first, bits, out),
+            Some(bits) => {
+                self.data.unpack(first, bits, out)?;
+                if let Codec::Pfor { bits } = &self.comp.codec {
+                    let exc = self.pfor_exceptions(*bits)?;
+                    for i in 0..exc.n {
+                        let (pos, code) = exc.get(i);
+                        let pos = pos as usize;
+                        if pos >= first && pos < first + out.len() {
+                            out[pos - first] = code;
+                        }
+                    }
+                }
+                Ok(())
+            }
             None => Err(Error::InvalidConfig(format!(
                 "codec {:?} has no packed codes",
                 self.comp.codec.kind()
@@ -353,12 +636,26 @@ impl<'a> PageValues<'a> {
         }
     }
 
+    /// Read run `r` of an RLE-family page: `(code, length)`.
+    fn run_at(&self, r: usize, value_bits: u8, len_bits: u8) -> Result<(u64, u64)> {
+        let stride = value_bits as usize + len_bits as usize;
+        let code = self.data.read_at(r * stride, value_bits)?;
+        let len = self
+            .data
+            .read_at(r * stride + value_bits as usize, len_bits)?
+            + 1;
+        Ok((code, len))
+    }
+
     /// Block-decode **all** of the page's integers into `out` (cleared
     /// first). Uses the word-aligned [`BitReader::unpack`] kernels in
     /// [`BLOCK`]-value runs — one bounds check per block — and applies the
     /// codec's value mapping per block: identity (BitPack), `base + code`
-    /// (FOR), a dense dictionary table (Dict), or a running prefix sum
-    /// (FOR-delta).
+    /// (FOR/PFOR, exceptions patched after the main loop), a dense
+    /// dictionary table (Dict/Dict→FOR), a running prefix sum (FOR-delta),
+    /// or run expansion (the RLE family). The value mappings dispatch
+    /// through the fused [`crate::simd`] kernels when the active tier has
+    /// one; output is bit-identical either way.
     pub fn decode_ints_into(&self, out: &mut Vec<i32>) -> Result<()> {
         out.clear();
         if self.count == 0 {
@@ -366,6 +663,7 @@ impl<'a> PageValues<'a> {
         }
         out.reserve(self.count);
         let mut block = [0u64; BLOCK];
+        let mut vals = [0i32; BLOCK];
         match &self.comp.codec {
             Codec::None => {
                 if self.dtype.width() == 4 {
@@ -373,7 +671,11 @@ impl<'a> PageValues<'a> {
                     for first in (0..self.count).step_by(BLOCK) {
                         let n = BLOCK.min(self.count - first);
                         self.data.unpack(first, 32, &mut block[..n])?;
-                        out.extend(block[..n].iter().map(|&c| c as u32 as i32));
+                        if crate::simd::base_add(&block[..n], 0, &mut vals[..n]) {
+                            out.extend_from_slice(&vals[..n]);
+                        } else {
+                            out.extend(block[..n].iter().map(|&c| c as u32 as i32));
+                        }
                     }
                 } else {
                     for i in 0..self.count {
@@ -385,7 +687,11 @@ impl<'a> PageValues<'a> {
                 for first in (0..self.count).step_by(BLOCK) {
                     let n = BLOCK.min(self.count - first);
                     self.data.unpack(first, *bits, &mut block[..n])?;
-                    out.extend(block[..n].iter().map(|&c| c as i32));
+                    if crate::simd::base_add(&block[..n], 0, &mut vals[..n]) {
+                        out.extend_from_slice(&vals[..n]);
+                    } else {
+                        out.extend(block[..n].iter().map(|&c| c as i32));
+                    }
                 }
             }
             Codec::Dict { bits } => {
@@ -393,11 +699,15 @@ impl<'a> PageValues<'a> {
                 for first in (0..self.count).step_by(BLOCK) {
                     let n = BLOCK.min(self.count - first);
                     self.data.unpack(first, *bits, &mut block[..n])?;
-                    for &c in &block[..n] {
-                        let v = *table.get(c as usize).ok_or_else(|| {
-                            Error::corrupt(format!("dictionary code {c} out of range"))
-                        })?;
-                        out.push(v);
+                    if crate::simd::dict_gather(&block[..n], &table, &mut vals[..n]) {
+                        out.extend_from_slice(&vals[..n]);
+                    } else {
+                        for &c in &block[..n] {
+                            let v = *table.get(c as usize).ok_or_else(|| {
+                                Error::corrupt(format!("dictionary code {c} out of range"))
+                            })?;
+                            out.push(v);
+                        }
                     }
                 }
             }
@@ -405,23 +715,121 @@ impl<'a> PageValues<'a> {
                 for first in (0..self.count).step_by(BLOCK) {
                     let n = BLOCK.min(self.count - first);
                     self.data.unpack(first, *bits, &mut block[..n])?;
-                    out.extend(block[..n].iter().map(|&c| (self.base + c as i64) as i32));
+                    if crate::simd::base_add(&block[..n], self.base, &mut vals[..n]) {
+                        out.extend_from_slice(&vals[..n]);
+                    } else {
+                        out.extend(block[..n].iter().map(|&c| (self.base + c as i64) as i32));
+                    }
+                }
+            }
+            Codec::Pfor { bits } => {
+                // Vectorized main loop over every slot (exception slots hold
+                // 0), then patch the rare exceptions in place.
+                for first in (0..self.count).step_by(BLOCK) {
+                    let n = BLOCK.min(self.count - first);
+                    self.data.unpack(first, *bits, &mut block[..n])?;
+                    if crate::simd::base_add(&block[..n], self.base, &mut vals[..n]) {
+                        out.extend_from_slice(&vals[..n]);
+                    } else {
+                        out.extend(block[..n].iter().map(|&c| (self.base + c as i64) as i32));
+                    }
+                }
+                let exc = self.pfor_exceptions(*bits)?;
+                for i in 0..exc.n {
+                    let (pos, code) = exc.get(i);
+                    let slot = out.get_mut(pos as usize).ok_or_else(|| {
+                        Error::corrupt(format!("PFOR exception position {pos} out of page"))
+                    })?;
+                    *slot = (self.base + code as i64) as i32;
+                }
+            }
+            Codec::DictFor { bits } => {
+                let table = self.dict_int_table()?;
+                let sub = table.get(self.aux as usize..).ok_or_else(|| {
+                    Error::corrupt(format!("Dict→FOR code base {} out of range", self.aux))
+                })?;
+                for first in (0..self.count).step_by(BLOCK) {
+                    let n = BLOCK.min(self.count - first);
+                    self.data.unpack(first, *bits, &mut block[..n])?;
+                    if crate::simd::dict_gather(&block[..n], sub, &mut vals[..n]) {
+                        out.extend_from_slice(&vals[..n]);
+                    } else {
+                        for &c in &block[..n] {
+                            let v = *sub.get(c as usize).ok_or_else(|| {
+                                Error::corrupt(format!("dictionary code {c} out of range"))
+                            })?;
+                            out.push(v);
+                        }
+                    }
                 }
             }
             Codec::ForDelta { bits } => {
                 let mut running = self.base;
-                let mut seen_first = false;
                 for first in (0..self.count).step_by(BLOCK) {
                     let n = BLOCK.min(self.count - first);
                     self.data.unpack(first, *bits, &mut block[..n])?;
-                    for &c in &block[..n] {
-                        if seen_first {
-                            running += c as i64;
-                        } else {
-                            seen_first = true; // code 0 carries the base
-                        }
-                        out.push(running as i32);
+                    if first == 0 {
+                        // Code 0 carries the base: treat it as a zero delta so
+                        // the whole block is one uniform prefix sum.
+                        block[0] = 0;
                     }
+                    if crate::simd::prefix_sum(&block[..n], &mut running, &mut vals[..n]) {
+                        out.extend_from_slice(&vals[..n]);
+                    } else {
+                        for &c in &block[..n] {
+                            running = running.wrapping_add(c as i64);
+                            out.push(running as i32);
+                        }
+                    }
+                }
+            }
+            Codec::Rle {
+                value_bits,
+                len_bits,
+            } => {
+                let nruns = self.aux as usize;
+                let mut emitted = 0usize;
+                for r in 0..nruns {
+                    let (code, len) = self.run_at(r, *value_bits, *len_bits)?;
+                    let v = (self.base + code as i64) as i32;
+                    let take = (len as usize).min(self.count - emitted);
+                    out.extend(std::iter::repeat_n(v, take));
+                    emitted += take;
+                    if emitted == self.count {
+                        break;
+                    }
+                }
+                if emitted != self.count {
+                    return Err(Error::corrupt(format!(
+                        "RLE runs cover {emitted} of {} values",
+                        self.count
+                    )));
+                }
+            }
+            Codec::RleDict {
+                value_bits,
+                len_bits,
+            } => {
+                let table = self.dict_int_table()?;
+                let nruns = self.aux as usize;
+                let mut emitted = 0usize;
+                for r in 0..nruns {
+                    let (code, len) = self.run_at(r, *value_bits, *len_bits)?;
+                    let v = *table.get(code as usize).ok_or_else(|| {
+                        Error::corrupt(format!("dictionary code {code} out of range"))
+                    })?;
+                    let take = (len as usize).min(self.count - emitted);
+                    out.extend(std::iter::repeat_n(v, take));
+                    emitted += take;
+                    if emitted == self.count {
+                        break;
+                    }
+                }
+                if emitted != self.count {
+                    return Err(Error::corrupt(format!(
+                        "RLE runs cover {emitted} of {} values",
+                        self.count
+                    )));
                 }
             }
             Codec::TextPack { .. } => {
@@ -469,6 +877,22 @@ impl<'a> PageValues<'a> {
                 self.dict()?.value_of(code)?.as_int()
             }
             Codec::For { bits } => Ok((self.base + self.data.get(idx, *bits)? as i64) as i32),
+            Codec::Pfor { bits } => {
+                let mut code = self.data.get(idx, *bits)?;
+                let exc = self.pfor_exceptions(*bits)?;
+                for i in 0..exc.n {
+                    let (pos, c) = exc.get(i);
+                    if pos as usize == idx {
+                        code = c;
+                        break;
+                    }
+                }
+                Ok((self.base + code as i64) as i32)
+            }
+            Codec::DictFor { bits } => {
+                let code = self.data.get(idx, *bits)? as u32 + self.aux;
+                self.dict()?.value_of(code)?.as_int()
+            }
             Codec::ForDelta { bits } => {
                 let mut v = 0i64;
                 for i in 0..=idx {
@@ -476,11 +900,42 @@ impl<'a> PageValues<'a> {
                 }
                 Ok((self.base + v) as i32)
             }
+            Codec::Rle {
+                value_bits,
+                len_bits,
+            } => {
+                let (code, _) = self.run_covering(idx, *value_bits, *len_bits)?;
+                Ok((self.base + code as i64) as i32)
+            }
+            Codec::RleDict {
+                value_bits,
+                len_bits,
+            } => {
+                let (code, _) = self.run_covering(idx, *value_bits, *len_bits)?;
+                self.dict()?.value_of(code as u32)?.as_int()
+            }
             Codec::TextPack { .. } => Err(Error::TypeMismatch {
                 expected: "Int",
                 got: "Text",
             }),
         }
+    }
+
+    /// Linear-scan the run list for the run covering value `idx` (the
+    /// RLE family's O(runs) "random access" — prefer the cursor for scans).
+    fn run_covering(&self, idx: usize, value_bits: u8, len_bits: u8) -> Result<(u64, u64)> {
+        let nruns = self.aux as usize;
+        let mut covered = 0u64;
+        for r in 0..nruns {
+            let (code, len) = self.run_at(r, value_bits, len_bits)?;
+            covered += len;
+            if (idx as u64) < covered {
+                return Ok((code, len));
+            }
+        }
+        Err(Error::corrupt(format!(
+            "RLE runs cover {covered} values, index {idx} requested"
+        )))
     }
 
     /// Random-access decode of any value.
@@ -523,6 +978,11 @@ impl<'a> PageValues<'a> {
                 let v = self.dict()?.value_of(code)?;
                 v.encode_into(dt, out)
             }
+            (Codec::DictFor { bits }, dt) => {
+                let code = self.data.get(idx, *bits)? as u32 + self.aux;
+                let v = self.dict()?.value_of(code)?;
+                v.encode_into(dt, out)
+            }
             (_, DataType::Int) => {
                 let v = self.int_at(idx)?;
                 out.extend_from_slice(&v.to_le_bytes());
@@ -543,13 +1003,16 @@ impl<'a> PageValues<'a> {
     }
 
     /// Sequential cursor — the efficient way to scan, and the only efficient
-    /// way to decode FOR-delta.
+    /// way to decode FOR-delta and the RLE family.
     pub fn cursor(&self) -> SeqValues<'a> {
         SeqValues {
             pv: *self,
             idx: 0,
             running: self.base,
             codes_decoded: 0,
+            run_idx: 0,
+            run_left: 0,
+            run_code: 0,
         }
     }
 }
@@ -565,6 +1028,11 @@ pub struct SeqValues<'a> {
     idx: usize,
     running: i64,
     codes_decoded: u64,
+    /// RLE family: next run to read, values left in the current run, and the
+    /// current run's stored code.
+    run_idx: usize,
+    run_left: u64,
+    run_code: u64,
 }
 
 impl SeqValues<'_> {
@@ -573,13 +1041,31 @@ impl SeqValues<'_> {
         self.idx
     }
 
-    /// Stored codes decoded so far (including ones skipped over in FOR-delta).
+    /// Stored codes decoded so far (including ones skipped over in FOR-delta;
+    /// one per *run* for the RLE family).
     pub fn codes_decoded(&self) -> u64 {
         self.codes_decoded
     }
 
+    /// Load the next run of an RLE-family page into the cursor state.
+    fn load_run(&mut self, value_bits: u8, len_bits: u8) -> Result<()> {
+        if self.run_idx >= self.pv.aux as usize {
+            return Err(Error::corrupt(format!(
+                "RLE runs exhausted at value {} of {}",
+                self.idx, self.pv.count
+            )));
+        }
+        let (code, len) = self.pv.run_at(self.run_idx, value_bits, len_bits)?;
+        self.run_idx += 1;
+        self.run_code = code;
+        self.run_left = len;
+        self.codes_decoded += 1;
+        Ok(())
+    }
+
     /// Advance to value index `target` (≥ current position). For FOR-delta
-    /// this decodes every intermediate code; for all other codecs it is free.
+    /// this decodes every intermediate code, for the RLE family every
+    /// intermediate *run*; for all other codecs it is free.
     pub fn seek(&mut self, target: usize) -> Result<()> {
         if target < self.idx {
             return Err(Error::InvalidPlan(format!(
@@ -587,18 +1073,36 @@ impl SeqValues<'_> {
                 self.idx
             )));
         }
-        if let Codec::ForDelta { bits } = &self.pv.comp.codec {
-            while self.idx < target {
-                let d = self.pv.data.get(self.idx, *bits)? as i64;
-                // Code 0 carries the base; codes 1.. are deltas from previous.
-                if self.idx > 0 {
-                    self.running += d;
+        match self.pv.comp.codec {
+            Codec::ForDelta { bits } => {
+                while self.idx < target {
+                    let d = self.pv.data.get(self.idx, bits)? as i64;
+                    // Code 0 carries the base; codes 1.. are deltas from previous.
+                    if self.idx > 0 {
+                        self.running += d;
+                    }
+                    self.idx += 1;
+                    self.codes_decoded += 1;
                 }
-                self.idx += 1;
-                self.codes_decoded += 1;
             }
-        } else {
-            self.idx = target;
+            Codec::Rle {
+                value_bits,
+                len_bits,
+            }
+            | Codec::RleDict {
+                value_bits,
+                len_bits,
+            } => {
+                while self.idx < target {
+                    if self.run_left == 0 {
+                        self.load_run(value_bits, len_bits)?;
+                    }
+                    let take = self.run_left.min((target - self.idx) as u64);
+                    self.idx += take as usize;
+                    self.run_left -= take;
+                }
+            }
+            _ => self.idx = target,
         }
         Ok(())
     }
@@ -606,20 +1110,47 @@ impl SeqValues<'_> {
     /// Decode the integer at the current position and advance.
     pub fn next_int(&mut self) -> Result<i32> {
         let idx = self.idx;
-        if let Codec::ForDelta { bits } = &self.pv.comp.codec {
-            self.pv.check(idx)?;
-            let d = self.pv.data.get(idx, *bits)? as i64;
-            if idx > 0 {
-                self.running += d;
+        match self.pv.comp.codec {
+            Codec::ForDelta { bits } => {
+                self.pv.check(idx)?;
+                let d = self.pv.data.get(idx, bits)? as i64;
+                if idx > 0 {
+                    self.running += d;
+                }
+                self.idx += 1;
+                self.codes_decoded += 1;
+                Ok(self.running as i32)
             }
-            self.idx += 1;
-            self.codes_decoded += 1;
-            Ok(self.running as i32)
-        } else {
-            let v = self.pv.int_at(idx)?;
-            self.idx += 1;
-            self.codes_decoded += 1;
-            Ok(v)
+            Codec::Rle {
+                value_bits,
+                len_bits,
+            } => {
+                self.pv.check(idx)?;
+                if self.run_left == 0 {
+                    self.load_run(value_bits, len_bits)?;
+                }
+                self.run_left -= 1;
+                self.idx += 1;
+                Ok((self.pv.base + self.run_code as i64) as i32)
+            }
+            Codec::RleDict {
+                value_bits,
+                len_bits,
+            } => {
+                self.pv.check(idx)?;
+                if self.run_left == 0 {
+                    self.load_run(value_bits, len_bits)?;
+                }
+                self.run_left -= 1;
+                self.idx += 1;
+                self.pv.dict()?.value_of(self.run_code as u32)?.as_int()
+            }
+            _ => {
+                let v = self.pv.int_at(idx)?;
+                self.idx += 1;
+                self.codes_decoded += 1;
+                Ok(v)
+            }
         }
     }
 
@@ -821,6 +1352,181 @@ mod tests {
     }
 
     #[test]
+    fn rle_roundtrip_runs_and_domain() {
+        let comp = ColumnCompression::new(
+            Codec::Rle {
+                value_bits: 6,
+                len_bits: 3,
+            },
+            None,
+        )
+        .unwrap();
+        // Runny data with a run longer than 2^3 (must split) and the page
+        // minimum as base.
+        let mut vals = Vec::new();
+        vals.extend(std::iter::repeat_n(Value::Int(40), 23));
+        vals.extend(std::iter::repeat_n(Value::Int(-2), 5));
+        vals.extend(std::iter::repeat_n(Value::Int(17), 1));
+        roundtrip(&comp, DataType::Int, &vals);
+        let enc = comp.encode_page(DataType::Int, &vals).unwrap();
+        assert_eq!(enc.base, -2);
+        assert!(!comp.codec.random_access());
+        // int_at still works (O(runs)).
+        let pv = comp.open_page(DataType::Int, &enc.data, enc.count, enc.base);
+        assert_eq!(pv.int_at(0).unwrap(), 40);
+        assert_eq!(pv.int_at(27).unwrap(), -2);
+        assert_eq!(pv.int_at(28).unwrap(), 17);
+        assert!(pv.int_at(29).is_err());
+        // Range wider than value_bits is rejected.
+        assert!(comp.encode_page(DataType::Int, &ints(&[0, 100])).is_err());
+    }
+
+    #[test]
+    fn pfor_roundtrip_patches_exceptions() {
+        let comp = ColumnCompression::new(Codec::Pfor { bits: 4 }, None).unwrap();
+        // Mostly small range with two outliers that overflow 4 bits.
+        let vals = ints(&[10, 12, 11, 900, 13, 10, 15, -50, 14]);
+        roundtrip(&comp, DataType::Int, &vals);
+        let enc = comp.encode_page(DataType::Int, &vals).unwrap();
+        assert_eq!(enc.base, -50);
+        let pv = comp.open_page(DataType::Int, &enc.data, enc.count, enc.base);
+        // codes_block returns *patched* codes: exceptions carry their real
+        // (over-width) code so comparisons stay order-preserving.
+        let mut codes = vec![0u64; vals.len()];
+        pv.codes_block(0, &mut codes).unwrap();
+        assert_eq!(codes[3], 950); // 900 − (−50), far over 2^4
+        assert_eq!(codes[7], 0); // −50 − (−50)
+        assert_eq!(codes[0], 60);
+        let mut fast = Vec::new();
+        pv.decode_ints_into(&mut fast).unwrap();
+        assert_eq!(fast[3], 900);
+        assert_eq!(fast[7], -50);
+        // No-exception page: exception list is present but empty.
+        let small = ints(&[3, 1, 2]);
+        let enc = comp.encode_page(DataType::Int, &small).unwrap();
+        let pv = comp.open_page(DataType::Int, &enc.data, enc.count, enc.base);
+        assert_eq!(pv.int_at(0).unwrap(), 3);
+    }
+
+    #[test]
+    fn dictfor_rebases_codes_per_page() {
+        // Dictionary over a wide value set; this page only touches the upper
+        // codes, so stored codes re-base to the page's minimum code.
+        let all: Vec<Value> = (0..64).map(|i| Value::Int(i * 100)).collect();
+        let dict = Arc::new(Dictionary::build(DataType::Int, all.iter()).unwrap());
+        assert_eq!(dict.code_bits(), 6);
+        let comp = ColumnCompression::new(Codec::DictFor { bits: 2 }, Some(dict)).unwrap();
+        let vals = ints(&[6000, 6100, 6300, 6000, 6200]);
+        roundtrip(&comp, DataType::Int, &vals);
+        let enc = comp.encode_page(DataType::Int, &vals).unwrap();
+        let pv = comp.open_page(DataType::Int, &enc.data, enc.count, enc.base);
+        assert_eq!(pv.code_base(), 60);
+        let mut codes = vec![0u64; vals.len()];
+        pv.codes_block(0, &mut codes).unwrap();
+        assert_eq!(codes, vec![0, 1, 3, 0, 2]);
+        // A page whose code span exceeds `bits` is rejected.
+        assert!(comp.encode_page(DataType::Int, &ints(&[0, 6300])).is_err());
+        // Text works through the same composite.
+        let words = [Value::text("aa"), Value::text("bb"), Value::text("cc")];
+        let dict = Arc::new(Dictionary::build(DataType::Text(4), words.iter()).unwrap());
+        let comp = ColumnCompression::new(Codec::DictFor { bits: 2 }, Some(dict)).unwrap();
+        roundtrip(&comp, DataType::Text(4), &words);
+        // Dict→FOR without a dictionary is invalid.
+        assert!(ColumnCompression::new(Codec::DictFor { bits: 2 }, None).is_err());
+    }
+
+    #[test]
+    fn rledict_roundtrip() {
+        let vals: Vec<Value> = [500, 500, 500, -9, -9, 500, 123]
+            .iter()
+            .map(|&v| Value::Int(v))
+            .collect();
+        let dict = Arc::new(Dictionary::build(DataType::Int, vals.iter()).unwrap());
+        let comp = ColumnCompression::new(
+            Codec::RleDict {
+                value_bits: 2,
+                len_bits: 4,
+            },
+            Some(dict.clone()),
+        )
+        .unwrap();
+        roundtrip(&comp, DataType::Int, &vals);
+        assert!(!comp.codec.random_access());
+        // value_bits below the dictionary's code width is rejected, as is a
+        // missing dictionary and a text column.
+        assert!(ColumnCompression::new(
+            Codec::RleDict {
+                value_bits: 1,
+                len_bits: 4
+            },
+            Some(dict.clone())
+        )
+        .is_err());
+        assert!(ColumnCompression::new(
+            Codec::RleDict {
+                value_bits: 2,
+                len_bits: 4
+            },
+            None
+        )
+        .is_err());
+        assert!(Codec::RleDict {
+            value_bits: 2,
+            len_bits: 4
+        }
+        .validate_for(DataType::Text(4))
+        .is_err());
+    }
+
+    #[test]
+    fn packed_equivalents_are_fixed_width() {
+        let dict =
+            Arc::new(Dictionary::build(DataType::Int, ints(&[1, 2, 3, 4, 5]).iter()).unwrap());
+        let cases = [
+            (
+                ColumnCompression::new(
+                    Codec::Rle {
+                        value_bits: 4,
+                        len_bits: 4,
+                    },
+                    None,
+                )
+                .unwrap(),
+                Codec::None,
+            ),
+            (
+                ColumnCompression::new(Codec::Pfor { bits: 7 }, None).unwrap(),
+                Codec::None,
+            ),
+            (
+                ColumnCompression::new(Codec::DictFor { bits: 2 }, Some(dict.clone())).unwrap(),
+                Codec::Dict { bits: 3 },
+            ),
+            (
+                ColumnCompression::new(
+                    Codec::RleDict {
+                        value_bits: 3,
+                        len_bits: 5,
+                    },
+                    Some(dict.clone()),
+                )
+                .unwrap(),
+                Codec::Dict { bits: 3 },
+            ),
+            (
+                ColumnCompression::new(Codec::For { bits: 9 }, None).unwrap(),
+                Codec::For { bits: 9 },
+            ),
+        ];
+        for (comp, want) in cases {
+            let demoted = comp.packed_equivalent();
+            assert_eq!(demoted.codec, want);
+            assert!(demoted.codec.random_access());
+            assert!(!demoted.codec.variable_rate());
+        }
+    }
+
+    #[test]
     fn block_decode_matches_scalar_for_every_codec() {
         // 333 values: two full 128-blocks plus a tail; non-negative and
         // non-decreasing variants so every codec's domain holds.
@@ -831,6 +1537,7 @@ mod tests {
         let sorted: Vec<Value> = (0..n).map(|i| Value::Int(100 + (i as i32) * 3)).collect();
         let lowcard: Vec<Value> = (0..n).map(|i| Value::Int([7, -3, 900][i % 3])).collect();
         let dict = Arc::new(Dictionary::build(DataType::Int, lowcard.iter()).unwrap());
+        let dict2 = dict.clone();
         let cases: Vec<(ColumnCompression, &Vec<Value>)> = vec![
             (ColumnCompression::none(), &uns),
             (
@@ -848,6 +1555,36 @@ mod tests {
             (
                 ColumnCompression::new(Codec::ForDelta { bits: 4 }, None).unwrap(),
                 &sorted,
+            ),
+            (
+                ColumnCompression::new(Codec::Pfor { bits: 10 }, None).unwrap(),
+                &uns,
+            ),
+            (
+                ColumnCompression::new(
+                    Codec::Rle {
+                        value_bits: 11,
+                        len_bits: 2,
+                    },
+                    None,
+                )
+                .unwrap(),
+                &lowcard,
+            ),
+            (
+                ColumnCompression::new(Codec::DictFor { bits: 2 }, Some(dict2.clone())).unwrap(),
+                &lowcard,
+            ),
+            (
+                ColumnCompression::new(
+                    Codec::RleDict {
+                        value_bits: 2,
+                        len_bits: 3,
+                    },
+                    Some(dict2),
+                )
+                .unwrap(),
+                &lowcard,
             ),
         ];
         for (comp, vals) in cases {

@@ -14,8 +14,10 @@ pub mod advisor;
 pub mod bits;
 pub mod codec;
 pub mod dict;
+pub mod simd;
 
 pub use advisor::{choose_codec, AdvisorGoal};
 pub use bits::{bits_for, BitReader, BitWriter, BLOCK};
 pub use codec::{Codec, CodecKind, ColumnCompression, EncodedValues, PageValues, SeqValues};
 pub use dict::Dictionary;
+pub use simd::{active_tier, force_tier, KernelTier};

@@ -370,6 +370,10 @@ impl QueryBuilder {
         if self.trace {
             MetricsRegistry::counter_add("query.traced_runs", 1.0);
         }
+        MetricsRegistry::counter_add(
+            &format!("query.kernel_tier.{}", rodb_compress::active_tier().name()),
+            1.0,
+        );
         MetricsRegistry::counter_add("query.rows_out", report.rows as f64);
         MetricsRegistry::observe("query.elapsed_s", report.elapsed_s);
         MetricsRegistry::observe("query.cpu_s", report.cpu.total());

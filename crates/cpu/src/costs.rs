@@ -119,6 +119,14 @@ impl OpCosts {
             CodecKind::For => 28.0,
             CodecKind::ForDelta => 32.0,
             CodecKind::TextPack => 10.0,
+            // RLE amortizes the run-header decode over the run: per-value
+            // work is a copy plus run bookkeeping — cheaper than any
+            // shift/mask scheme. PFOR is FOR plus an exception-scan charge;
+            // the dict-code composites add the table lookup on top.
+            CodecKind::Rle => 12.0,
+            CodecKind::Pfor => 29.0,
+            CodecKind::DictFor => 34.0,
+            CodecKind::RleDict => 20.0,
         }
     }
 
@@ -136,6 +144,10 @@ impl OpCosts {
             CodecKind::ForDelta => 8.0,
             // Text never takes the block path; charge the scalar rate.
             CodecKind::TextPack => 10.0,
+            CodecKind::Rle => 3.0,
+            CodecKind::Pfor => 7.0,
+            CodecKind::DictFor => 8.0,
+            CodecKind::RleDict => 5.0,
         }
     }
 }
@@ -163,6 +175,10 @@ mod tests {
             CodecKind::Dict,
             CodecKind::For,
             CodecKind::ForDelta,
+            CodecKind::Rle,
+            CodecKind::Pfor,
+            CodecKind::DictFor,
+            CodecKind::RleDict,
         ] {
             assert!(
                 c.block_decode(kind) < c.decode(kind),

@@ -55,9 +55,16 @@ fn literal_i64(p: &Predicate) -> Option<i64> {
 }
 
 /// Rewrite `pred` against a page of codec `comp` with page base `base`
-/// (FOR's per-page minimum; ignored by other codecs). `None` means the
-/// predicate cannot be evaluated in code space — fall back to decoding.
-pub fn rewrite(pred: &Predicate, comp: &ColumnCompression, base: i64) -> Option<CodePred> {
+/// (FOR's per-page minimum; ignored by other codecs) and page code base
+/// `code_base` (Dict→FOR's per-page minimum dictionary code; 0 elsewhere).
+/// `None` means the predicate cannot be evaluated in code space — fall back
+/// to decoding.
+pub fn rewrite(
+    pred: &Predicate,
+    comp: &ColumnCompression,
+    base: i64,
+    code_base: u32,
+) -> Option<CodePred> {
     use std::cmp::Ordering;
     match &comp.codec {
         Codec::BitPack { bits } => {
@@ -99,6 +106,20 @@ pub fn rewrite(pred: &Predicate, comp: &ColumnCompression, base: i64) -> Option<
                 code: lit_code as u64,
             })
         }
+        Codec::Pfor { .. } => {
+            // PFOR codes are order-preserving (value = base + code) but the
+            // patched exception codes exceed 2^bits, so only the *lower*
+            // page-constant fold is sound; there is no upper code bound.
+            let lit = literal_i64(pred)?;
+            let lit_code = lit.checked_sub(base)?;
+            if lit_code < 0 {
+                return Some(CodePred::Const(pred.op.holds(Ordering::Greater)));
+            }
+            Some(CodePred::Cmp {
+                op: pred.op,
+                code: lit_code as u64,
+            })
+        }
         Codec::Dict { .. } => {
             // First-seen code order: build a truth table over the (small)
             // dictionary domain. Handles every operator and literal type the
@@ -111,9 +132,26 @@ pub fn rewrite(pred: &Predicate, comp: &ColumnCompression, base: i64) -> Option<
             }
             Some(CodePred::Bitmap(map))
         }
+        Codec::DictFor { .. } => {
+            // Stored codes are rebased by the page's minimum dictionary code:
+            // stored s ↦ dictionary code (code_base + s). Build the truth
+            // table in *stored* code space so it applies to raw codes.
+            let dict = comp.dict.as_ref()?;
+            let n = (dict.len() as u32).checked_sub(code_base)? as usize;
+            let mut map = Vec::with_capacity(n);
+            for s in 0..n as u32 {
+                map.push(pred.eval_value(dict.value_of(code_base + s).ok()?));
+            }
+            Some(CodePred::Bitmap(map))
+        }
         // Raw values have no codes; FOR-delta codes depend on the running
-        // sum; TextPack is byte-level. All fall back to value space.
-        Codec::None | Codec::ForDelta { .. } | Codec::TextPack { .. } => None,
+        // sum; TextPack is byte-level; RLE-family pages interleave run
+        // lengths with value codes. All fall back to value space.
+        Codec::None
+        | Codec::ForDelta { .. }
+        | Codec::TextPack { .. }
+        | Codec::Rle { .. }
+        | Codec::RleDict { .. } => None,
     }
 }
 
@@ -122,8 +160,12 @@ pub fn rewrite_all(
     preds: &[Predicate],
     comp: &ColumnCompression,
     base: i64,
+    code_base: u32,
 ) -> Option<Vec<CodePred>> {
-    preds.iter().map(|p| rewrite(p, comp, base)).collect()
+    preds
+        .iter()
+        .map(|p| rewrite(p, comp, base, code_base))
+        .collect()
 }
 
 /// True when the zone map `[min, max]` (inclusive) proves that **no** value
@@ -170,7 +212,7 @@ mod tests {
         for op in all_ops() {
             for lit in [-3i32, 0, 1, 64, 127, 128, 500] {
                 let p = Predicate::new(0, op, Value::Int(lit));
-                let cp = rewrite(&p, &comp, 0).expect("bitpack always rewrites");
+                let cp = rewrite(&p, &comp, 0, 0).expect("bitpack always rewrites");
                 for v in 0..128i32 {
                     assert_eq!(
                         cp.eval(v as u64),
@@ -189,7 +231,7 @@ mod tests {
         for op in all_ops() {
             for lit in [-2000i32, -1001, -1000, -990, -937, -936, 0, 50] {
                 let p = Predicate::new(0, op, Value::Int(lit));
-                let cp = rewrite(&p, &comp, base).expect("FOR always rewrites");
+                let cp = rewrite(&p, &comp, base, 0).expect("FOR always rewrites");
                 for code in 0..64u64 {
                     let v = (base + code as i64) as i32;
                     assert_eq!(cp.eval(code), p.eval_int(v), "op {op:?} lit {lit} v {v}");
@@ -212,7 +254,7 @@ mod tests {
         for op in all_ops() {
             for lit in [5, 10, 15, 20, 25, 30, 35] {
                 let p = Predicate::new(0, op, Value::Int(lit));
-                let cp = rewrite(&p, &comp, 0).expect("dict always rewrites");
+                let cp = rewrite(&p, &comp, 0, 0).expect("dict always rewrites");
                 for (code, v) in [(0u64, 30), (1, 10), (2, 20)] {
                     assert_eq!(cp.eval(code), p.eval_int(v), "op {op:?} lit {lit} v {v}");
                 }
@@ -223,17 +265,67 @@ mod tests {
     }
 
     #[test]
+    fn pfor_rewrite_matches_value_space_including_exceptions() {
+        let comp = ColumnCompression::new(Codec::Pfor { bits: 4 }, None).unwrap();
+        let base = 100i64;
+        for op in all_ops() {
+            for lit in [50i32, 99, 100, 105, 115, 116, 1000, 100_000] {
+                let p = Predicate::new(0, op, Value::Int(lit));
+                let cp = rewrite(&p, &comp, base, 0).expect("pfor rewrites numeric preds");
+                // Normal codes live in [0, 2^4); patched exception codes
+                // exceed that — the rewrite must stay correct for both.
+                for code in [0u64, 1, 7, 15, 16, 40, 5000, 200_000] {
+                    let v = (base + code as i64) as i32;
+                    assert_eq!(cp.eval(code), p.eval_int(v), "op {op:?} lit {lit} v {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dictfor_bitmap_applies_page_code_base() {
+        // Dictionary codes in first-seen order: 30→0, 10→1, 20→2, 40→3, 50→4.
+        // A page whose minimum dictionary code is 2 stores codes rebased by
+        // code_base = 2: stored 0 ↦ 20, stored 1 ↦ 40, stored 2 ↦ 50.
+        let vals: Vec<Value> = [30, 10, 20, 40, 50]
+            .iter()
+            .map(|&v| Value::Int(v))
+            .collect();
+        let dict = Arc::new(Dictionary::build(DataType::Int, vals.iter()).unwrap());
+        let comp = ColumnCompression::new(Codec::DictFor { bits: 2 }, Some(dict)).unwrap();
+        for op in all_ops() {
+            for lit in [5, 10, 20, 25, 40, 50, 55] {
+                let p = Predicate::new(0, op, Value::Int(lit));
+                let cp = rewrite(&p, &comp, 0, 2).expect("dictfor rewrites");
+                for (stored, v) in [(0u64, 20), (1, 40), (2, 50)] {
+                    assert_eq!(cp.eval(stored), p.eval_int(v), "op {op:?} lit {lit} v {v}");
+                }
+                // Out-of-range stored code (corrupt page) evaluates false.
+                assert!(!cp.eval(3));
+            }
+        }
+    }
+
+    #[test]
     fn unrewritable_codecs_fall_back() {
         let p = Predicate::lt(0, 5);
         for comp in [
             ColumnCompression::none(),
             ColumnCompression::new(Codec::ForDelta { bits: 4 }, None).unwrap(),
+            ColumnCompression::new(
+                Codec::Rle {
+                    value_bits: 4,
+                    len_bits: 4,
+                },
+                None,
+            )
+            .unwrap(),
         ] {
-            assert_eq!(rewrite(&p, &comp, 0), None);
+            assert_eq!(rewrite(&p, &comp, 0, 0), None);
         }
         // Text literal on a numeric codec.
         let comp = ColumnCompression::new(Codec::BitPack { bits: 7 }, None).unwrap();
-        assert_eq!(rewrite(&Predicate::eq(0, "x"), &comp, 0), None);
+        assert_eq!(rewrite(&Predicate::eq(0, "x"), &comp, 0, 0), None);
     }
 
     #[test]

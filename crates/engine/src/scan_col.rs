@@ -437,12 +437,13 @@ impl ColumnScanner {
             let code_preds = if node.preds.is_empty() {
                 None
             } else {
-                rewrite_all(&node.preds, &node.comp, pv.base())
+                rewrite_all(&node.preds, &node.comp, pv.base(), pv.code_base())
             };
             if let Some(cps) = code_preds {
                 let base = pv.base();
+                let code_base = pv.code_base() as usize;
                 let dict_table = match &node.comp.codec {
-                    Codec::Dict { .. } => Some(pv.dict_int_table()?),
+                    Codec::Dict { .. } | Codec::DictFor { .. } => Some(pv.dict_int_table()?),
                     _ => None,
                 };
                 let mut block = [0u64; 128];
@@ -459,11 +460,24 @@ impl ColumnScanner {
                             continue;
                         }
                         let v: i32 = match (&node.comp.codec, &dict_table) {
-                            (Codec::For { .. }, _) => (base + code as i64) as i32,
+                            // PFOR codes arrive already exception-patched.
+                            (Codec::For { .. } | Codec::Pfor { .. }, _) => {
+                                (base + code as i64) as i32
+                            }
                             (Codec::Dict { .. }, Some(t)) => {
                                 *t.get(code as usize).ok_or_else(|| {
                                     Error::corrupt(format!(
                                         "dict code {code} out of table (col {})",
+                                        node.col
+                                    ))
+                                })?
+                            }
+                            // Dict→FOR: stored codes are rebased by the
+                            // page's minimum dictionary code.
+                            (Codec::DictFor { .. }, Some(t)) => {
+                                *t.get(code as usize + code_base).ok_or_else(|| {
+                                    Error::corrupt(format!(
+                                        "dictfor code {code}+{code_base} out of table (col {})",
                                         node.col
                                     ))
                                 })?

@@ -252,7 +252,9 @@ impl RowScanner {
                         .iter()
                         .map(|p| {
                             let base = page.base_of(comps, p.col).unwrap_or(0);
-                            rewrite(p, &comps[p.col], base)
+                            // Packed row formats only carry fixed-width codecs
+                            // (packed_equivalent demotion), so code_base is 0.
+                            rewrite(p, &comps[p.col], base, 0)
                         })
                         .collect()
                 } else {

@@ -106,6 +106,7 @@ struct Snapshot {
     phases: PhaseProfile,
     io: IoStats,
     io_elapsed: f64,
+    simd_blocks: u64,
     wall: Instant,
 }
 
@@ -118,12 +119,18 @@ impl Snapshot {
             phases: meter.profile_snapshot(),
             io: *disk.stats(),
             io_elapsed: disk.elapsed(),
+            simd_blocks: rodb_compress::simd::simd_blocks_decoded(),
             wall: Instant::now(),
         }
     }
 
     fn record(&self, ctx: &ExecContext, tracer: &Tracer, span: SpanId) {
         tracer.add(span, keys::WALL_S, self.wall.elapsed().as_secs_f64());
+        tracer.add(
+            span,
+            keys::KERNEL_SIMD_BLOCKS,
+            (rodb_compress::simd::simd_blocks_decoded() - self.simd_blocks) as f64,
+        );
         {
             let meter = ctx.meter.borrow();
             add_counter_deltas(tracer, span, &self.cnt, meter.counters());
@@ -272,6 +279,12 @@ pub fn finish_query_trace(ctx: &ExecContext, report: &RunReport) -> Option<Query
 /// final merged trace, so span totals reconcile with the engine exactly.
 pub fn apply_report(trace: &mut QueryTrace, report: &RunReport) {
     let m = &mut trace.root.metrics;
+    // `set`, not `add`: the tier is an ordinal (0 scalar, 1 SSE2, 2 AVX2,
+    // 3 NEON), so it must survive morsel merges unsummed.
+    m.set(
+        keys::KERNEL_TIER,
+        rodb_compress::simd::active_tier() as u8 as f64,
+    );
     m.set(keys::ROWS, report.rows as f64);
     m.set(keys::BLOCKS, report.blocks as f64);
     m.set(keys::CPU_TOTAL_S, report.cpu.total());

@@ -366,10 +366,11 @@ fn pick_codec(
             let min = ints.iter().copied().min().unwrap_or(0);
             let max = ints.iter().copied().max().unwrap_or(0);
             let nondecreasing = ints.windows(2).all(|w| w[0] <= w[1]);
-            // Candidate list, then one uniform draw: None and FOR always
-            // apply; BitPack needs non-negative values; FOR-delta needs a
-            // non-decreasing column; Dict always applies.
-            let mut cands = vec![0u8, 2, 4];
+            // Candidate list, then one uniform draw: None, FOR, Dict, RLE,
+            // PFOR, Dict→FOR and RLE-on-codes always apply to ints; BitPack
+            // needs non-negative values; FOR-delta needs a non-decreasing
+            // column.
+            let mut cands = vec![0u8, 2, 4, 5, 6, 7, 8];
             if min >= 0 {
                 cands.push(1);
             }
@@ -406,10 +407,49 @@ fn pick_codec(
                     )
                     .expect("fordelta codec")
                 }
-                _ => dict_comp(dtype, vals),
+                4 => dict_comp(dtype, vals),
+                5 => ColumnCompression::new(
+                    Codec::Rle {
+                        value_bits: bits_for((max - min) as u64).max(1),
+                        len_bits: 1 + rng.below(6) as u8,
+                    },
+                    None,
+                )
+                .expect("rle codec"),
+                6 => {
+                    // Any width is valid: codes at or above 2^bits become
+                    // patched exceptions. Narrow draws exercise the patch
+                    // path hard.
+                    let full = bits_for((max - min) as u64).max(1);
+                    ColumnCompression::new(
+                        Codec::Pfor {
+                            bits: 1 + rng.below(full as u64) as u8,
+                        },
+                        None,
+                    )
+                    .expect("pfor codec")
+                }
+                7 => {
+                    let dict = Dictionary::build(dtype, vals.iter()).expect("dict over own data");
+                    let bits = dict.code_bits();
+                    ColumnCompression::new(Codec::DictFor { bits }, Some(Arc::new(dict)))
+                        .expect("dictfor codec with full-span width")
+                }
+                _ => {
+                    let dict = Dictionary::build(dtype, vals.iter()).expect("dict over own data");
+                    let value_bits = dict.code_bits().max(1);
+                    ColumnCompression::new(
+                        Codec::RleDict {
+                            value_bits,
+                            len_bits: 1 + rng.below(6) as u8,
+                        },
+                        Some(Arc::new(dict)),
+                    )
+                    .expect("rledict codec with its own code width")
+                }
             }
         }
-        DataType::Text(_) => match rng.below(3) {
+        DataType::Text(_) => match rng.below(4) {
             0 => ColumnCompression::none(),
             1 => ColumnCompression::new(
                 Codec::TextPack {
@@ -418,6 +458,14 @@ fn pick_codec(
                 None,
             )
             .expect("textpack codec"),
+            2 => {
+                // Dict→FOR applies to text too: codes are ints even when
+                // values are not.
+                let dict = Dictionary::build(dtype, vals.iter()).expect("dict over own data");
+                let bits = dict.code_bits();
+                ColumnCompression::new(Codec::DictFor { bits }, Some(Arc::new(dict)))
+                    .expect("text dictfor codec")
+            }
             _ => dict_comp(dtype, vals),
         },
         DataType::Long => unreachable!(),

@@ -601,7 +601,8 @@ mod tests {
         }
         assert_eq!(storages.len(), 3, "storage kinds: {storages:?}");
         assert_eq!(layouts.len(), 4, "layouts: {layouts:?}");
-        assert!(codecs.len() >= 5, "codecs: {codecs:?}");
+        // All ten codec kinds (incl. the RLE/PFOR family) must appear.
+        assert!(codecs.len() >= 10, "codecs: {codecs:?}");
         assert!(empty && large);
     }
 }

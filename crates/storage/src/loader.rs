@@ -13,7 +13,7 @@ use std::sync::Arc;
 use rodb_compress::ColumnCompression;
 use rodb_types::{tuple, Error, PageId, Result, Schema, Value};
 
-use crate::page::{ColumnPageBuilder, RowPageBuilder};
+use crate::page::{body_capacity, ColumnPageBuilder, RowPageBuilder};
 use crate::page_packed::{packed_tuple_bits, PackedRowPageBuilder};
 use crate::page_pax::PaxPageBuilder;
 use crate::table::{ColStorage, ColumnStorage, RowFormat, RowStorage, Table};
@@ -59,10 +59,18 @@ pub struct TableBuilder {
     page_size: usize,
     layouts: BuildLayouts,
     comps: Vec<ColumnCompression>,
+    /// Row-side codecs: packed row pages need fixed-width position-stable
+    /// codes, so variable-rate / page-relative column codecs are demoted to
+    /// their [`ColumnCompression::packed_equivalent`] here.
+    row_comps: Vec<ColumnCompression>,
     row_builder: Option<RowBuilderKind>,
     row_file: Vec<u8>,
     row_pages: usize,
     col_builders: Vec<ColumnPageBuilder>,
+    /// `Some` for variable-rate columns (RLE / PFOR families): their
+    /// per-page value count depends on the data, so values are buffered and
+    /// paged out in [`TableBuilder::finish`] after a capacity fit-search.
+    var_bufs: Vec<Option<Vec<Value>>>,
     col_files: Vec<Vec<u8>>,
     col_pages: Vec<usize>,
     row_count: u64,
@@ -120,32 +128,39 @@ impl TableBuilder {
         for (i, c) in comps.iter().enumerate() {
             c.codec.validate_for(schema.dtype(i))?;
         }
-        let any_compressed = comps
+        let row_comps: Vec<ColumnCompression> =
+            comps.iter().map(|c| c.packed_equivalent()).collect();
+        let any_compressed = row_comps
             .iter()
             .any(|c| !matches!(c.codec, rodb_compress::Codec::None));
         let row_builder = if layouts.row {
             Some(if any_compressed {
-                RowBuilderKind::Packed(PackedRowPageBuilder::new(page_size, &schema, &comps)?)
+                RowBuilderKind::Packed(PackedRowPageBuilder::new(page_size, &schema, &row_comps)?)
             } else {
                 RowBuilderKind::Plain(RowPageBuilder::new(page_size, &schema))
             })
         } else {
             None
         };
-        let (col_builders, col_files, col_pages) = if layouts.column {
+        let (col_builders, var_bufs, col_files, col_pages) = if layouts.column {
             let builders = schema
                 .columns()
                 .iter()
                 .zip(&comps)
                 .map(|(col, comp)| ColumnPageBuilder::new(page_size, col.dtype, comp))
                 .collect::<Vec<_>>();
+            let bufs = comps
+                .iter()
+                .map(|c| c.codec.variable_rate().then(Vec::new))
+                .collect();
             (
                 builders,
+                bufs,
                 vec![Vec::new(); schema.len()],
                 vec![0; schema.len()],
             )
         } else {
-            (Vec::new(), Vec::new(), Vec::new())
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new())
         };
         Ok(TableBuilder {
             name: name.into(),
@@ -153,10 +168,12 @@ impl TableBuilder {
             page_size,
             layouts,
             comps,
+            row_comps,
             row_builder,
             row_file: Vec::new(),
             row_pages: 0,
             col_builders,
+            var_bufs,
             col_files,
             col_pages,
             row_count: 0,
@@ -181,7 +198,7 @@ impl TableBuilder {
                 RowBuilderKind::Packed(rb) => {
                     if rb.is_full() {
                         let page =
-                            rb.build(&self.schema, &self.comps, PageId(self.row_pages as u64))?;
+                            rb.build(&self.schema, &self.row_comps, PageId(self.row_pages as u64))?;
                         self.row_file.extend_from_slice(&page);
                         self.row_pages += 1;
                     }
@@ -207,6 +224,18 @@ impl TableBuilder {
         }
         if self.layouts.column {
             for (ci, v) in values.iter().enumerate() {
+                if let Some(buf) = &mut self.var_bufs[ci] {
+                    // Variable-rate column: page boundaries are only known
+                    // once the data is, so buffer now and page out in finish.
+                    if !v.fits(self.schema.dtype(ci)) {
+                        return Err(Error::TypeMismatch {
+                            expected: self.schema.dtype(ci).name(),
+                            got: v.dtype().name(),
+                        });
+                    }
+                    buf.push(v.clone());
+                    continue;
+                }
                 let cb = &mut self.col_builders[ci];
                 if cb.is_full() {
                     let page = cb.build(&self.comps[ci], PageId(self.col_pages[ci] as u64))?;
@@ -240,15 +269,15 @@ impl TableBuilder {
                 RowBuilderKind::Packed(rb) => {
                     if !rb.is_empty() {
                         let page =
-                            rb.build(&self.schema, &self.comps, PageId(self.row_pages as u64))?;
+                            rb.build(&self.schema, &self.row_comps, PageId(self.row_pages as u64))?;
                         self.row_file.extend_from_slice(&page);
                         self.row_pages += 1;
                     }
                     (
                         rb.capacity(),
                         RowFormat::Packed {
-                            comps: self.comps.clone(),
-                            tuple_bits: packed_tuple_bits(&self.schema, &self.comps),
+                            comps: self.row_comps.clone(),
+                            tuple_bits: packed_tuple_bits(&self.schema, &self.row_comps),
                         },
                     )
                 }
@@ -274,6 +303,29 @@ impl TableBuilder {
         let col = if self.layouts.column {
             let mut columns = Vec::with_capacity(self.schema.len());
             for (ci, cb) in self.col_builders.iter_mut().enumerate() {
+                if let Some(buf) = self.var_bufs[ci].take() {
+                    // Variable-rate column: pick the per-file page capacity
+                    // by trial encoding, then emit every page with it.
+                    let dtype = self.schema.dtype(ci);
+                    let vpp = fit_values_per_page(self.page_size, dtype, &self.comps[ci], &buf)?;
+                    let mut b = ColumnPageBuilder::with_capacity(self.page_size, dtype, vpp);
+                    for chunk in buf.chunks(vpp) {
+                        for v in chunk {
+                            b.push(v.clone())?;
+                        }
+                        let page = b.build(&self.comps[ci], PageId(self.col_pages[ci] as u64))?;
+                        self.col_files[ci].extend_from_slice(&page);
+                        self.col_pages[ci] += 1;
+                    }
+                    columns.push(ColumnStorage {
+                        file: Arc::new(std::mem::take(&mut self.col_files[ci])),
+                        page_size: self.page_size,
+                        comp: self.comps[ci].clone(),
+                        values_per_page: vpp,
+                        pages: self.col_pages[ci],
+                    });
+                    continue;
+                }
                 if !cb.is_empty() {
                     let page = cb.build(&self.comps[ci], PageId(self.col_pages[ci] as u64))?;
                     self.col_files[ci].extend_from_slice(&page);
@@ -303,6 +355,53 @@ impl TableBuilder {
 
     pub fn row_count(&self) -> u64 {
         self.row_count
+    }
+}
+
+/// Largest values-per-page for a variable-rate codec such that **every**
+/// aligned window of the column verifiably encodes within one page body.
+///
+/// `values_per_page` is a per-file constant (position → page arithmetic
+/// depends on it), so the choice must hold for the worst window, not the
+/// average one. Strategy: estimate from the whole column's aggregate encoded
+/// size, then walk the candidate down until a full trial-encode pass fits.
+/// The walk terminates: small enough windows always fit (a single RLE run or
+/// PFOR exception is tens of bytes against a page body).
+fn fit_values_per_page(
+    page_size: usize,
+    dtype: rodb_types::DataType,
+    comp: &ColumnCompression,
+    values: &[Value],
+) -> Result<usize> {
+    let body = body_capacity(page_size);
+    if values.is_empty() {
+        // Match the fixed-rate worst-case floor so empty files still carry a
+        // sane geometry constant.
+        return Ok(ColumnPageBuilder::new(page_size, dtype, comp)
+            .capacity()
+            .max(1));
+    }
+    let fits = |vpp: usize| -> Result<bool> {
+        for chunk in values.chunks(vpp) {
+            if comp.encode_page(dtype, chunk)?.data.len() > body {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    };
+    let total = comp.encode_page(dtype, values)?.data.len().max(1);
+    let mut vpp = (body * values.len() / total).clamp(1, values.len());
+    loop {
+        if fits(vpp)? {
+            return Ok(vpp);
+        }
+        if vpp == 1 {
+            return Err(Error::corrupt(format!(
+                "single value of {:?} does not fit a {page_size}-byte page",
+                comp.codec.kind()
+            )));
+        }
+        vpp = (vpp * 9 / 10).max(1);
     }
 }
 
@@ -428,6 +527,104 @@ mod tests {
         assert_eq!((p, s0), (0, 0));
         let vpp = cs.columns[1].values_per_page as u64;
         assert_eq!(cs.columns[1].locate(vpp), (1, 0));
+    }
+
+    #[test]
+    fn variable_rate_columns_fit_search_and_roundtrip() {
+        // Runny qty column under RLE, id with outliers under PFOR. Page
+        // capacity is data-dependent; the loader must pick one constant that
+        // every page honours and the read path must agree with it.
+        let s = Arc::new(Schema::new(vec![Column::int("id"), Column::int("qty")]).unwrap());
+        let comps = vec![
+            ColumnCompression::new(Codec::Pfor { bits: 6 }, None).unwrap(),
+            ColumnCompression::new(
+                Codec::Rle {
+                    value_bits: 8,
+                    len_bits: 6,
+                },
+                None,
+            )
+            .unwrap(),
+        ];
+        let mut b = TableBuilder::with_compression(
+            "vr",
+            s.clone(),
+            1024,
+            BuildLayouts::column_only(),
+            comps,
+        )
+        .unwrap();
+        let n = 4000usize;
+        let data: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    // Mostly 6-bit codes, 1-in-200 huge exceptions.
+                    Value::Int(if i % 200 == 0 {
+                        1_000_000
+                    } else {
+                        (i % 60) as i32
+                    }),
+                    // Runs of ~37 identical values.
+                    Value::Int((i / 37 % 200) as i32),
+                ]
+            })
+            .collect();
+        for r in &data {
+            b.push_row(r).unwrap();
+        }
+        let t = b.finish().unwrap();
+        let back = t.read_all(Layout::Column).unwrap();
+        assert_eq!(back, data);
+        let cs = t.col_storage().unwrap();
+        // The fit-search must beat the worst-case floor: RLE's worst case is
+        // one run per value (14 bits), but real runs are ~37 long.
+        let rle_floor = (1024 - 28 - 4) * 8 / 14;
+        assert!(
+            cs.columns[1].values_per_page > rle_floor,
+            "vpp {} should exceed the worst-case floor {rle_floor}",
+            cs.columns[1].values_per_page
+        );
+        // Geometry invariant: every page but the last holds exactly vpp.
+        let vpp = cs.columns[1].values_per_page;
+        assert_eq!(cs.columns[1].pages, n.div_ceil(vpp));
+    }
+
+    #[test]
+    fn variable_rate_codecs_demote_for_packed_rows() {
+        // A table with an RLE column and both layouts: the row side must
+        // demote to a fixed-width equivalent, and both layouts read back
+        // identically.
+        let s = Arc::new(Schema::new(vec![Column::int("id"), Column::int("qty")]).unwrap());
+        let comps = vec![
+            ColumnCompression::new(Codec::BitPack { bits: 12 }, None).unwrap(),
+            ColumnCompression::new(
+                Codec::Rle {
+                    value_bits: 8,
+                    len_bits: 4,
+                },
+                None,
+            )
+            .unwrap(),
+        ];
+        let mut b =
+            TableBuilder::with_compression("dem", s.clone(), 1024, BuildLayouts::both(), comps)
+                .unwrap();
+        let data: Vec<Vec<Value>> = (0..1000)
+            .map(|i| vec![Value::Int(i), Value::Int(i / 20 % 100)])
+            .collect();
+        for r in &data {
+            b.push_row(r).unwrap();
+        }
+        let t = b.finish().unwrap();
+        assert_eq!(t.read_all(Layout::Row).unwrap(), data);
+        assert_eq!(t.read_all(Layout::Column).unwrap(), data);
+        // The stored row format must not contain a variable-rate codec.
+        let rs = t.row_storage().unwrap();
+        if let RowFormat::Packed { comps, .. } = &rs.format {
+            assert!(comps.iter().all(|c| !c.codec.variable_rate()));
+        } else {
+            panic!("compressed table should use packed rows");
+        }
     }
 
     #[test]

@@ -291,10 +291,28 @@ pub struct ColumnPageBuilder {
 impl ColumnPageBuilder {
     pub fn new(page_size: usize, dtype: DataType, comp: &ColumnCompression) -> ColumnPageBuilder {
         let bits = comp.bits_per_value(dtype);
+        // Codecs with a per-page blob header (Dict→FOR's code base, the RLE
+        // family's run count) lose those bytes from the code area. For
+        // variable-rate codecs `bits` is the worst case, so this capacity is
+        // a guaranteed-fit floor; the loader raises it by trial encoding
+        // (see `TableBuilder::fit_values_per_page`).
+        let body_bits = (body_capacity(page_size) - comp.codec.blob_header_bytes()) * 8;
         ColumnPageBuilder {
             page_size,
             dtype,
-            capacity: col_values_per_page(page_size, bits),
+            capacity: body_bits / bits,
+            values: Vec::new(),
+        }
+    }
+
+    /// A builder with an externally chosen capacity — used for variable-rate
+    /// codecs where the loader has verified by trial encoding that this many
+    /// values fit. `build` still errors if an overfull page slips through.
+    pub fn with_capacity(page_size: usize, dtype: DataType, capacity: usize) -> ColumnPageBuilder {
+        ColumnPageBuilder {
+            page_size,
+            dtype,
+            capacity,
             values: Vec::new(),
         }
     }
@@ -360,7 +378,10 @@ impl ColumnPageBuilder {
                 debug_assert!(
                     !matches!(
                         comp.codec,
-                        rodb_compress::Codec::For { .. } | rodb_compress::Codec::ForDelta { .. }
+                        rodb_compress::Codec::For { .. }
+                            | rodb_compress::Codec::ForDelta { .. }
+                            | rodb_compress::Codec::Pfor { .. }
+                            | rodb_compress::Codec::Rle { .. }
                     ) || enc.base == lo,
                     "FOR-family base must equal the page min"
                 );

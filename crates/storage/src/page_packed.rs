@@ -175,6 +175,18 @@ impl PackedRowPageBuilder {
                         w.write(code as u64, *bits)?;
                         prev[ci] = iv;
                     }
+                    Codec::Rle { .. }
+                    | Codec::Pfor { .. }
+                    | Codec::DictFor { .. }
+                    | Codec::RleDict { .. } => {
+                        // Variable-rate / page-relative codecs are demoted to
+                        // their packed_equivalent() by the loader before a row
+                        // format is built; reaching here is a planner bug.
+                        return Err(Error::InvalidConfig(format!(
+                            "codec {:?} is not supported in packed row pages",
+                            comp.codec.kind()
+                        )));
+                    }
                     Codec::TextPack { bytes } => {
                         let t = v.as_text()?;
                         let nb = *bytes as usize;
@@ -382,6 +394,15 @@ impl PackedRowCursor<'_> {
                     expected: "Int",
                     got: "Text",
                 })
+            }
+            c @ (Codec::Rle { .. }
+            | Codec::Pfor { .. }
+            | Codec::DictFor { .. }
+            | Codec::RleDict { .. }) => {
+                return Err(Error::InvalidConfig(format!(
+                    "codec {:?} is not supported in packed row pages",
+                    c.kind()
+                )))
             }
         })
     }

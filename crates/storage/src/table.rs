@@ -126,7 +126,10 @@ pub struct ColumnStorage {
     pub file: Arc<Vec<u8>>,
     pub page_size: usize,
     pub comp: ColumnCompression,
-    /// Full-page value capacity (fixed-width codes ⇒ constant per file).
+    /// Full-page value capacity — a per-file constant (position → page
+    /// arithmetic depends on it). Fixed-width codecs derive it from the code
+    /// width; variable-rate codecs (RLE / PFOR families) get it from the
+    /// loader's trial-encode fit-search, and every page honours it.
     pub values_per_page: usize,
     pub pages: usize,
 }

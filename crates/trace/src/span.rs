@@ -94,6 +94,11 @@ pub mod keys {
     pub const CNT_IO_REQUESTS: &str = "cnt.io_requests";
     pub const CNT_IO_BYTES: &str = "cnt.io_bytes";
     pub const CNT_IO_SWITCHES: &str = "cnt.io_switches";
+    /// Decode-kernel dispatch tier ordinal active while the span ran
+    /// (0 scalar, 1 SSE2, 2 AVX2, 3 NEON).
+    pub const KERNEL_TIER: &str = "kernel.tier";
+    /// Hardware-SIMD 64-value blocks decoded inside this span.
+    pub const KERNEL_SIMD_BLOCKS: &str = "kernel.simd_blocks";
     /// How many per-morsel instances were folded into a merged span.
     pub const MORSELS: &str = "morsels";
     /// End-to-end elapsed seconds with CPU/I/O overlap (root span only).
