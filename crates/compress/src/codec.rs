@@ -671,7 +671,7 @@ impl<'a> PageValues<'a> {
                     for first in (0..self.count).step_by(BLOCK) {
                         let n = BLOCK.min(self.count - first);
                         self.data.unpack(first, 32, &mut block[..n])?;
-                        if crate::simd::base_add(&block[..n], 0, &mut vals[..n]) {
+                        if crate::simd::base_add(&block[..n], 32, 0, &mut vals[..n]) {
                             out.extend_from_slice(&vals[..n]);
                         } else {
                             out.extend(block[..n].iter().map(|&c| c as u32 as i32));
@@ -687,7 +687,7 @@ impl<'a> PageValues<'a> {
                 for first in (0..self.count).step_by(BLOCK) {
                     let n = BLOCK.min(self.count - first);
                     self.data.unpack(first, *bits, &mut block[..n])?;
-                    if crate::simd::base_add(&block[..n], 0, &mut vals[..n]) {
+                    if crate::simd::base_add(&block[..n], *bits, 0, &mut vals[..n]) {
                         out.extend_from_slice(&vals[..n]);
                     } else {
                         out.extend(block[..n].iter().map(|&c| c as i32));
@@ -699,7 +699,7 @@ impl<'a> PageValues<'a> {
                 for first in (0..self.count).step_by(BLOCK) {
                     let n = BLOCK.min(self.count - first);
                     self.data.unpack(first, *bits, &mut block[..n])?;
-                    if crate::simd::dict_gather(&block[..n], &table, &mut vals[..n]) {
+                    if crate::simd::dict_gather(&block[..n], *bits, &table, &mut vals[..n]) {
                         out.extend_from_slice(&vals[..n]);
                     } else {
                         for &c in &block[..n] {
@@ -715,7 +715,7 @@ impl<'a> PageValues<'a> {
                 for first in (0..self.count).step_by(BLOCK) {
                     let n = BLOCK.min(self.count - first);
                     self.data.unpack(first, *bits, &mut block[..n])?;
-                    if crate::simd::base_add(&block[..n], self.base, &mut vals[..n]) {
+                    if crate::simd::base_add(&block[..n], *bits, self.base, &mut vals[..n]) {
                         out.extend_from_slice(&vals[..n]);
                     } else {
                         out.extend(block[..n].iter().map(|&c| (self.base + c as i64) as i32));
@@ -728,7 +728,7 @@ impl<'a> PageValues<'a> {
                 for first in (0..self.count).step_by(BLOCK) {
                     let n = BLOCK.min(self.count - first);
                     self.data.unpack(first, *bits, &mut block[..n])?;
-                    if crate::simd::base_add(&block[..n], self.base, &mut vals[..n]) {
+                    if crate::simd::base_add(&block[..n], *bits, self.base, &mut vals[..n]) {
                         out.extend_from_slice(&vals[..n]);
                     } else {
                         out.extend(block[..n].iter().map(|&c| (self.base + c as i64) as i32));
@@ -751,7 +751,7 @@ impl<'a> PageValues<'a> {
                 for first in (0..self.count).step_by(BLOCK) {
                     let n = BLOCK.min(self.count - first);
                     self.data.unpack(first, *bits, &mut block[..n])?;
-                    if crate::simd::dict_gather(&block[..n], sub, &mut vals[..n]) {
+                    if crate::simd::dict_gather(&block[..n], *bits, sub, &mut vals[..n]) {
                         out.extend_from_slice(&vals[..n]);
                     } else {
                         for &c in &block[..n] {
@@ -773,7 +773,7 @@ impl<'a> PageValues<'a> {
                         // the whole block is one uniform prefix sum.
                         block[0] = 0;
                     }
-                    if crate::simd::prefix_sum(&block[..n], &mut running, &mut vals[..n]) {
+                    if crate::simd::prefix_sum(&block[..n], *bits, &mut running, &mut vals[..n]) {
                         out.extend_from_slice(&vals[..n]);
                     } else {
                         for &c in &block[..n] {

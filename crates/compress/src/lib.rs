@@ -20,4 +20,4 @@ pub use advisor::{choose_codec, AdvisorGoal};
 pub use bits::{bits_for, BitReader, BitWriter, BLOCK};
 pub use codec::{Codec, CodecKind, ColumnCompression, EncodedValues, PageValues, SeqValues};
 pub use dict::Dictionary;
-pub use simd::{active_tier, force_tier, KernelTier};
+pub use simd::{active_tier, force_tier, fused_auto_tier, FusedKernel, KernelTier};

@@ -612,6 +612,36 @@ pub fn unpack_block(src: &[u8], bits: u8, out: &mut [u64; BLOCK]) -> bool {
     unpack_block_with_tier(active_tier(), src, bits, out)
 }
 
+/// The fused value-mapping kernels of
+/// [`crate::codec::PageValues::decode_ints_into`], named so dispatch
+/// decisions can be made (and tested) per kernel and code width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedKernel {
+    /// `out[i] = (base + codes[i]) as i32` — None/BitPack/FOR/PFOR pages.
+    BaseAdd,
+    /// Running prefix sum over delta codes — FOR-delta pages.
+    PrefixSum,
+    /// `out[i] = table[codes[i]]` — Dict/Dict→FOR pages.
+    DictGather,
+}
+
+/// The tier the auto-dispatched fused wrappers use for `kernel` on codes
+/// unpacked from `bits`-wide input. Unlike the unpack kernels — where the
+/// SIMD win grows with density — the fused kernels consume already-widened
+/// `u64` lanes, so their profile is width-independent, and on measured
+/// hosts the `vpgatherdd` dictionary gather and the lane-carry prefix sum
+/// lose to LLVM-autovectorized scalar (0.5–0.9×) at every width. The auto
+/// path therefore pins those two to scalar; the fused base-add keeps the
+/// detected tier, where it wins. The `*_with_tier` entry points still reach
+/// every kernel for benchmarking and forced runs.
+pub fn fused_auto_tier(kernel: FusedKernel, bits: u8) -> KernelTier {
+    debug_assert!((1..=64).contains(&bits));
+    match kernel {
+        FusedKernel::BaseAdd => active_tier(),
+        FusedKernel::PrefixSum | FusedKernel::DictGather => KernelTier::Scalar,
+    }
+}
+
 /// Fused FOR base-add under `tier`: `out[i] = (base + codes[i]) as i32`.
 /// Returns false when the tier has no kernel (caller runs scalar).
 pub fn base_add_with_tier(tier: KernelTier, codes: &[u64], base: i64, out: &mut [i32]) -> bool {
@@ -627,10 +657,15 @@ pub fn base_add_with_tier(tier: KernelTier, codes: &[u64], base: i64, out: &mut 
     }
 }
 
-/// Auto-dispatched fused base-add.
+/// Auto-dispatched fused base-add over codes unpacked at `bits` wide.
 #[inline]
-pub fn base_add(codes: &[u64], base: i64, out: &mut [i32]) -> bool {
-    base_add_with_tier(active_tier(), codes, base, out)
+pub fn base_add(codes: &[u64], bits: u8, base: i64, out: &mut [i32]) -> bool {
+    base_add_with_tier(
+        fused_auto_tier(FusedKernel::BaseAdd, bits),
+        codes,
+        base,
+        out,
+    )
 }
 
 /// Fused FOR-delta prefix sum under `tier`; see
@@ -654,10 +689,15 @@ pub fn prefix_sum_with_tier(
     }
 }
 
-/// Auto-dispatched fused prefix sum.
+/// Auto-dispatched fused prefix sum over codes unpacked at `bits` wide.
 #[inline]
-pub fn prefix_sum(codes: &[u64], running: &mut i64, out: &mut [i32]) -> bool {
-    prefix_sum_with_tier(active_tier(), codes, running, out)
+pub fn prefix_sum(codes: &[u64], bits: u8, running: &mut i64, out: &mut [i32]) -> bool {
+    prefix_sum_with_tier(
+        fused_auto_tier(FusedKernel::PrefixSum, bits),
+        codes,
+        running,
+        out,
+    )
 }
 
 /// Dictionary gather under `tier`: `out[i] = table[codes[i]]`. Returns false
@@ -678,10 +718,15 @@ pub fn dict_gather_with_tier(
     }
 }
 
-/// Auto-dispatched dictionary gather.
+/// Auto-dispatched dictionary gather over codes unpacked at `bits` wide.
 #[inline]
-pub fn dict_gather(codes: &[u64], table: &[i32], out: &mut [i32]) -> bool {
-    dict_gather_with_tier(active_tier(), codes, table, out)
+pub fn dict_gather(codes: &[u64], bits: u8, table: &[i32], out: &mut [i32]) -> bool {
+    dict_gather_with_tier(
+        fused_auto_tier(FusedKernel::DictGather, bits),
+        codes,
+        table,
+        out,
+    )
 }
 
 #[cfg(test)]
@@ -856,6 +901,71 @@ mod tests {
                     !dict_gather_with_tier(tier, &codes, &small, &mut simd)
                         || codes.iter().all(|&c| c < 4)
                 );
+            }
+        }
+    }
+
+    /// Pin the auto-dispatch decision per kernel and width: base-add runs
+    /// at the detected tier everywhere, while prefix-sum and dict-gather —
+    /// the fused kernels that lose to autovectorized scalar — stay scalar
+    /// at every width. Catches accidental re-enabling (or a regression
+    /// that silently drops base-add to scalar).
+    #[test]
+    fn fused_auto_dispatch_pins_tier_per_width() {
+        let _guard = tier_lock();
+        for bits in 1..=32u8 {
+            assert_eq!(
+                fused_auto_tier(FusedKernel::BaseAdd, bits),
+                active_tier(),
+                "base-add width {bits}"
+            );
+            for kernel in [FusedKernel::PrefixSum, FusedKernel::DictGather] {
+                assert_eq!(
+                    fused_auto_tier(kernel, bits),
+                    KernelTier::Scalar,
+                    "{kernel:?} width {bits}"
+                );
+            }
+        }
+        // The pin holds even when a SIMD tier is forced: forcing affects
+        // unpack and base-add, never resurrects the losing fused kernels.
+        for tier in simd_tiers() {
+            force_tier(Some(tier)).unwrap();
+            assert_eq!(fused_auto_tier(FusedKernel::BaseAdd, 12), tier);
+            assert_eq!(
+                fused_auto_tier(FusedKernel::PrefixSum, 12),
+                KernelTier::Scalar
+            );
+            assert_eq!(
+                fused_auto_tier(FusedKernel::DictGather, 12),
+                KernelTier::Scalar
+            );
+        }
+        force_tier(None).unwrap();
+    }
+
+    /// The auto wrappers behave per the dispatch table: scalar-pinned
+    /// kernels decline (caller runs its scalar loop), and whatever runs
+    /// produces scalar-identical output.
+    #[test]
+    fn fused_auto_wrappers_follow_the_dispatch_table() {
+        let _guard = tier_lock();
+        for bits in [1u8, 7, 16, 20, 32] {
+            let codes: Vec<u64> = (0..BLOCK).map(|i| pattern(i, bits.min(20))).collect();
+            let mut out = vec![0i32; BLOCK];
+            let mut running = 0i64;
+            assert!(
+                !prefix_sum(&codes, bits, &mut running, &mut out),
+                "prefix-sum auto path must decline at width {bits}"
+            );
+            let table = vec![3i32; 1 << 20];
+            assert!(
+                !dict_gather(&codes, bits, &table, &mut out),
+                "dict-gather auto path must decline at width {bits}"
+            );
+            if base_add(&codes, bits, 7, &mut out) {
+                let scalar: Vec<i32> = codes.iter().map(|&c| (7 + c as i64) as i32).collect();
+                assert_eq!(out, scalar, "auto base-add width {bits}");
             }
         }
     }

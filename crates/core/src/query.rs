@@ -28,9 +28,10 @@ use rodb_engine::{
     finish_query_trace, run_to_completion, AggPlan, AggSpec, AggStrategy, Aggregate, ExecContext,
     Operator, ParallelExec, ParallelOutcome, Predicate, RunReport, ScanLayout, ScanSpec, TracedOp,
 };
+use rodb_io::SharedPageCache;
 use rodb_storage::Table;
 use rodb_trace::{MetricsRegistry, QueryTrace, SpanKind};
-use rodb_types::{Error, HardwareConfig, Result, SystemConfig, Value};
+use rodb_types::{CacheSpec, Error, HardwareConfig, Result, SystemConfig, Value};
 
 /// What a finished query hands back: the paper-style performance report and
 /// (optionally) the result rows.
@@ -81,6 +82,7 @@ pub struct QueryBuilder {
     virtual_rows: Option<u64>,
     competing_scans: usize,
     trace: bool,
+    shared_cache: Option<SharedPageCache>,
 }
 
 impl QueryBuilder {
@@ -100,6 +102,7 @@ impl QueryBuilder {
             virtual_rows: None,
             competing_scans: 0,
             trace: false,
+            shared_cache: None,
         }
     }
 
@@ -251,6 +254,32 @@ impl QueryBuilder {
         self
     }
 
+    /// Enable the buffer-pool page-cache tier: a sized set of page frames
+    /// with scan-resistant LRU-K eviction sits between the prefetching file
+    /// streams and the simulated disk, so re-referenced pages skip the
+    /// modelled transfer entirely. Off by default — the paper's runs are
+    /// cold scans. Hit/miss/evict/prefetch counts land in
+    /// `report.io.cache`; by itself the cache is per-execution (cold each
+    /// run) — pair with [`QueryBuilder::shared_page_cache`] to model
+    /// cross-query residency.
+    pub fn cache(mut self, spec: CacheSpec) -> Self {
+        self.sys.cache = Some(spec);
+        self
+    }
+
+    /// Install a persistent page cache shared across executions, so a
+    /// second run of the same (or an overlapping) query hits frames the
+    /// first one left resident. Serial executions only: the handle is
+    /// single-threaded (`Rc`), so parallel morsel runs ignore it and fall
+    /// back to per-worker caches built from [`QueryBuilder::cache`]. The
+    /// cache keys frames by table buffer identity, so one handle is safe to
+    /// reuse across different tables — but drop it before dropping the
+    /// tables it has seen.
+    pub fn shared_page_cache(mut self, handle: &SharedPageCache) -> Self {
+        self.shared_cache = Some(handle.clone());
+        self
+    }
+
     /// Record an operator span tree, per-phase CPU attribution and disk
     /// events for this query. Off by default: untraced queries pay nothing
     /// (operators are not even wrapped). The trace lands in
@@ -270,6 +299,9 @@ impl QueryBuilder {
         let mut ctx = ExecContext::new(self.hw, self.sys, scale)?;
         if self.trace {
             ctx = ctx.with_tracing();
+        }
+        if let Some(cache) = &self.shared_cache {
+            ctx.disk.borrow_mut().set_page_cache(cache.clone());
         }
         for _ in 0..self.competing_scans {
             ctx.add_competing_scan();
@@ -378,6 +410,13 @@ impl QueryBuilder {
         MetricsRegistry::observe("query.elapsed_s", report.elapsed_s);
         MetricsRegistry::observe("query.cpu_s", report.cpu.total());
         MetricsRegistry::observe("query.io_s", report.io_s());
+        let cache = &report.io.cache;
+        if cache.hits + cache.misses > 0 {
+            MetricsRegistry::counter_add("query.cache.hits", cache.hits as f64);
+            MetricsRegistry::counter_add("query.cache.misses", cache.misses as f64);
+            MetricsRegistry::counter_add("query.cache.evictions", cache.evictions as f64);
+            MetricsRegistry::counter_add("query.cache.prefetched", cache.prefetched as f64);
+        }
     }
 
     fn run_parallel(&self, collect: bool) -> Result<QueryResult> {

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use rodb_core::{QueryBuilder, QueryResult};
 use rodb_engine::{AggSpec, CmpOp, ScanLayout};
 use rodb_storage::{BuildLayouts, TableBuilder};
-use rodb_types::{Column, HardwareConfig, Schema, SystemConfig, Value};
+use rodb_types::{CacheSpec, Column, HardwareConfig, Schema, SystemConfig, Value};
 
 const PAGE: usize = 1024;
 const ROWS: usize = 4000;
@@ -59,7 +59,7 @@ fn assert_root_matches(res: &QueryResult, what: &str) {
         .as_ref()
         .unwrap_or_else(|| panic!("{what}: no trace"));
     let r = &res.report;
-    let cases: [(&str, f64); 19] = [
+    let cases: [(&str, f64); 23] = [
         ("rows", r.rows as f64),
         ("blocks", r.blocks as f64),
         ("elapsed_s", r.elapsed_s),
@@ -79,6 +79,10 @@ fn assert_root_matches(res: &QueryResult, what: &str) {
         ("io.pages_skipped", r.io.pages_skipped as f64),
         ("io.recovery.retries", r.io.recovery.retries as f64),
         ("io.recovery.repairs", r.io.recovery.repairs as f64),
+        ("io.cache.hits", r.io.cache.hits as f64),
+        ("io.cache.misses", r.io.cache.misses as f64),
+        ("io.cache.evictions", r.io.cache.evictions as f64),
+        ("io.cache.prefetched", r.io.cache.prefetched as f64),
     ];
     for (key, want) in cases {
         let got = t.metric(key);
@@ -167,6 +171,36 @@ fn grouped_aggregation_reconciles_in_parallel() {
         explain.contains("aggregate"),
         "explain names the aggregate:\n{explain}"
     );
+}
+
+/// With the page-cache tier enabled the root span still carries exactly
+/// the report's totals — including the new `io.cache.*` counters, which
+/// must be non-trivial here (a small cache over a multi-page scan both
+/// misses and evicts; prefetch populates frames ahead of the stream).
+#[test]
+fn root_span_reconciles_with_caching_on() {
+    let t = table();
+    for spec in [
+        CacheSpec::lru_k(4),
+        CacheSpec::lru_k(1024).with_prefetch(true),
+    ] {
+        for (layout, name) in LAYOUTS {
+            for threads in [1, 4] {
+                let what = format!("cache {spec:?} {name} threads={threads}");
+                let res = builder(&t, layout)
+                    .cache(spec)
+                    .threads(threads)
+                    .trace(true)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{what}: {e}"));
+                assert!(
+                    res.report.io.cache.misses > 0,
+                    "{what}: cold scan must miss"
+                );
+                assert_root_matches(&res, &what);
+            }
+        }
+    }
 }
 
 #[test]

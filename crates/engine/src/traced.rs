@@ -176,6 +176,19 @@ impl Snapshot {
             keys::IO_DROPPED_ROWS,
             (r1.dropped_rows - r0.dropped_rows) as f64,
         );
+        let (c0, c1) = (&self.io.cache, &now.cache);
+        tracer.add(span, keys::IO_CACHE_HITS, (c1.hits - c0.hits) as f64);
+        tracer.add(span, keys::IO_CACHE_MISSES, (c1.misses - c0.misses) as f64);
+        tracer.add(
+            span,
+            keys::IO_CACHE_EVICTIONS,
+            (c1.evictions - c0.evictions) as f64,
+        );
+        tracer.add(
+            span,
+            keys::IO_CACHE_PREFETCHED,
+            (c1.prefetched - c0.prefetched) as f64,
+        );
     }
 }
 
@@ -312,6 +325,10 @@ pub fn apply_report(trace: &mut QueryTrace, report: &RunReport) {
         keys::IO_DROPPED_ROWS,
         report.io.recovery.dropped_rows as f64,
     );
+    m.set(keys::IO_CACHE_HITS, report.io.cache.hits as f64);
+    m.set(keys::IO_CACHE_MISSES, report.io.cache.misses as f64);
+    m.set(keys::IO_CACHE_EVICTIONS, report.io.cache.evictions as f64);
+    m.set(keys::IO_CACHE_PREFETCHED, report.io.cache.prefetched as f64);
     m.set(keys::ELAPSED_S, report.elapsed_s);
 }
 

@@ -6,7 +6,7 @@
 //! for seconds/bytes — and the same holds for span-tree aggregates.
 
 use rodb_cpu::{CostParams, CpuCounters, CpuMeter, OpCosts};
-use rodb_io::{IoStats, RecoveryStats};
+use rodb_io::{CacheStats, IoStats, RecoveryStats};
 use rodb_trace::{Metrics, QueryTrace, SpanKind, SpanNode};
 
 /// Deterministic value stream (an LCG) so each "morsel" is distinct.
@@ -41,6 +41,12 @@ fn sample_io(r: &mut Rng) -> IoStats {
             repairs: r.next_u64(),
             quarantined_pages: r.next_u64(),
             dropped_rows: r.next_u64(),
+        },
+        cache: CacheStats {
+            hits: r.next_u64(),
+            misses: r.next_u64(),
+            evictions: r.next_u64(),
+            prefetched: r.next_u64(),
         },
     }
 }
@@ -89,6 +95,7 @@ fn io_stats_merge_is_order_insensitive() {
         assert_eq!(serial.comp_bursts, other.comp_bursts);
         assert_eq!(serial.pages_skipped, other.pages_skipped);
         assert_eq!(serial.recovery, other.recovery);
+        assert_eq!(serial.cache, other.cache);
         close(serial.bytes_read, other.bytes_read, "bytes_read");
         close(serial.transfer_s, other.transfer_s, "transfer_s");
         close(serial.seek_s, other.seek_s, "seek_s");
@@ -106,6 +113,22 @@ fn recovery_stats_merge_is_exact_in_any_order() {
             repairs: r.next_u64(),
             quarantined_pages: r.next_u64(),
             dropped_rows: r.next_u64(),
+        })
+        .collect();
+    let [serial, tree, reversed] = fold_three_ways(&parts, |a, b| a.merge(b));
+    assert_eq!(serial, tree);
+    assert_eq!(serial, reversed);
+}
+
+#[test]
+fn cache_stats_merge_is_exact_in_any_order() {
+    let mut r = Rng(61);
+    let parts: Vec<CacheStats> = (0..12)
+        .map(|_| CacheStats {
+            hits: r.next_u64(),
+            misses: r.next_u64(),
+            evictions: r.next_u64(),
+            prefetched: r.next_u64(),
         })
         .collect();
     let [serial, tree, reversed] = fold_three_ways(&parts, |a, b| a.merge(b));

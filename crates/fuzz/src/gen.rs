@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use rodb_compress::{bits_for, Codec, ColumnCompression, Dictionary};
 use rodb_engine::{AggSpec, CmpOp, Predicate, ScanLayout};
-use rodb_types::{Column, DataType, Schema, SplitMix64, Value};
+use rodb_types::{CacheSpec, Column, DataType, Schema, SplitMix64, Value};
 
 /// How the table's row representation is built.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +48,10 @@ pub struct CasePlan {
     /// zone maps). Healthy-mode runs sweep both settings regardless; this
     /// drawn value decides what fault-mode runs use.
     pub scan_fast_path: bool,
+    /// Page-cache geometry for cache-mode runs ([`crate::run_cache_case`]
+    /// sweeps this against cache-off). Healthy/fault/recovery modes ignore
+    /// it.
+    pub cache: CacheSpec,
     /// Per-column distribution tag, for failure reports.
     pub dist_tags: Vec<&'static str>,
 }
@@ -62,7 +66,7 @@ impl CasePlan {
             .collect();
         format!(
             "{} cols {:?} x {} rows, page {}, {:?}, codecs [{}], layout {:?}, proj {:?}, \
-             {} preds, group {:?}, {} aggs{}, {} threads{}",
+             {} preds, group {:?}, {} aggs{}, {} threads{}, cache {}f/k{}{}",
             self.schema.len(),
             self.dist_tags,
             self.rows.len(),
@@ -81,6 +85,9 @@ impl CasePlan {
             } else {
                 ""
             },
+            self.cache.frames,
+            self.cache.k,
+            if self.cache.prefetch { "+pf" } else { "" },
         )
     }
 }
@@ -322,6 +329,17 @@ pub fn generate(seed: u64) -> CasePlan {
     let threads = [1, 1, 2, 3, 4, 7][rng.below(6) as usize];
     let scan_fast_path = rng.bool();
 
+    // Cache geometry is drawn after every plan-shaping decision, so seeds
+    // generated before the cache tier existed keep their exact plans. The
+    // size menu deliberately includes the degenerate geometries: 0 frames
+    // (enabled but misses everything), a single frame, and far larger than
+    // any generated table.
+    let cache = CacheSpec {
+        frames: [0usize, 1, 2, 4, 8, 64, 1 << 16][rng.below(7) as usize],
+        k: 1 + rng.below(4) as usize,
+        prefetch: rng.bool(),
+    };
+
     // Transpose to row-major for the loader and the oracle.
     let rows: Vec<Vec<Value>> = (0..nrows)
         .map(|r| (0..ncols).map(|c| coldata[c][r].clone()).collect())
@@ -342,6 +360,7 @@ pub fn generate(seed: u64) -> CasePlan {
         sorted_agg,
         threads,
         scan_fast_path,
+        cache,
         dist_tags,
     }
 }

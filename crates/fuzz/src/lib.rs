@@ -19,7 +19,7 @@ pub mod oracle;
 
 use rodb_core::{Database, QueryResult};
 use rodb_storage::{BuildLayouts, QuarantinedPage, Table, TableBuilder};
-use rodb_types::{Error, FaultSpec, HardwareConfig, OnCorrupt, SystemConfig};
+use rodb_types::{CacheSpec, Error, FaultSpec, HardwareConfig, OnCorrupt, SystemConfig};
 
 use gen::{CasePlan, StorageKind};
 
@@ -64,6 +64,7 @@ fn execute_traced(
     faults: Option<FaultSpec>,
     mirror: usize,
     on_corrupt: OnCorrupt,
+    cache: Option<CacheSpec>,
     trace: bool,
 ) -> rodb_types::Result<QueryResult> {
     let sys = SystemConfig {
@@ -73,6 +74,7 @@ fn execute_traced(
         faults,
         mirror,
         on_corrupt,
+        cache,
         ..SystemConfig::default()
     };
     let mut db = Database::with_config(HardwareConfig::default(), sys)?;
@@ -97,7 +99,8 @@ fn execute_traced(
     q.run_collect()
 }
 
-/// [`execute_traced`] without tracing — what every sweep mode runs.
+/// [`execute_traced`] without tracing or caching — what the healthy,
+/// fault, and recovery sweeps run.
 fn execute(
     plan: &CasePlan,
     table: Table,
@@ -108,7 +111,7 @@ fn execute(
     on_corrupt: OnCorrupt,
 ) -> rodb_types::Result<QueryResult> {
     execute_traced(
-        plan, table, threads, fast, faults, mirror, on_corrupt, false,
+        plan, table, threads, fast, faults, mirror, on_corrupt, None, false,
     )
 }
 
@@ -135,6 +138,11 @@ pub fn save_case_trace(seed: u64, mode: &str, dir: &str) -> Result<std::path::Pa
         faults,
         mirror,
         policy,
+        if mode == "cache" {
+            Some(plan.cache)
+        } else {
+            None
+        },
         true,
     )
     .map_err(|e| format!("seed {seed}: traced run failed: {e:?}"))?;
@@ -293,6 +301,173 @@ pub fn run_fault_case(seed: u64) -> Result<(), String> {
                     ));
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// Cache-mode case: the page-cache tier is an I/O accounting layer, never
+/// an answer change. The drawn cache geometry (including 0-frame,
+/// single-frame and larger-than-table sizes) runs across
+/// {serial, parallel} × {scalar, fast path} × {cache on, cache off} and
+/// every mode must produce bit-identical rows. With caching on, the
+/// accounting must reconcile: each enabled run classifies every page read
+/// as exactly one hit or one miss, and the cache-off runs report zero
+/// cache activity.
+///
+/// The recovery sweep then re-runs the plan under 100 % primary-read
+/// damage with a clean mirror and caching on: repaired pages must be
+/// re-read from disk, never served stale — every retry is a repair, a
+/// repaired read is always accounted a miss (hits never roll faults, so
+/// `repairs <= misses`), and the rows still match the oracle exactly.
+pub fn run_cache_case(seed: u64) -> Result<(), String> {
+    let plan = gen::generate(seed);
+    let want = oracle::expected(&plan);
+    let table = catching(|| build_table(&plan))
+        .map_err(|p| {
+            format!(
+                "seed {seed}: build panicked: {p}\n  case: {}",
+                plan.describe()
+            )
+        })?
+        .map_err(|e| {
+            format!(
+                "seed {seed}: build failed: {e:?}\n  case: {}",
+                plan.describe()
+            )
+        })?;
+    for threads in thread_counts(&plan) {
+        for fast in [false, true] {
+            for cache in [None, Some(plan.cache)] {
+                let what = format!("{threads} threads, fast={fast}, cache={cache:?}");
+                let got = catching(|| {
+                    execute_traced(
+                        &plan,
+                        table.clone(),
+                        threads,
+                        fast,
+                        None,
+                        1,
+                        OnCorrupt::Fail,
+                        cache,
+                        false,
+                    )
+                })
+                .map_err(|p| {
+                    format!(
+                        "seed {seed}: engine panicked ({what}): {p}\n  case: {}",
+                        plan.describe()
+                    )
+                })?
+                .map_err(|e| {
+                    format!(
+                        "seed {seed}: engine error ({what}): {e:?}\n  case: {}",
+                        plan.describe()
+                    )
+                })?;
+                if got.rows != want {
+                    return Err(format!(
+                        "seed {seed}: MISMATCH ({what}): engine {} rows, oracle {} rows\n  \
+                         case: {}\n  engine: {:?}\n  oracle: {:?}",
+                        got.rows.len(),
+                        want.len(),
+                        plan.describe(),
+                        got.rows,
+                        want,
+                    ));
+                }
+                let c = got.report.io.cache;
+                if cache.is_none() && c != rodb_io::CacheStats::default() {
+                    return Err(format!(
+                        "seed {seed}: cache-off run reported cache activity {c:?} ({what})\n  \
+                         case: {}",
+                        plan.describe()
+                    ));
+                }
+                if let Some(spec) = cache {
+                    if spec.frames == 0 && c.hits + c.evictions > 0 {
+                        return Err(format!(
+                            "seed {seed}: zero-frame cache hit or evicted ({c:?}, {what})\n  \
+                             case: {}",
+                            plan.describe()
+                        ));
+                    }
+                    // Zone-rejected pages bypass the cache entirely (neither
+                    // fetched nor cached), so a fully skipped scan legally
+                    // requests no pages — but then the skip counter must say
+                    // so.
+                    let skipped = got.report.io.pages_skipped;
+                    if !plan.rows.is_empty()
+                        && threads == 1
+                        && c.hits + c.misses == 0
+                        && skipped == 0
+                    {
+                        return Err(format!(
+                            "seed {seed}: cache-on scan of a non-empty table neither \
+                             requested nor skipped any page ({what})\n  case: {}",
+                            plan.describe()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Recovery sweep: repaired pages are re-read from disk, never stale.
+    for threads in thread_counts(&plan) {
+        let what = format!("mirrored faults, cache on, {threads} threads");
+        let res = catching(|| {
+            execute_traced(
+                &plan,
+                table.clone(),
+                threads,
+                plan.scan_fast_path,
+                Some(FaultSpec::always(seed)),
+                2,
+                OnCorrupt::Retry,
+                Some(plan.cache),
+                false,
+            )
+        })
+        .map_err(|p| {
+            format!(
+                "seed {seed}: PANIC ({what}): {p}\n  case: {}",
+                plan.describe()
+            )
+        })?
+        .map_err(|e| {
+            format!(
+                "seed {seed}: run failed ({what}): {e:?}\n  case: {}",
+                plan.describe()
+            )
+        })?;
+        if res.rows != want {
+            return Err(format!(
+                "seed {seed}: stale or wrong rows ({what}): engine {} rows, oracle {} rows\n  \
+                 case: {}",
+                res.rows.len(),
+                want.len(),
+                plan.describe()
+            ));
+        }
+        let rec = res.report.io.recovery;
+        let c = res.report.io.cache;
+        if rec.repairs != rec.retries {
+            return Err(format!(
+                "seed {seed}: {} retries but {} repairs ({what})\n  case: {}",
+                rec.retries,
+                rec.repairs,
+                plan.describe()
+            ));
+        }
+        if rec.repairs > c.misses {
+            return Err(format!(
+                "seed {seed}: {} repairs but only {} cache misses — a repaired page was \
+                 served from the cache instead of disk ({what})\n  case: {}",
+                rec.repairs,
+                c.misses,
+                plan.describe()
+            ));
         }
     }
     Ok(())
@@ -570,6 +745,13 @@ mod tests {
     }
 
     #[test]
+    fn smoke_cache_modes_are_transparent() {
+        for seed in 0..60 {
+            run_cache_case(seed).unwrap();
+        }
+    }
+
+    #[test]
     fn generation_is_deterministic() {
         let a = gen::generate(42);
         let b = gen::generate(42);
@@ -589,6 +771,7 @@ mod tests {
         let mut codecs = HashSet::new();
         let mut empty = false;
         let mut large = false;
+        let mut cache_frames = HashSet::new();
         for seed in 0..400 {
             let p = gen::generate(seed);
             storages.insert(format!("{:?}", p.storage));
@@ -598,11 +781,20 @@ mod tests {
             }
             empty |= p.rows.is_empty();
             large |= p.rows.len() > 300;
+            cache_frames.insert(p.cache.frames);
         }
         assert_eq!(storages.len(), 3, "storage kinds: {storages:?}");
         assert_eq!(layouts.len(), 4, "layouts: {layouts:?}");
         // All ten codec kinds (incl. the RLE/PFOR family) must appear.
         assert!(codecs.len() >= 10, "codecs: {codecs:?}");
         assert!(empty && large);
+        // Cache draws must hit the degenerate geometries: disabled-size
+        // zero, a single frame, and larger than any generated table.
+        for frames in [0usize, 1, 1 << 16] {
+            assert!(
+                cache_frames.contains(&frames),
+                "cache sizes: {cache_frames:?}"
+            );
+        }
     }
 }

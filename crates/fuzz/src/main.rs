@@ -4,6 +4,7 @@
 //! cargo run -p rodb-fuzz --release -- --iters 10000             # oracle diff
 //! cargo run -p rodb-fuzz --release -- --iters 10000 --faults    # fault mode
 //! cargo run -p rodb-fuzz --release -- --iters 10000 --recovery  # recovery mode
+//! cargo run -p rodb-fuzz --release -- --iters 10000 --cache     # cache mode
 //! cargo run -p rodb-fuzz -- --seed 1234                         # replay one
 //! ```
 //!
@@ -19,8 +20,8 @@ use rodb_trace::{Json, MetricsRegistry};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rodb-fuzz [--seed N | --start-seed N --iters N] [--faults | --recovery] \
-         [--json PATH]\n\
+        "usage: rodb-fuzz [--seed N | --start-seed N --iters N] [--faults | --recovery | \
+         --cache] [--json PATH]\n\
          \n\
          --seed N        run exactly one seed (replay a failure)\n\
          --start-seed N  first seed of a sweep (default 0)\n\
@@ -30,6 +31,10 @@ fn usage() -> ! {
          --recovery      recovery mode: mirrored reads must repair to\n\
                          oracle-identical rows; mirror=1 Skip scans must\n\
                          return the oracle over exactly the surviving rows\n\
+         --cache         cache mode: the drawn page-cache geometry across\n\
+                         {{serial,parallel}}x{{scalar,fast}}x{{on,off}} must\n\
+                         stay bit-identical; repaired pages re-read, never\n\
+                         served stale\n\
          --json PATH     write a JSON summary of the sweep to PATH\n\
          --trace-dir DIR re-run the first seed traced; save span + Chrome\n\
                          trace JSON under DIR"
@@ -71,6 +76,7 @@ fn main() -> ExitCode {
     let mut iters: u64 = 200;
     let mut faults = false;
     let mut recovery = false;
+    let mut cache = false;
     let mut json: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     while let Some(a) = args.next() {
@@ -80,12 +86,13 @@ fn main() -> ExitCode {
             "--iters" => iters = parse_u64(args.next()),
             "--faults" => faults = true,
             "--recovery" => recovery = true,
+            "--cache" => cache = true,
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-dir" => trace_dir = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
-    if faults && recovery {
+    if (faults as u8) + (recovery as u8) + (cache as u8) > 1 {
         usage();
     }
     let (first, count) = match seed {
@@ -97,6 +104,8 @@ fn main() -> ExitCode {
         ("faults", rodb_fuzz::run_fault_case)
     } else if recovery {
         ("recovery", rodb_fuzz::run_recovery_case)
+    } else if cache {
+        ("cache", rodb_fuzz::run_cache_case)
     } else {
         ("healthy", rodb_fuzz::run_case)
     };
@@ -109,6 +118,7 @@ fn main() -> ExitCode {
             let flag = match mode {
                 "faults" => " --faults",
                 "recovery" => " --recovery",
+                "cache" => " --cache",
                 _ => "",
             };
             eprintln!("  reproduce: cargo run -p rodb-fuzz -- --seed {s}{flag}");

@@ -26,17 +26,43 @@
 //! normal pipelined column scanner is "one step ahead" in its submissions
 //! (§4.5) and is favoured with `interleave = 2`.
 
+use std::cell::RefCell;
 use std::collections::HashSet;
+use std::rc::Rc;
 
 use rodb_trace::{EventKind, TraceEvent, TraceSink};
 use rodb_types::{Error, FaultSpec, HardwareConfig, OnCorrupt, Result, SplitMix64, SystemConfig};
 
+use crate::cache::{CacheHit, PageCache, PageKey};
 use crate::stats::IoStats;
+
+/// Shared handle to a [`PageCache`]. Each [`DiskArray`] gets its own (cold)
+/// cache from [`SystemConfig::cache`]; install one handle into several
+/// arrays (serial executions only — `Rc` does not cross threads) to model a
+/// buffer pool whose residency persists across queries. The cache holds no
+/// page bytes, so the handle must simply not outlive the tables whose
+/// buffers key its frames.
+pub type SharedPageCache = Rc<RefCell<PageCache>>;
 
 /// Identifies one file on the simulated array. Callers assign ids;
 /// competitors use reserved high ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FileId(pub u64);
+
+/// Outcome of [`DiskArray::cache_lookup`] for one page request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// No cache installed — the caller runs the plain cold-scan path.
+    Disabled,
+    /// Resident and verified: transfer and fault roll are both skipped.
+    Hit,
+    /// Resident via prefetch insertion: transfer is skipped, but the fault
+    /// roll is still owed; the caller must call
+    /// [`DiskArray::cache_resolve_unverified`] with the roll's outcome.
+    Unverified,
+    /// Not resident: the caller reads from disk and fills on a clean read.
+    Miss,
+}
 
 #[derive(Debug, Clone)]
 struct Competitor {
@@ -199,6 +225,11 @@ pub struct DiskArray {
     /// Trace event sink; `None` (the default) keeps the hot path at one
     /// branch per burst.
     sink: Option<TraceSink>,
+    /// Page-cache tier ([`SystemConfig::cache`]); `None` = the paper's
+    /// bufferless cold-scan engine.
+    cache: Option<SharedPageCache>,
+    /// Whether prefetch-covered pages are inserted into the cache.
+    cache_prefetch: bool,
 }
 
 impl DiskArray {
@@ -230,6 +261,10 @@ impl DiskArray {
             mirror: sys.mirror,
             on_corrupt: sys.on_corrupt,
             sink: None,
+            cache: sys
+                .cache
+                .map(|spec| Rc::new(RefCell::new(PageCache::new(&spec)))),
+            cache_prefetch: sys.cache.map(|spec| spec.prefetch).unwrap_or(false),
         })
     }
 
@@ -306,6 +341,99 @@ impl DiskArray {
             }
         }
         Some(last)
+    }
+
+    /// Install an externally owned page cache, replacing the per-execution
+    /// one built from [`SystemConfig::cache`]. This is how residency
+    /// persists across queries (serial executions only — the handle is an
+    /// `Rc`). The prefetch-insertion knob still comes from the config the
+    /// array was built with, so callers enable it via
+    /// [`CacheSpec::prefetch`](rodb_types::CacheSpec) as usual.
+    pub fn set_page_cache(&mut self, cache: SharedPageCache) {
+        self.cache = Some(cache);
+    }
+
+    /// Whether a page cache is installed.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Look up `key` in the page cache, recording hit/miss accounting.
+    /// `Disabled` when no cache is installed; an `Unverified` outcome counts
+    /// as neither hit nor miss until [`DiskArray::cache_resolve_unverified`]
+    /// settles which one it was.
+    pub fn cache_lookup(&mut self, key: PageKey, file: FileId, page: u64) -> CacheLookup {
+        let Some(cache) = &self.cache else {
+            return CacheLookup::Disabled;
+        };
+        match cache.borrow_mut().lookup(key) {
+            Some(CacheHit::Verified) => {
+                self.stats.cache.hits += 1;
+                self.emit(EventKind::CacheHit, file.0, page, 1);
+                CacheLookup::Hit
+            }
+            Some(CacheHit::Unverified) => CacheLookup::Unverified,
+            None => {
+                self.stats.cache.misses += 1;
+                CacheLookup::Miss
+            }
+        }
+    }
+
+    /// Settle an `Unverified` lookup after its deferred fault roll. When the
+    /// roll stayed off the disk (`served_from_disk == false`) the prefetched
+    /// frame verifies and the request was a hit. When the roll touched the
+    /// disk — the page came back damaged, or a replica retry repaired it —
+    /// the frame is invalidated and the request counts as a miss: a repaired
+    /// page is always re-read, never served stale from cache.
+    pub fn cache_resolve_unverified(
+        &mut self,
+        key: PageKey,
+        file: FileId,
+        page: u64,
+        served_from_disk: bool,
+    ) {
+        let Some(cache) = &self.cache else { return };
+        if served_from_disk {
+            cache.borrow_mut().invalidate(key);
+            self.stats.cache.misses += 1;
+        } else {
+            cache.borrow_mut().mark_verified(key);
+            self.stats.cache.hits += 1;
+            self.emit(EventKind::CacheHit, file.0, page, 1);
+        }
+    }
+
+    /// Insert a page read clean from disk, evicting an LRU-K victim if full.
+    pub fn cache_fill(&mut self, key: PageKey, file: FileId, page: u64) {
+        let Some(cache) = &self.cache else { return };
+        if cache.borrow_mut().insert(key, true).is_some() {
+            self.stats.cache.evictions += 1;
+            self.emit(EventKind::CacheEvict, file.0, page, 1);
+        }
+    }
+
+    /// Insert a page whose transfer a prefetch burst already covered. Only
+    /// active when [`CacheSpec::prefetch`](rodb_types::CacheSpec) is on; the
+    /// frame enters unverified (its CRC/fault roll is owed at first access).
+    pub fn cache_fill_prefetched(&mut self, key: PageKey, file: FileId, page: u64) {
+        if !self.cache_prefetch {
+            return;
+        }
+        let Some(cache) = &self.cache else { return };
+        {
+            let c = cache.borrow();
+            if c.capacity() == 0 || c.contains(key) {
+                return;
+            }
+        }
+        let evicted = cache.borrow_mut().insert(key, false).is_some();
+        self.stats.cache.prefetched += 1;
+        self.emit(EventKind::CachePrefetch, file.0, page, 1);
+        if evicted {
+            self.stats.cache.evictions += 1;
+            self.emit(EventKind::CacheEvict, file.0, page, 1);
+        }
     }
 
     /// Record `n` freshly quarantined pages (every replica bad).

@@ -8,10 +8,12 @@
 //! page requests into burst reads. Competing scans (§4.5 / Fig. 11) are
 //! modelled as interleaved burst service on the shared array.
 
+pub mod cache;
 pub mod disk;
 pub mod stats;
 pub mod stream;
 
-pub use disk::{merge_parallel, DiskArray, FaultInjector, FileId};
-pub use stats::{IoStats, RecoveryStats};
+pub use cache::{CacheHit, PageCache, PageKey};
+pub use disk::{merge_parallel, CacheLookup, DiskArray, FaultInjector, FileId, SharedPageCache};
+pub use stats::{CacheStats, IoStats, RecoveryStats};
 pub use stream::{FileStream, PageRef, SharedDisk};

@@ -37,6 +37,58 @@ impl RecoveryStats {
     }
 }
 
+/// Page-cache counters for one query execution, carried inside [`IoStats`]
+/// so they merge across parallel morsels exactly like the rest of the I/O
+/// accounting. All zero when [`SystemConfig::cache`] is off.
+///
+/// The reconciliation invariant (locked by `crates/core/tests`): with the
+/// cache enabled, `hits + misses` equals the number of page reads the
+/// scanners requested, and — because a hit charges neither transfer nor
+/// seek — [`IoStats::total_s`] is the disk time of the misses alone.
+///
+/// [`SystemConfig::cache`]: rodb_types::SystemConfig
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Page requests served from a resident frame (no transfer charged).
+    pub hits: u64,
+    /// Page requests that went to the disk array.
+    pub misses: u64,
+    /// Frames evicted to make room (LRU-K victims).
+    pub evictions: u64,
+    /// Frames inserted by prefetch-burst coverage rather than demand reads.
+    pub prefetched: u64,
+}
+
+impl CacheStats {
+    /// Element-wise accumulate.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.prefetched += other.prefetched;
+    }
+
+    /// Hit fraction of all cache-mediated page requests (0 when none).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Std-only JSON emission shared by fuzz `--json`, the bench bins and
+    /// the tracer.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("hits", self.hits)
+            .set("misses", self.misses)
+            .set("evictions", self.evictions)
+            .set("prefetched", self.prefetched)
+    }
+}
+
 /// Counters accumulated by the disk-array simulator for one query execution.
 ///
 /// `bytes_read` / `seeks` / `bursts` cover the *foreground* query only;
@@ -63,6 +115,8 @@ pub struct IoStats {
     /// Fault-recovery counters (mirrored-read retries, repairs, quarantine,
     /// degraded-scan drops).
     pub recovery: RecoveryStats,
+    /// Page-cache counters (hits, misses, evictions, prefetch insertions).
+    pub cache: CacheStats,
 }
 
 impl IoStats {
@@ -85,6 +139,7 @@ impl IoStats {
             .set("pages_skipped", self.pages_skipped)
             .set("total_s", self.total_s())
             .set("recovery", self.recovery.to_json())
+            .set("cache", self.cache.to_json())
     }
 
     /// Element-wise accumulate (merging per-worker stats of a parallel scan).
@@ -98,6 +153,7 @@ impl IoStats {
         self.comp_s += other.comp_s;
         self.pages_skipped += other.pages_skipped;
         self.recovery.merge(&other.recovery);
+        self.cache.merge(&other.cache);
     }
 }
 
@@ -131,6 +187,12 @@ mod tests {
                 repairs: 1,
                 ..Default::default()
             },
+            cache: CacheStats {
+                hits: 9,
+                misses: 4,
+                evictions: 2,
+                prefetched: 1,
+            },
             ..Default::default()
         };
         let j = s.to_json();
@@ -138,7 +200,30 @@ mod tests {
         assert_eq!(j.get("total_s").unwrap().as_f64(), Some(s.total_s()));
         let rec = j.get("recovery").unwrap();
         assert_eq!(rec.get("retries").unwrap().as_f64(), Some(2.0));
+        let cache = j.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_f64(), Some(9.0));
+        assert_eq!(cache.get("prefetched").unwrap().as_f64(), Some(1.0));
         // Round-trips through the shared parser.
         assert!(Json::parse(&j.pretty()).is_ok());
+    }
+
+    #[test]
+    fn cache_hit_ratio() {
+        let mut c = CacheStats::default();
+        assert_eq!(c.hit_ratio(), 0.0);
+        c.hits = 3;
+        c.misses = 1;
+        assert!((c.hit_ratio() - 0.75).abs() < 1e-12);
+        let mut other = CacheStats {
+            hits: 1,
+            misses: 3,
+            evictions: 5,
+            prefetched: 2,
+        };
+        other.merge(&c);
+        assert_eq!(other.hits, 4);
+        assert_eq!(other.misses, 4);
+        assert_eq!(other.evictions, 5);
+        assert_eq!(other.prefetched, 2);
     }
 }

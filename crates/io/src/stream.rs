@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 use rodb_types::{Error, Result};
 
-use crate::disk::{DiskArray, FileId};
+use crate::cache::PageKey;
+use crate::disk::{CacheLookup, DiskArray, FileId};
 
 /// A zero-copy reference to one page of a backing file.
 #[derive(Debug, Clone)]
@@ -46,6 +47,9 @@ pub struct FileStream {
     next_page: usize,
     /// Bytes already covered by issued bursts.
     fetched: f64,
+    /// Pages below this index have already been offered to the cache as
+    /// prefetch insertions (each page is offered at most once per stream).
+    prefetch_offered: usize,
 }
 
 impl FileStream {
@@ -71,7 +75,17 @@ impl FileStream {
             pages,
             next_page: 0,
             fetched: 0.0,
+            prefetch_offered: 0,
         })
+    }
+
+    /// Cache key of page `idx`: the backing buffer's address plus the page
+    /// index. Buffer identity is stable for as long as the table is alive —
+    /// unlike the transient per-query [`FileId`] — so a shared cache keyed
+    /// this way survives across queries with different file-id assignments.
+    #[inline]
+    fn cache_key(&self, idx: usize) -> PageKey {
+        (self.data.as_ptr() as u64, idx as u64)
     }
 
     /// Total pages in the file.
@@ -85,11 +99,75 @@ impl FileStream {
     }
 
     /// Fetch the next page, issuing burst reads as needed. `None` at EOF.
+    ///
+    /// With a page cache installed on the array, a resident page skips
+    /// transfer entirely (the next miss fetches from its own offset) and a
+    /// missing page pays the usual bursts and is inserted after a clean
+    /// read — damaged pages are never cached, and a frame inserted by
+    /// prefetch coverage owes its fault roll at first access. Without a
+    /// cache the code path below is byte-for-byte the paper's cold scan.
     pub fn next_page(&mut self) -> Option<PageRef> {
         if self.next_page >= self.pages {
             return None;
         }
-        let page_end = ((self.next_page + 1) * self.page_size) as f64;
+        let idx = self.next_page;
+        let start = idx * self.page_size;
+        let page_end = ((idx + 1) * self.page_size) as f64;
+        let key = self.cache_key(idx);
+        let lookup = self
+            .disk
+            .borrow_mut()
+            .cache_lookup(key, self.file_id, idx as u64);
+        match lookup {
+            CacheLookup::Hit => {
+                // Served from the resident frame: no burst, no fault roll.
+                self.next_page += 1;
+                self.fetched = self.fetched.max(page_end);
+                return Some(PageRef {
+                    data: self.data.clone(),
+                    offset: start,
+                    len: self.page_size,
+                    page_index: idx,
+                });
+            }
+            CacheLookup::Unverified => {
+                // Transfer was covered by a prefetch burst, but the CRC /
+                // fault roll was deferred to now. A roll that touches the
+                // disk (damage, or a replica retry that repaired the page)
+                // invalidates the frame and counts this request as a miss.
+                self.next_page += 1;
+                self.fetched = self.fetched.max(page_end);
+                let damaged = {
+                    let mut disk = self.disk.borrow_mut();
+                    let retries_before = disk.stats().recovery.retries;
+                    let damaged = disk.read_page(
+                        self.file_id,
+                        idx as u64,
+                        &self.data[start..start + self.page_size],
+                    );
+                    let served_from_disk =
+                        damaged.is_some() || disk.stats().recovery.retries > retries_before;
+                    disk.cache_resolve_unverified(key, self.file_id, idx as u64, served_from_disk);
+                    damaged
+                };
+                if let Some(damaged) = damaged {
+                    let len = damaged.len();
+                    return Some(PageRef {
+                        data: Arc::new(damaged),
+                        offset: 0,
+                        len,
+                        page_index: idx,
+                    });
+                }
+                return Some(PageRef {
+                    data: self.data.clone(),
+                    offset: start,
+                    len: self.page_size,
+                    page_index: idx,
+                });
+            }
+            CacheLookup::Disabled | CacheLookup::Miss => {}
+        }
         // Never fetch past the stream's window (== file end when unwindowed).
         let limit = (self.pages * self.page_size) as f64;
         while self.fetched < page_end {
@@ -99,9 +177,7 @@ impl FileStream {
             disk.read(self.file_id, self.fetched, take);
             self.fetched += take;
         }
-        let idx = self.next_page;
         self.next_page += 1;
-        let start = idx * self.page_size;
         // Fault injection (testing only): the read may hand back a damaged
         // copy of the page after exhausting any configured mirror replicas —
         // the scanner's checksum verification is what must catch it. A
@@ -119,6 +195,19 @@ impl FileStream {
                 len,
                 page_index: idx,
             });
+        }
+        if lookup == CacheLookup::Miss {
+            let mut disk = self.disk.borrow_mut();
+            disk.cache_fill(key, self.file_id, idx as u64);
+            // Offer the pages the issued bursts already covered (each at
+            // most once per stream); they enter unverified when the
+            // prefetch knob is on.
+            let covered = ((self.fetched / self.page_size as f64) as usize).min(self.pages);
+            let from = (idx + 1).max(self.prefetch_offered);
+            for p in from..covered {
+                disk.cache_fill_prefetched(self.cache_key(p), self.file_id, p as u64);
+            }
+            self.prefetch_offered = self.prefetch_offered.max(covered);
         }
         Some(PageRef {
             data: self.data.clone(),
@@ -177,12 +266,18 @@ impl FileStream {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rodb_types::{HardwareConfig, SystemConfig};
+    use rodb_types::{CacheSpec, FaultSpec, HardwareConfig, SystemConfig};
 
     fn disk(depth: usize) -> SharedDisk {
         let sys = SystemConfig::default().with_prefetch_depth(depth);
         Rc::new(RefCell::new(
             DiskArray::new(&HardwareConfig::default(), &sys, 1.0).unwrap(),
+        ))
+    }
+
+    fn disk_with(sys: &SystemConfig) -> SharedDisk {
+        Rc::new(RefCell::new(
+            DiskArray::new(&HardwareConfig::default(), sys, 1.0).unwrap(),
         ))
     }
 
@@ -271,6 +366,139 @@ mod tests {
         assert_eq!(p.page_index, 50);
         s.skip_pages(1000);
         assert!(s.next_page().is_none());
+    }
+
+    #[test]
+    fn rescan_hits_resident_frames_and_skips_transfer() {
+        let sys = SystemConfig::default().with_cache(CacheSpec::lru_k(64));
+        let d = disk_with(&sys);
+        let f = file(10, 4096);
+        let mut s = FileStream::new(d.clone(), FileId(1), f.clone(), 4096).unwrap();
+        while let Some(p) = s.next_page() {
+            assert_eq!(p.bytes().len(), 4096);
+        }
+        let cold = *d.borrow().stats();
+        assert_eq!(cold.cache.misses, 10, "cold scan misses every page");
+        assert_eq!(cold.cache.hits, 0);
+        // Re-scan the same buffer: every page is resident, so no bursts, no
+        // bytes, no seeks — the modeled I/O time of the re-scan is zero.
+        let mut s2 = FileStream::new(d.clone(), FileId(2), f, 4096).unwrap();
+        for i in 0..10 {
+            let p = s2.next_page().unwrap();
+            assert_eq!(p.page_index, i);
+            assert!(p.bytes().iter().all(|&b| b == i as u8));
+        }
+        let hot = *d.borrow().stats();
+        assert_eq!(hot.cache.hits, 10);
+        assert_eq!(hot.cache.misses, 10);
+        assert_eq!(hot.bytes_read, cold.bytes_read);
+        assert_eq!(hot.bursts, cold.bursts);
+        assert_eq!(hot.seeks, cold.seeks);
+        assert_eq!(hot.total_s(), cold.total_s(), "hits charge no disk time");
+    }
+
+    #[test]
+    fn cold_scan_accounting_is_identical_with_cache_on() {
+        // Enabling the cache must not perturb the paper's cold-scan clock:
+        // the first pass over a file charges byte-for-byte the same
+        // transfer, seeks and bursts as the cache-off engine.
+        let run = |sys: &SystemConfig| {
+            let d = disk_with(sys);
+            let f = file(30, 4096);
+            let mut s = FileStream::new(d.clone(), FileId(1), f, 4096).unwrap();
+            while s.next_page().is_some() {}
+            let stats = *d.borrow().stats();
+            stats
+        };
+        let off = run(&SystemConfig::default());
+        let on = run(&SystemConfig::default().with_cache(CacheSpec::lru_k(8)));
+        assert_eq!(on.bytes_read, off.bytes_read);
+        assert_eq!(on.bursts, off.bursts);
+        assert_eq!(on.seeks, off.seeks);
+        assert_eq!(on.transfer_s, off.transfer_s);
+        assert_eq!(on.seek_s, off.seek_s);
+        assert_eq!(off.cache, crate::stats::CacheStats::default());
+        assert_eq!(on.cache.misses, 30);
+        assert_eq!(on.cache.hits, 0);
+        // 8 frames over 30 pages: 22 insertions had to evict.
+        assert_eq!(on.cache.evictions, 22);
+    }
+
+    #[test]
+    fn prefetch_inserts_burst_covered_pages() {
+        // Burst (6 MB at depth 48) covers the whole 10-page file: the first
+        // demand read pays the transfer, and prefetch insertion makes every
+        // later page an (unverified → verified) hit.
+        let sys = SystemConfig::default().with_cache(CacheSpec::lru_k(64).with_prefetch(true));
+        let d = disk_with(&sys);
+        let f = file(10, 4096);
+        let mut s = FileStream::new(d.clone(), FileId(1), f, 4096).unwrap();
+        while s.next_page().is_some() {}
+        let st = *d.borrow().stats();
+        assert_eq!(st.cache.misses, 1);
+        assert_eq!(st.cache.hits, 9);
+        assert_eq!(st.cache.prefetched, 9);
+        assert_eq!(st.bursts, 1);
+    }
+
+    #[test]
+    fn zoned_skips_bypass_the_cache() {
+        // A zone-rejected page is neither fetched nor cached: skipping must
+        // record no hit, no miss, and leave no resident frame behind.
+        let sys = SystemConfig::default().with_cache(CacheSpec::lru_k(64));
+        let d = disk_with(&sys);
+        let f = file(50, 4096);
+        let mut s = FileStream::new(d.clone(), FileId(1), f, 4096).unwrap();
+        s.skip_pages_zoned(40);
+        while s.next_page().is_some() {}
+        let st = *d.borrow().stats();
+        assert_eq!(st.pages_skipped, 40);
+        assert_eq!(st.cache.hits + st.cache.misses, 10);
+        assert_eq!(st.cache.misses, 10);
+    }
+
+    #[test]
+    fn repaired_pages_are_reread_never_served_stale() {
+        // Every primary read is damaged; mirror=2 repairs each page. With
+        // prefetch insertion on, pages after the first enter the cache
+        // unverified — their deferred fault roll hits the damaged primary,
+        // retries, repairs, and must invalidate the frame (counted as a
+        // miss), never serve it as a clean hit.
+        let sys = SystemConfig::default()
+            .with_faults(FaultSpec::always(11))
+            .with_mirror(2)
+            .with_cache(CacheSpec::lru_k(64).with_prefetch(true));
+        let d = disk_with(&sys);
+        let f = file(10, 4096);
+        let mut s = FileStream::new(d.clone(), FileId(1), f.clone(), 4096).unwrap();
+        for i in 0..10 {
+            let p = s.next_page().unwrap();
+            assert!(
+                p.bytes().iter().all(|&b| b == i as u8),
+                "replica repair returns clean data"
+            );
+        }
+        let first = *d.borrow().stats();
+        assert_eq!(first.recovery.retries, 10, "every page re-read from disk");
+        assert_eq!(first.recovery.repairs, 10);
+        assert_eq!(first.cache.hits, 0, "no repaired page served from cache");
+        assert_eq!(first.cache.misses, 10);
+        // Second pass over the same file id (a re-run assigns ids
+        // deterministically, so the repaired fault sites carry over): page 0
+        // hits, page 1 misses and refills, and the re-prefetched tail
+        // resolves clean — no new retries anywhere.
+        let mut s2 = FileStream::new(d.clone(), FileId(1), f.clone(), 4096).unwrap();
+        while s2.next_page().is_some() {}
+        let second = *d.borrow().stats();
+        assert_eq!(second.recovery.retries, 10, "no stale frames to repair");
+        assert_eq!(second.cache.hits, 9);
+        assert_eq!(second.cache.misses, 11);
+        // Third pass: everything is resident and verified now.
+        let mut s3 = FileStream::new(d.clone(), FileId(1), f, 4096).unwrap();
+        while s3.next_page().is_some() {}
+        let third = *d.borrow().stats();
+        assert_eq!(third.cache.hits, 19);
+        assert_eq!(third.cache.misses, 11);
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub enum EventKind {
     Quarantine,
     /// Rows dropped by a degraded (`Skip`) scan.
     DropRows,
+    /// A page request served from a resident cache frame (transfer skipped).
+    CacheHit,
+    /// A cache frame evicted to make room (LRU-K victim).
+    CacheEvict,
+    /// A page inserted into the cache by prefetch-burst coverage.
+    CachePrefetch,
 }
 
 impl EventKind {
@@ -36,6 +42,9 @@ impl EventKind {
             EventKind::Repair => "repair",
             EventKind::Quarantine => "quarantine",
             EventKind::DropRows => "drop_rows",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheEvict => "cache_evict",
+            EventKind::CachePrefetch => "cache_prefetch",
         }
     }
 }

@@ -85,6 +85,10 @@ pub mod keys {
     pub const IO_REPAIRS: &str = "io.recovery.repairs";
     pub const IO_QUARANTINED: &str = "io.recovery.quarantined_pages";
     pub const IO_DROPPED_ROWS: &str = "io.recovery.dropped_rows";
+    pub const IO_CACHE_HITS: &str = "io.cache.hits";
+    pub const IO_CACHE_MISSES: &str = "io.cache.misses";
+    pub const IO_CACHE_EVICTIONS: &str = "io.cache.evictions";
+    pub const IO_CACHE_PREFETCHED: &str = "io.cache.prefetched";
     /// Raw CPU event counters (unscaled — the PAPI stand-ins of §3.2).
     pub const CNT_UOPS: &str = "cnt.uops";
     pub const CNT_SEQ_BYTES: &str = "cnt.seq_bytes";

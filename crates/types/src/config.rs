@@ -44,6 +44,50 @@ impl FaultSpec {
     }
 }
 
+/// Sizing of the optional buffer-pool page-cache tier between the
+/// [`FileStream`] prefetcher and the simulated disk array.
+///
+/// The paper's I/O model is a single cold scan with zero reuse, so the cache
+/// defaults to **off** ([`SystemConfig::cache`] is `None`) and every paper
+/// curve still measures the cold-scan engine. When enabled, frames are keyed
+/// by `(file, page)` and evicted LRU-K style: one large table scan (every
+/// frame touched once) can never flush pages that have been referenced `k`
+/// or more times.
+///
+/// [`FileStream`]: SystemConfig#structfield.page_size
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Cache capacity in page frames. `0` is legal and means "enabled but
+    /// always misses" (useful to measure pure bookkeeping overhead).
+    pub frames: usize,
+    /// The K of LRU-K: frames with fewer than `k` recorded references are
+    /// evicted (LRU among themselves) before any frame with `k` references.
+    /// Must be in `1..=8`; `k == 1` degenerates to plain LRU.
+    pub k: usize,
+    /// Also insert pages whose transfer was already covered by a prefetch
+    /// burst, so a later demand read of them is a hit (they enter unverified:
+    /// the CRC/fault roll is deferred to first access).
+    pub prefetch: bool,
+}
+
+impl CacheSpec {
+    /// A scan-resistant LRU-2 cache of `frames` page frames, no prefetch
+    /// insertion.
+    pub fn lru_k(frames: usize) -> CacheSpec {
+        CacheSpec {
+            frames,
+            k: 2,
+            prefetch: false,
+        }
+    }
+
+    /// The same spec with prefetch insertion toggled.
+    pub fn with_prefetch(mut self, on: bool) -> CacheSpec {
+        self.prefetch = on;
+        self
+    }
+}
+
 /// What a scan does when a page fails its checksum after all configured
 /// replicas have been tried.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -103,6 +147,11 @@ pub struct SystemConfig {
     pub mirror: usize,
     /// Degraded-scan policy when a page is bad on every replica.
     pub on_corrupt: OnCorrupt,
+    /// Optional buffer-pool page cache between the stream prefetcher and the
+    /// disk array. Defaults to **off** (`None`): the paper's curves measure
+    /// the cold-scan engine with zero reuse. A cached page skips transfer
+    /// entirely; a zone-rejected page is neither fetched nor cached.
+    pub cache: Option<CacheSpec>,
 }
 
 impl Default for SystemConfig {
@@ -117,6 +166,7 @@ impl Default for SystemConfig {
             scan_fast_path: false,
             mirror: 1,
             on_corrupt: OnCorrupt::Retry,
+            cache: None,
         }
     }
 }
@@ -148,6 +198,11 @@ impl SystemConfig {
         }
         if self.mirror == 0 {
             return Err(Error::InvalidConfig("mirror == 0".into()));
+        }
+        if let Some(c) = &self.cache {
+            if !(1..=8).contains(&c.k) {
+                return Err(Error::InvalidConfig("cache k must be in 1..=8".into()));
+            }
         }
         Ok(())
     }
@@ -187,6 +242,12 @@ impl SystemConfig {
     /// Convenience: the same config with a different degraded-scan policy.
     pub fn with_on_corrupt(mut self, policy: OnCorrupt) -> Self {
         self.on_corrupt = policy;
+        self
+    }
+
+    /// Convenience: the same config with the page-cache tier enabled.
+    pub fn with_cache(mut self, cache: CacheSpec) -> Self {
+        self.cache = Some(cache);
         self
     }
 }
@@ -351,6 +412,31 @@ mod tests {
             seed: 1,
             rate_ppm: 0,
             replica_rate_ppm: 2_000_000,
+        });
+        assert!(sc.validate().is_err());
+    }
+
+    #[test]
+    fn cache_defaults_off_and_k_is_bounded() {
+        assert!(SystemConfig::default().cache.is_none());
+        let spec = CacheSpec::lru_k(64);
+        assert_eq!((spec.frames, spec.k, spec.prefetch), (64, 2, false));
+        assert!(spec.with_prefetch(true).prefetch);
+        let sc = SystemConfig::default().with_cache(CacheSpec::lru_k(0));
+        assert!(
+            sc.validate().is_ok(),
+            "0 frames is a legal (miss-only) cache"
+        );
+        let sc = SystemConfig::default().with_cache(CacheSpec {
+            frames: 4,
+            k: 0,
+            prefetch: false,
+        });
+        assert!(sc.validate().is_err());
+        let sc = SystemConfig::default().with_cache(CacheSpec {
+            frames: 4,
+            k: 9,
+            prefetch: false,
         });
         assert!(sc.validate().is_err());
     }

@@ -24,7 +24,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use config::{FaultSpec, HardwareConfig, OnCorrupt, SystemConfig};
+pub use config::{CacheSpec, FaultSpec, HardwareConfig, OnCorrupt, SystemConfig};
 pub use datatype::DataType;
 pub use error::{CorruptError, CorruptKind, Error, Result};
 pub use ids::{ColumnId, PageId, RecordId, TableId};

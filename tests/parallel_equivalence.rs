@@ -4,7 +4,7 @@
 //! equal the sum of its parts.
 
 use rodb::cpu::CpuMeter;
-use rodb::io::{merge_parallel, IoStats, RecoveryStats};
+use rodb::io::{merge_parallel, CacheStats, IoStats, RecoveryStats};
 use rodb::prelude::*;
 use std::sync::Arc;
 
@@ -295,6 +295,12 @@ fn io_stats_merge_sums_every_field() {
             quarantined_pages: 1,
             dropped_rows: 100,
         },
+        cache: CacheStats {
+            hits: 8,
+            misses: 2,
+            evictions: 1,
+            prefetched: 4,
+        },
     };
     let b = IoStats {
         bytes_read: 2.0e6,
@@ -311,6 +317,12 @@ fn io_stats_merge_sums_every_field() {
             quarantined_pages: 0,
             dropped_rows: 20,
         },
+        cache: CacheStats {
+            hits: 1,
+            misses: 9,
+            evictions: 2,
+            prefetched: 0,
+        },
     };
     let mut m = a;
     m.merge(&b);
@@ -323,6 +335,10 @@ fn io_stats_merge_sums_every_field() {
     assert_eq!(m.recovery.repairs, 4);
     assert_eq!(m.recovery.quarantined_pages, 1);
     assert_eq!(m.recovery.dropped_rows, 120);
+    assert_eq!(m.cache.hits, 9);
+    assert_eq!(m.cache.misses, 11);
+    assert_eq!(m.cache.evictions, 3);
+    assert_eq!(m.cache.prefetched, 4);
     assert!((m.transfer_s - 1.5).abs() < 1e-12);
     assert!((m.seek_s - 0.035).abs() < 1e-12);
     assert!((m.comp_s - 0.3).abs() < 1e-12);
