@@ -15,6 +15,7 @@ pub mod db;
 pub mod experiment;
 pub mod mv;
 pub mod query;
+pub mod service;
 
 pub use compare::{
     compare_layouts, predicted_speedup, recommend_compression, recommend_layout, LayoutComparison,
@@ -26,3 +27,4 @@ pub use experiment::{
 };
 pub use mv::{materialize, recommend_vertical_partitions, MvRecommendation, QueryPattern};
 pub use query::{ParallelInfo, QueryBuilder, QueryResult};
+pub use service::{QueryOutcome, QueryService, ServiceReport, ServiceRequest};

@@ -351,8 +351,9 @@ impl QueryBuilder {
     }
 
     /// The scan spec + aggregation plan of this query, for the parallel
-    /// executor (mirrors [`QueryBuilder::build`]).
-    fn parallel_plan(&self) -> Result<(ScanSpec, Option<AggPlan>)> {
+    /// executor and the concurrent query service (mirrors
+    /// [`QueryBuilder::build`]).
+    pub(crate) fn parallel_plan(&self) -> Result<(ScanSpec, Option<AggPlan>)> {
         if self.projection.is_empty() {
             return Err(Error::InvalidPlan("no columns selected".into()));
         }
@@ -384,7 +385,7 @@ impl QueryBuilder {
         Ok((spec, agg))
     }
 
-    fn row_scale(&self) -> f64 {
+    pub(crate) fn row_scale(&self) -> f64 {
         match self.virtual_rows {
             Some(v) if self.table.row_count > 0 => {
                 (v as f64 / self.table.row_count as f64).max(1.0)

@@ -1,0 +1,520 @@
+//! The concurrent query service: many in-flight queries over shared
+//! cooperative scans, with admission control, deadlines, and tenant-fair
+//! scheduling — the serving layer the ROADMAP's "millions of users" north
+//! star calls for, built on [`rodb_engine::SharedCursor`].
+//!
+//! The service is a discrete-event simulator on the same modeled clock as
+//! everything else in this repo. Time advances in *segments*: each shared
+//! cursor's table is cut into slices of roughly
+//! [`ServiceSpec::slice_s`](rodb_types::ServiceSpec) modeled seconds of
+//! disk time, and the event loop repeatedly (1) ingests arrivals that have
+//! happened by the current clock, (2) admits queued queries up to
+//! `max_inflight` under the configured [`rodb_types::Admission`]
+//! discipline with tenant fairness, (3) runs one segment of the
+//! least-served cursor and advances the clock by its modeled cost.
+//! Late-arriving queries attach to a cursor mid-scan and complete their
+//! missed prefix after the cursor wraps around; results are reassembled in
+//! table order, so every query's rows are bit-identical to its solo run.
+//!
+//! When [`SystemConfig::service`](rodb_types::SystemConfig) is `None` the
+//! service layer does not exist: [`crate::QueryBuilder::run`] takes the
+//! ordinary single-query engine paths untouched.
+
+use std::collections::HashMap;
+
+use rodb_engine::{CursorQuery, ScanLayout, SharedCursor, SharedCursorConfig};
+use rodb_io::{shared_page_cache, IoStats, SharedPageCache};
+use rodb_trace::{MetricsRegistry, QueryTrace, SpanKind, Tracer, ROOT};
+use rodb_types::{Admission, Error, HardwareConfig, Result, ServiceSpec, SystemConfig, Value};
+
+use crate::query::QueryBuilder;
+
+/// Upper bound on segments per cursor cycle: keeps the event loop bounded
+/// when `slice_s` is tiny relative to the pass time.
+const MAX_SEGMENTS: usize = 128;
+
+/// One query submitted to the service, with its open-loop arrival time and
+/// scheduling attributes.
+#[derive(Clone)]
+pub struct ServiceRequest {
+    pub query: QueryBuilder,
+    /// Modeled arrival time in seconds from the start of the run.
+    pub arrival_s: f64,
+    /// Tenant label for fair scheduling (accumulated service time is
+    /// balanced across tenants at admission).
+    pub tenant: String,
+    /// Priority class, lower = more urgent (only consulted under
+    /// [`Admission::Priority`]).
+    pub priority: u8,
+    /// Materialize result rows in the outcome (on by default).
+    pub collect: bool,
+}
+
+impl ServiceRequest {
+    pub fn new(query: QueryBuilder) -> ServiceRequest {
+        ServiceRequest {
+            query,
+            arrival_s: 0.0,
+            tenant: "default".to_string(),
+            priority: 0,
+            collect: true,
+        }
+    }
+
+    /// Arrive at `t` modeled seconds.
+    pub fn at(mut self, t: f64) -> ServiceRequest {
+        self.arrival_s = t;
+        self
+    }
+
+    pub fn tenant(mut self, tenant: impl Into<String>) -> ServiceRequest {
+        self.tenant = tenant.into();
+        self
+    }
+
+    pub fn priority(mut self, p: u8) -> ServiceRequest {
+        self.priority = p;
+        self
+    }
+
+    /// Measurement only: outcome carries counts but no rows.
+    pub fn measure_only(mut self) -> ServiceRequest {
+        self.collect = false;
+        self
+    }
+}
+
+/// Per-query outcome of a service run, in submission order.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    pub tenant: String,
+    pub priority: u8,
+    pub arrival_s: f64,
+    /// Seconds spent in the admission queue (0 for rejected queries —
+    /// their whole life was queue wait; see `rejected`).
+    pub queue_wait_s: f64,
+    /// Arrival → completion on the modeled clock (for rejected queries:
+    /// arrival → rejection).
+    pub latency_s: f64,
+    pub rows: Vec<Vec<Value>>,
+    pub nrows: u64,
+    /// Segment index the query attached to its cursor at.
+    pub attach_seg: usize,
+    /// Whether completion required riding past the cursor's wraparound.
+    pub wrapped: bool,
+    /// Finished after its deadline (deadline configured and exceeded).
+    pub deadline_missed: bool,
+    /// Rejected at admission because its deadline expired while queued.
+    pub rejected: bool,
+}
+
+/// What a whole service run produced.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Modeled seconds from the first arrival to the last completion.
+    pub makespan_s: f64,
+    /// Per-query outcomes, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Merged driver-pass I/O across all shared cursors — the total I/O
+    /// the run charged (per-query re-evaluation I/O is never charged).
+    pub io: IoStats,
+    /// Segment steps executed and cursor wraparounds completed.
+    pub segments: u64,
+    pub wraparounds: u64,
+    /// Root span with one `sched` child per query (when tracing was on).
+    pub trace: Option<QueryTrace>,
+}
+
+impl ServiceReport {
+    /// Completed queries per modeled second.
+    pub fn throughput(&self) -> f64 {
+        let done = self.outcomes.iter().filter(|o| !o.rejected).count();
+        if self.makespan_s > 0.0 {
+            done as f64 / self.makespan_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The `q`-quantile (0..=1) of completed-query latency.
+    pub fn latency_quantile(&self, q: f64) -> f64 {
+        let mut lats: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| !o.rejected)
+            .map(|o| o.latency_s)
+            .collect();
+        if lats.is_empty() {
+            return 0.0;
+        }
+        lats.sort_by(f64::total_cmp);
+        let idx = ((lats.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        lats[idx]
+    }
+}
+
+struct Waiting {
+    seq: usize,
+    req: ServiceRequest,
+}
+
+struct Inflight {
+    seq: usize,
+    cursor: usize,
+}
+
+struct CursorState {
+    cursor: SharedCursor,
+    /// Accumulated modeled service seconds (fair-share key across cursors).
+    service_s: f64,
+}
+
+/// The service entry point: submit requests, then [`QueryService::run`].
+pub struct QueryService {
+    hw: HardwareConfig,
+    sys: SystemConfig,
+    spec: ServiceSpec,
+    requests: Vec<ServiceRequest>,
+    trace: bool,
+}
+
+impl QueryService {
+    /// Build a service on a system configuration that carries a
+    /// [`ServiceSpec`] (errors otherwise — an unset spec means the caller
+    /// wants the bypassed single-query engine).
+    pub fn new(hw: HardwareConfig, sys: SystemConfig) -> Result<QueryService> {
+        let spec = sys.service.ok_or_else(|| {
+            Error::InvalidConfig(
+                "QueryService requires SystemConfig::service (ServiceSpec); without it, \
+                 run queries directly — the service layer is bypassed"
+                    .into(),
+            )
+        })?;
+        Ok(QueryService {
+            hw,
+            sys,
+            spec,
+            requests: Vec::new(),
+            trace: false,
+        })
+    }
+
+    /// Record per-query `sched` spans in a service-wide trace.
+    pub fn trace(mut self, on: bool) -> QueryService {
+        self.trace = on;
+        self
+    }
+
+    /// Enqueue a request (order of submission breaks arrival-time ties).
+    pub fn submit(&mut self, req: ServiceRequest) -> &mut QueryService {
+        self.requests.push(req);
+        self
+    }
+
+    /// Segment count for one cursor: the estimated full-pass disk time cut
+    /// into `slice_s` quanta, clamped to `[1, MAX_SEGMENTS]`.
+    fn segment_count(&self, table: &rodb_storage::Table, layout: ScanLayout, scale: f64) -> usize {
+        let bytes = match layout {
+            ScanLayout::Row => table.row.as_ref().map(|r| r.byte_len()).unwrap_or(0),
+            _ => table.col.as_ref().map(|c| c.byte_len()).unwrap_or(0),
+        } as f64
+            * scale;
+        let est_pass_s = bytes / self.hw.aggregate_disk_bw();
+        ((est_pass_s / self.spec.slice_s).ceil() as usize).clamp(1, MAX_SEGMENTS)
+    }
+
+    /// Run every submitted request through shared cursors on the modeled
+    /// clock. Results per query are bit-identical to each query's solo
+    /// [`QueryBuilder::run_collect`]; the clock reflects shared I/O (one
+    /// driver pass per cursor cycle) and per-query CPU.
+    pub fn run(&mut self) -> Result<ServiceReport> {
+        let requests = std::mem::take(&mut self.requests);
+        if requests.is_empty() {
+            return Err(Error::InvalidPlan("service run with no requests".into()));
+        }
+        // One shared page cache for all cursors when the config asks for
+        // caching: residency persists across segments and queries.
+        let cache: Option<SharedPageCache> = self.sys.cache.as_ref().map(shared_page_cache);
+        let workers = self.sys.threads.max(1);
+        // All riders of one clock must agree on the virtual-rows scale.
+        let scale = requests[0].query.row_scale();
+        for r in &requests {
+            if (r.query.row_scale() - scale).abs() > f64::EPSILON {
+                return Err(Error::InvalidPlan(
+                    "service requests must share one scale_to_rows setting".into(),
+                ));
+            }
+            MetricsRegistry::counter_add("query.sched.submitted", 1.0);
+        }
+        let tracer = self.trace.then(Tracer::new);
+
+        // Arrival stream: (arrival, seq) ascending.
+        let mut pending: Vec<Waiting> = requests
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(seq, req)| Waiting { seq, req })
+            .collect();
+        pending.sort_by(|a, b| {
+            a.req
+                .arrival_s
+                .total_cmp(&b.req.arrival_s)
+                .then(a.seq.cmp(&b.seq))
+        });
+        pending.reverse(); // pop() yields earliest arrival
+
+        let mut cursors: Vec<CursorState> = Vec::new();
+        let mut cursor_key: HashMap<(usize, u8), usize> = HashMap::new();
+        let mut queue: Vec<Waiting> = Vec::new();
+        let mut inflight: Vec<Inflight> = Vec::new();
+        let mut tenant_service: HashMap<String, f64> = HashMap::new();
+        let mut outcomes: Vec<Option<QueryOutcome>> = requests.iter().map(|_| None).collect();
+        let mut admitted_at: Vec<f64> = vec![0.0; requests.len()];
+        let mut clock = 0.0f64;
+        let mut segments = 0u64;
+        let mut wraparounds = 0u64;
+        let mut total_io = IoStats::default();
+
+        loop {
+            // 1. Ingest arrivals that have happened by now.
+            while pending.last().is_some_and(|w| w.req.arrival_s <= clock) {
+                queue.push(pending.pop().unwrap());
+            }
+
+            // 2. Admission: fill free slots from the queue, best candidate
+            // first. Expired-deadline candidates are rejected (they do not
+            // consume a slot).
+            while inflight.len() < self.spec.max_inflight && !queue.is_empty() {
+                let best = (0..queue.len())
+                    .min_by(|&a, &b| {
+                        let key = |w: &Waiting| {
+                            let tsvc = tenant_service.get(&w.req.tenant).copied().unwrap_or(0.0);
+                            let prio = match self.spec.admission {
+                                Admission::Fifo => 0u8,
+                                Admission::Priority => w.req.priority,
+                            };
+                            (prio, tsvc, w.seq)
+                        };
+                        let (pa, ta, sa) = key(&queue[a]);
+                        let (pb, tb, sb) = key(&queue[b]);
+                        pa.cmp(&pb).then(ta.total_cmp(&tb)).then(sa.cmp(&sb))
+                    })
+                    .expect("queue is non-empty");
+                let w = queue.remove(best);
+                if let Some(deadline) = self.spec.deadline_s {
+                    if clock - w.req.arrival_s > deadline {
+                        MetricsRegistry::counter_add("query.sched.rejected_deadline", 1.0);
+                        outcomes[w.seq] = Some(QueryOutcome {
+                            tenant: w.req.tenant.clone(),
+                            priority: w.req.priority,
+                            arrival_s: w.req.arrival_s,
+                            queue_wait_s: clock - w.req.arrival_s,
+                            latency_s: clock - w.req.arrival_s,
+                            rows: Vec::new(),
+                            nrows: 0,
+                            attach_seg: 0,
+                            wrapped: false,
+                            deadline_missed: true,
+                            rejected: true,
+                        });
+                        continue;
+                    }
+                }
+                // Attach to (or create) the query's shared cursor.
+                let (spec, agg) = w.req.query.parallel_plan()?;
+                let key = (
+                    std::sync::Arc::as_ptr(&spec.table) as usize,
+                    spec.layout as u8,
+                );
+                let cidx = match cursor_key.get(&key) {
+                    Some(&i) => i,
+                    None => {
+                        let segs = self.segment_count(&spec.table, spec.layout, scale);
+                        let cursor = SharedCursor::new(
+                            spec.table.clone(),
+                            spec.layout,
+                            SharedCursorConfig {
+                                segments: segs,
+                                workers,
+                            },
+                            self.hw,
+                            self.sys,
+                            scale,
+                            cache.clone(),
+                        )?;
+                        cursors.push(CursorState {
+                            cursor,
+                            service_s: 0.0,
+                        });
+                        cursor_key.insert(key, cursors.len() - 1);
+                        cursors.len() - 1
+                    }
+                };
+                let mid_scan =
+                    cursors[cidx].cursor.active_count() > 0 || cursors[cidx].cursor.pos() != 0;
+                cursors[cidx].cursor.attach(CursorQuery {
+                    token: w.seq,
+                    projection: spec.projection.clone(),
+                    predicates: spec.predicates.clone(),
+                    agg,
+                    collect: w.req.collect,
+                });
+                admitted_at[w.seq] = clock;
+                let wait = clock - w.req.arrival_s;
+                MetricsRegistry::counter_add("query.sched.admitted", 1.0);
+                MetricsRegistry::observe("query.sched.queue_wait_s", wait);
+                if mid_scan {
+                    MetricsRegistry::counter_add("query.sched.attach_mid_scan", 1.0);
+                }
+                inflight.push(Inflight {
+                    seq: w.seq,
+                    cursor: cidx,
+                });
+                // Keep the request's metadata for completion time.
+                outcomes[w.seq] = Some(QueryOutcome {
+                    tenant: w.req.tenant.clone(),
+                    priority: w.req.priority,
+                    arrival_s: w.req.arrival_s,
+                    queue_wait_s: wait,
+                    latency_s: 0.0,
+                    rows: Vec::new(),
+                    nrows: 0,
+                    attach_seg: 0,
+                    wrapped: false,
+                    deadline_missed: false,
+                    rejected: false,
+                });
+            }
+
+            // 3. Nothing running: jump to the next arrival or finish.
+            if inflight.is_empty() {
+                match pending.last() {
+                    Some(w) => {
+                        clock = clock.max(w.req.arrival_s);
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            // 4. Run one segment of the least-served cursor that has work
+            // (the fairness quantum across concurrently hot tables).
+            let cidx = (0..cursors.len())
+                .filter(|&i| cursors[i].cursor.active_count() > 0)
+                .min_by(|&a, &b| cursors[a].service_s.total_cmp(&cursors[b].service_s))
+                .expect("inflight implies an active cursor");
+            let riders = cursors[cidx].cursor.active_count();
+            let step = cursors[cidx].cursor.step()?;
+            segments += 1;
+            MetricsRegistry::counter_add("query.sched.segments", 1.0);
+            if step.wrapped {
+                wraparounds += 1;
+                MetricsRegistry::counter_add("query.sched.wraparounds", 1.0);
+            }
+            clock += step.elapsed_s;
+            cursors[cidx].service_s += step.elapsed_s;
+            // Charge tenants their fair share of the slice.
+            let share = step.elapsed_s / riders as f64;
+            for f in inflight.iter().filter(|f| f.cursor == cidx) {
+                if let Some(o) = &outcomes[f.seq] {
+                    *tenant_service.entry(o.tenant.clone()).or_insert(0.0) += share;
+                }
+            }
+
+            // 5. Completions.
+            for d in step.done {
+                inflight.retain(|f| f.seq != d.token);
+                let o = outcomes[d.token]
+                    .as_mut()
+                    .expect("completed query was admitted");
+                o.latency_s = clock - o.arrival_s;
+                o.rows = d.rows;
+                o.nrows = d.nrows;
+                o.attach_seg = d.attach_seg;
+                o.wrapped = d.wrapped;
+                o.deadline_missed = self.spec.deadline_s.is_some_and(|dl| o.latency_s > dl);
+                MetricsRegistry::counter_add("query.sched.completed", 1.0);
+                MetricsRegistry::observe("query.sched.latency_s", o.latency_s);
+                if o.deadline_missed {
+                    MetricsRegistry::counter_add("query.sched.deadline_missed", 1.0);
+                }
+                if let Some(tr) = &tracer {
+                    let span = tr.span(ROOT, &format!("query[{}]", d.token), SpanKind::Sched);
+                    tr.set(span, "queue_wait_s", o.queue_wait_s);
+                    tr.set(span, "attach_seg", o.attach_seg as f64);
+                    tr.set(span, "wrapped", if o.wrapped { 1.0 } else { 0.0 });
+                    tr.set(span, "latency_s", o.latency_s);
+                    tr.set(span, rodb_trace::keys::ROWS, o.nrows as f64);
+                }
+            }
+        }
+
+        for c in &cursors {
+            total_io.merge(&c.cursor.io_stats());
+        }
+        let trace = tracer.map(|tr| {
+            tr.set(ROOT, rodb_trace::keys::WALL_S, clock);
+            tr.set(ROOT, "segments", segments as f64);
+            tr.set(ROOT, "wraparounds", wraparounds as f64);
+            tr.finish()
+        });
+        Ok(ServiceReport {
+            makespan_s: clock,
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every request resolves to an outcome"))
+                .collect(),
+            io: total_io,
+            segments,
+            wraparounds,
+            trace,
+        })
+    }
+
+    /// The naive comparator: the same requests executed query-at-a-time in
+    /// arrival order on the single-query engine — each query pays its own
+    /// full scan. Admission, deadlines and fairness are not modeled; this
+    /// is the baseline `bench_service` compares shared cursors against.
+    pub fn run_query_at_a_time(&mut self) -> Result<ServiceReport> {
+        let requests = std::mem::take(&mut self.requests);
+        if requests.is_empty() {
+            return Err(Error::InvalidPlan("service run with no requests".into()));
+        }
+        let mut order: Vec<(usize, &ServiceRequest)> = requests.iter().enumerate().collect();
+        order.sort_by(|a, b| a.1.arrival_s.total_cmp(&b.1.arrival_s).then(a.0.cmp(&b.0)));
+        let mut clock = 0.0f64;
+        let mut total_io = IoStats::default();
+        let mut outcomes: Vec<Option<QueryOutcome>> = requests.iter().map(|_| None).collect();
+        for (seq, req) in order {
+            clock = clock.max(req.arrival_s);
+            let res = if req.collect {
+                req.query.run_collect()?
+            } else {
+                req.query.run()?
+            };
+            clock += res.report.elapsed_s;
+            total_io.merge(&res.report.io);
+            outcomes[seq] = Some(QueryOutcome {
+                tenant: req.tenant.clone(),
+                priority: req.priority,
+                arrival_s: req.arrival_s,
+                queue_wait_s: 0.0,
+                latency_s: clock - req.arrival_s,
+                rows: res.rows,
+                nrows: res.report.rows,
+                attach_seg: 0,
+                wrapped: false,
+                deadline_missed: false,
+                rejected: false,
+            });
+        }
+        Ok(ServiceReport {
+            makespan_s: clock,
+            outcomes: outcomes.into_iter().map(|o| o.unwrap()).collect(),
+            io: total_io,
+            segments: 0,
+            wraparounds: 0,
+            trace: None,
+        })
+    }
+}

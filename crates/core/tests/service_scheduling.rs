@@ -1,0 +1,306 @@
+//! Integration locks for the concurrent query service: per-query results
+//! bit-identical to solo runs, scheduler determinism across worker counts,
+//! admission/deadline/fairness behavior, and a shared-vs-naive clock win.
+
+use std::sync::Arc;
+
+use rodb_core::{QueryBuilder, QueryService, ServiceRequest};
+use rodb_engine::{AggSpec, CmpOp, ScanLayout};
+use rodb_storage::{BuildLayouts, Table, TableBuilder};
+use rodb_types::{
+    Admission, CacheSpec, Column, HardwareConfig, Schema, ServiceSpec, SystemConfig, Value,
+};
+
+// A wide lineitem-style hot table: row-store scans of it are strongly
+// I/O-bound (full 32-byte tuples move from disk, per-query CPU touches a
+// couple of columns), which is the regime where scan sharing pays.
+fn table(n: usize) -> Arc<Table> {
+    let s = Arc::new(
+        Schema::new(vec![
+            Column::int("k"),
+            Column::int("v"),
+            Column::int("w"),
+            Column::int("f3"),
+            Column::int("f4"),
+            Column::int("f5"),
+            Column::int("f6"),
+            Column::int("f7"),
+        ])
+        .unwrap(),
+    );
+    let mut b = TableBuilder::new("hot", s, 4096, BuildLayouts::both()).unwrap();
+    for i in 0..n {
+        let i32v = i as i32;
+        b.push_row(&[
+            Value::Int(i32v % 100),
+            Value::Int(i32v),
+            Value::Int(i32v % 7),
+            Value::Int(i32v % 13),
+            Value::Int(i32v % 17),
+            Value::Int(i32v % 19),
+            Value::Int(i32v % 23),
+            Value::Int(i32v % 29),
+        ])
+        .unwrap();
+    }
+    Arc::new(b.finish().unwrap())
+}
+
+fn sys(spec: ServiceSpec) -> SystemConfig {
+    SystemConfig {
+        service: Some(spec),
+        ..SystemConfig::default()
+    }
+}
+
+/// A small mixed workload over one hot table: plain scans, filters, an
+/// aggregate — different projections so the driver's union matters.
+/// Queries run at paper scale so a pass takes modeled seconds and the
+/// late arrivals (0.6 s, 0.9 s) attach mid-scan.
+fn workload(t: &Arc<Table>, hw: HardwareConfig, s: SystemConfig) -> Vec<ServiceRequest> {
+    let q = |f: &dyn Fn(QueryBuilder) -> QueryBuilder| {
+        f(QueryBuilder::new(t.clone(), hw, s)
+            .layout(ScanLayout::Column)
+            .scale_to_rows(20_000_000))
+    };
+    vec![
+        ServiceRequest::new(q(&|b| b.select_indices(&[0, 1])))
+            .at(0.0)
+            .tenant("a"),
+        ServiceRequest::new(q(&|b| {
+            b.select_indices(&[1])
+                .filter("v", CmpOp::Lt, 2_000)
+                .unwrap()
+        }))
+        .at(0.0)
+        .tenant("b"),
+        ServiceRequest::new(q(&|b| {
+            b.select_indices(&[2, 1]).filter("w", CmpOp::Eq, 3).unwrap()
+        }))
+        .at(0.6)
+        .tenant("a"),
+        ServiceRequest::new(q(&|b| {
+            b.select_indices(&[0, 1])
+                .group_by("k")
+                .unwrap()
+                .aggregate(AggSpec::count())
+                .aggregate(AggSpec::sum(1))
+        }))
+        .at(0.9)
+        .tenant("c"),
+    ]
+}
+
+fn solo_rows(req: &ServiceRequest) -> Vec<Vec<Value>> {
+    req.query.run_collect().unwrap().rows
+}
+
+#[test]
+fn service_rows_are_bit_identical_to_solo_runs() {
+    let t = table(8_000);
+    let hw = HardwareConfig::default();
+    let s = sys(ServiceSpec::new(4));
+    let reqs = workload(&t, hw, s);
+    let mut svc = QueryService::new(hw, s).unwrap();
+    for r in &reqs {
+        svc.submit(r.clone());
+    }
+    let report = svc.run().unwrap();
+    assert_eq!(report.outcomes.len(), reqs.len());
+    for (req, out) in reqs.iter().zip(&report.outcomes) {
+        assert!(!out.rejected);
+        assert_eq!(out.rows, solo_rows(req), "tenant {}", out.tenant);
+    }
+    // Late arrivals attached mid-scan and wrapped.
+    assert!(report.outcomes[2].wrapped || report.outcomes[3].wrapped);
+    assert!(report.wraparounds >= 1);
+    assert!(report.makespan_s > 0.0);
+}
+
+#[test]
+fn same_schedule_is_deterministic_across_worker_counts() {
+    let t = table(8_000);
+    let hw = HardwareConfig::default();
+    let run = |threads: usize| {
+        let mut s = sys(ServiceSpec::new(3).with_slice(0.2));
+        s.threads = threads;
+        let mut svc = QueryService::new(hw, s).unwrap();
+        for r in workload(&t, hw, s) {
+            svc.submit(r);
+        }
+        svc.run().unwrap()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    // Attach points, wraparound flags, per-query rows and the merged
+    // driver IoStats (including CacheStats) are identical whether the
+    // per-query segment jobs ran on 1 worker or 4.
+    for (a, b) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(a.attach_seg, b.attach_seg);
+        assert_eq!(a.wrapped, b.wrapped);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.queue_wait_s, b.queue_wait_s);
+    }
+    assert_eq!(serial.io, parallel.io);
+    assert_eq!(serial.segments, parallel.segments);
+    assert_eq!(serial.wraparounds, parallel.wraparounds);
+    // And a re-run of the same schedule is bit-identical on the clock too.
+    let again = run(1);
+    assert_eq!(serial.makespan_s, again.makespan_s);
+    for (a, b) in serial.outcomes.iter().zip(&again.outcomes) {
+        assert_eq!(a.latency_s, b.latency_s);
+    }
+}
+
+#[test]
+fn admission_bounds_inflight_and_deadline_rejects() {
+    let t = table(6_000);
+    let hw = HardwareConfig::default();
+    // max_inflight 1 serializes admissions; a tight deadline rejects
+    // whoever queues too long.
+    let s = sys(ServiceSpec::new(1).with_deadline(0.05));
+    let q = QueryBuilder::new(t.clone(), hw, s)
+        .layout(ScanLayout::Row)
+        .select_indices(&[0, 1, 2])
+        .scale_to_rows(20_000_000);
+    let mut svc = QueryService::new(hw, s).unwrap();
+    for i in 0..3 {
+        svc.submit(ServiceRequest::new(q.clone()).at(i as f64 * 1e-3));
+    }
+    let report = svc.run().unwrap();
+    let rejected = report.outcomes.iter().filter(|o| o.rejected).count();
+    assert!(rejected >= 1, "queued queries past the deadline reject");
+    // The first query was admitted immediately and ran.
+    assert!(!report.outcomes[0].rejected);
+    assert_eq!(report.outcomes[0].queue_wait_s, 0.0);
+}
+
+#[test]
+fn priority_admission_reorders_the_queue() {
+    let t = table(6_000);
+    let hw = HardwareConfig::default();
+    let s = sys(ServiceSpec::new(1).with_admission(Admission::Priority));
+    let q = QueryBuilder::new(t.clone(), hw, s)
+        .layout(ScanLayout::Column)
+        .select_indices(&[0])
+        .scale_to_rows(20_000_000);
+    let mut svc = QueryService::new(hw, s).unwrap();
+    // All arrive while query 0 runs; priority 0 beats earlier-queued 9.
+    svc.submit(ServiceRequest::new(q.clone()).at(0.0).priority(5));
+    svc.submit(ServiceRequest::new(q.clone()).at(0.001).priority(9));
+    svc.submit(ServiceRequest::new(q.clone()).at(0.002).priority(0));
+    let report = svc.run().unwrap();
+    assert!(
+        report.outcomes[2].latency_s < report.outcomes[1].latency_s,
+        "urgent (priority 0) finishes before priority 9: {} vs {}",
+        report.outcomes[2].latency_s,
+        report.outcomes[1].latency_s
+    );
+}
+
+#[test]
+fn shared_cursor_beats_query_at_a_time_on_the_clock() {
+    let t = table(10_000);
+    let hw = HardwareConfig::default();
+    let s = sys(ServiceSpec::new(8));
+    // 6 concurrent narrow row-store scans of the hot table at paper scale
+    // — the ablation's scan-sharing scenario: the row scan's I/O (full
+    // tuples) dwarfs its per-query CPU (one projected column), so sharing
+    // the single pass wins even with CPU charged in full per query.
+    let mk = |i: usize| {
+        ServiceRequest::new(
+            QueryBuilder::new(t.clone(), hw, s)
+                .layout(ScanLayout::Row)
+                .select_indices(&[i % 3])
+                .scale_to_rows(20_000_000),
+        )
+        .at(0.0)
+        .measure_only()
+    };
+    let mut shared = QueryService::new(hw, s).unwrap();
+    let mut naive = QueryService::new(hw, s).unwrap();
+    for i in 0..6 {
+        shared.submit(mk(i));
+        naive.submit(mk(i));
+    }
+    let sh = shared.run().unwrap();
+    let na = naive.run_query_at_a_time().unwrap();
+    assert!(
+        sh.makespan_s * 2.0 < na.makespan_s,
+        "shared {:.2}s vs naive {:.2}s",
+        sh.makespan_s,
+        na.makespan_s
+    );
+    // Shared I/O is one driver pass per wraparound cycle, not 6 passes.
+    assert!(sh.io.bytes_read * 4.0 < na.io.bytes_read);
+}
+
+#[test]
+fn service_requires_spec_and_uniform_scale() {
+    let t = table(100);
+    let hw = HardwareConfig::default();
+    assert!(QueryService::new(hw, SystemConfig::default()).is_err());
+    let s = sys(ServiceSpec::new(2));
+    let mut svc = QueryService::new(hw, s).unwrap();
+    svc.submit(ServiceRequest::new(
+        QueryBuilder::new(t.clone(), hw, s).select_indices(&[0]),
+    ));
+    svc.submit(ServiceRequest::new(
+        QueryBuilder::new(t.clone(), hw, s)
+            .select_indices(&[0])
+            .scale_to_rows(1_000_000),
+    ));
+    assert!(svc.run().is_err());
+}
+
+#[test]
+fn shared_page_cache_serves_later_cycles() {
+    let t = table(8_000);
+    let hw = HardwareConfig::default();
+    let mut s = sys(ServiceSpec::new(4).with_slice(0.2));
+    s.cache = Some(CacheSpec::lru_k(2_048));
+    let mut svc = QueryService::new(hw, s).unwrap();
+    let q = QueryBuilder::new(t.clone(), hw, s)
+        .layout(ScanLayout::Column)
+        .select_indices(&[0, 1]);
+    // Staggered arrivals force more than one wraparound cycle over the
+    // same pages; the shared cache turns later driver passes into hits.
+    svc.submit(ServiceRequest::new(q.clone()).at(0.0));
+    svc.submit(ServiceRequest::new(q.clone()).at(3.0));
+    svc.submit(ServiceRequest::new(q.clone()).at(6.0));
+    let report = svc.run().unwrap();
+    assert!(
+        report.io.cache.hits > 0,
+        "cache stats: {:?}",
+        report.io.cache
+    );
+    for out in &report.outcomes {
+        assert_eq!(out.nrows, 8_000);
+    }
+}
+
+#[test]
+fn sched_trace_spans_carry_attach_and_wait() {
+    let t = table(6_000);
+    let hw = HardwareConfig::default();
+    let s = sys(ServiceSpec::new(4).with_slice(0.2));
+    let mut svc = QueryService::new(hw, s).unwrap().trace(true);
+    for r in workload(&t, hw, s) {
+        svc.submit(r);
+    }
+    let report = svc.run().unwrap();
+    let trace = report.trace.expect("tracing was on");
+    let scheds: Vec<_> = trace
+        .root
+        .children
+        .iter()
+        .filter(|c| c.label.starts_with("query["))
+        .collect();
+    assert_eq!(scheds.len(), report.outcomes.len());
+    assert!(scheds
+        .iter()
+        .any(|sp| sp.metrics.get("attach_seg") > 0.0 || sp.metrics.get("wrapped") > 0.0));
+    for sp in scheds {
+        assert!(sp.metrics.get("latency_s") > 0.0);
+    }
+}

@@ -137,6 +137,7 @@ impl Acc {
 /// threads (plain data — `Send`). Produced by [`Aggregate::into_partial`],
 /// combined by [`merge_partials`], re-attached by
 /// [`Aggregate::install_partial`].
+#[derive(Debug, Clone)]
 pub struct AggPartial {
     groups: Vec<(Vec<u8>, Vec<Acc>)>,
     strategy: AggStrategy,

@@ -19,6 +19,8 @@ pub mod scan_col;
 pub mod scan_col_single;
 pub mod scan_row;
 pub mod scan_shared;
+pub mod sched;
+pub mod shared_cursor;
 pub mod sort;
 pub mod traced;
 
@@ -36,5 +38,7 @@ pub use scan_col::{ColumnScanMode, ColumnScanner};
 pub use scan_col_single::SingleIteratorColumnScanner;
 pub use scan_row::RowScanner;
 pub use scan_shared::{shared_row_scan, SharedScanOutput, SharedScanQuery};
+pub use sched::{emit_aggregate, JobOutcome, QueryJob, TaskScheduler};
+pub use shared_cursor::{CursorQuery, QueryDone, SharedCursor, SharedCursorConfig};
 pub use sort::Sort;
 pub use traced::{apply_report, finish_query_trace, record_block, TracedOp};

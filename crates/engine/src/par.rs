@@ -1,25 +1,26 @@
 //! Morsel-driven parallel scan & aggregation (the multi-core variant the
 //! paper's single-threaded engine deliberately leaves out).
 //!
-//! A table is split into page-aligned [`rodb_storage::Morsel`]s; a pool of
+//! This is the single-query face of [`crate::sched::TaskScheduler`]: a
+//! table is split into page-aligned [`rodb_storage::Morsel`]s, a pool of
 //! `threads` OS threads pulls morsels from a shared queue and runs an
 //! ordinary serial scan (plus partial aggregation when the plan has one)
-//! over each. The engine's accounting state ([`ExecContext`]) is
-//! `Rc`-based and deliberately single-threaded, so every *morsel* gets its
-//! own context; merging is done once, deterministically, after the pool
+//! over each, and merging is done once, deterministically, after the pool
 //! joins:
 //!
 //! * **Rows** concatenate in morsel order, which equals serial scan order.
-//! * **Aggregates** travel as per-morsel [`AggPartial`]s and are folded by
-//!   [`merge_partials`] — exact for COUNT/SUM/MIN/MAX/AVG, and for the
-//!   sorted strategy runs spanning a morsel boundary are stitched.
-//! * **I/O** ([`IoStats`]) sums element-wise, then — because `threads`
-//!   workers share the one simulated disk array — every burst is charged a
-//!   head-switch seek ([`rodb_io::merge_parallel`]): interleaved workers
-//!   lose the pure-sequential layout a single scanner enjoys. Simulated
-//!   disk time is serialized across workers (one array, shared bandwidth).
-//! * **CPU** counters sum into one query-wide [`CpuBreakdown`]; the
-//!   modelled *elapsed* time uses the parallel critical path
+//! * **Aggregates** travel as per-morsel [`AggPartial`](crate::agg::AggPartial)s
+//!   and are folded by [`crate::agg::merge_partials`] — exact for
+//!   COUNT/SUM/MIN/MAX/AVG, and for the sorted strategy runs spanning a
+//!   morsel boundary are stitched.
+//! * **I/O** ([`rodb_io::IoStats`]) sums element-wise, then — because
+//!   `threads` workers share the one simulated disk array — every burst is
+//!   charged a head-switch seek ([`rodb_io::merge_parallel`]): interleaved
+//!   workers lose the pure-sequential layout a single scanner enjoys.
+//!   Simulated disk time is serialized across workers (one array, shared
+//!   bandwidth).
+//! * **CPU** counters sum into one query-wide [`rodb_cpu::CpuBreakdown`];
+//!   the modelled *elapsed* time uses the parallel critical path
 //!   `max(total/threads, largest morsel)` — the classic makespan lower
 //!   bound, which is deterministic under work stealing.
 //!
@@ -27,34 +28,19 @@
 //! is real measured wall time of the parallel region, so real speedup
 //! curves (1→N threads) can be plotted next to the model.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use rodb_cpu::CpuBreakdown;
-use rodb_io::IoStats;
-use rodb_trace::{QueryTrace, SpanKind};
-use rodb_types::{Error, HardwareConfig, Result, SystemConfig, Value};
+use rodb_trace::QueryTrace;
+use rodb_types::{HardwareConfig, Result, SystemConfig, Value};
 
-use crate::agg::{merge_partials, AggPartial, AggSpec, AggStrategy, Aggregate};
-use crate::exec::{RunReport, DEFAULT_OVERLAP_LOSS};
-use crate::op::{drain, ExecContext, Operator};
+use crate::agg::{AggSpec, AggStrategy};
+use crate::exec::RunReport;
 use crate::plan::ScanSpec;
-use crate::traced::{apply_report, finish_query_trace, record_block};
-
-/// Morsels per worker thread: small enough that the queue load-balances,
-/// large enough that per-morsel setup stays negligible.
-const MORSELS_PER_THREAD: usize = 4;
-
-/// Lower bound on morsel size. Every morsel pays fixed costs — a fresh
-/// sequential run per column file (a seek plus its kernel switch charge)
-/// and context setup — so slicing a small table into `threads × 4` crumbs
-/// makes the parallel run *more* expensive than the serial one. Below this
-/// many rows per morsel we create fewer morsels (never fewer than
-/// `threads`, so available cores still all engage).
-const MIN_MORSEL_ROWS: u64 = 32_768;
+use crate::sched::{QueryJob, TaskScheduler};
 
 /// The aggregation half of a parallel plan (group key and inputs are
-/// positions in the scan's projected schema, as in [`Aggregate::new`]).
+/// positions in the scan's projected schema, as in
+/// [`crate::agg::Aggregate::new`]).
 #[derive(Debug, Clone)]
 pub struct AggPlan {
     pub group_by: Option<usize>,
@@ -80,18 +66,6 @@ pub struct ParallelOutcome {
     pub morsels: usize,
     /// Merged per-morsel span trace (only when tracing was requested).
     pub trace: Option<QueryTrace>,
-}
-
-/// Everything a morsel execution sends back across the thread boundary
-/// (plain data — the `Rc`-based context stays inside the worker).
-struct MorselOutcome {
-    rows: Vec<Vec<Value>>,
-    nrows: u64,
-    blocks: u64,
-    io: IoStats,
-    cpu: CpuBreakdown,
-    partial: Option<AggPartial>,
-    trace: Option<QueryTrace>,
 }
 
 /// Morsel-driven parallel executor: the scan-level analogue of
@@ -155,215 +129,38 @@ impl ParallelExec {
         competing_scans: usize,
         collect: bool,
     ) -> Result<ParallelOutcome> {
-        if self.threads == 0 {
-            return Err(Error::InvalidPlan(
-                "parallel execution with 0 threads".into(),
-            ));
-        }
         let start = Instant::now();
-        let by_size = (spec.table.row_count / MIN_MORSEL_ROWS).max(1) as usize;
-        let want = (self.threads * MORSELS_PER_THREAD).min(by_size.max(self.threads));
-        let morsels = spec.table.morsels(want);
-        let queue = AtomicUsize::new(0);
-
-        // Pool: each worker pulls morsel indices until the queue drains,
-        // tagging every outcome with its index so the merge below can
-        // restore morsel (= serial) order regardless of who ran what.
-        let mut tagged: Vec<(usize, MorselOutcome)> = Vec::with_capacity(morsels.len());
-        let workers = self.threads.min(morsels.len()).max(1);
-        std::thread::scope(|scope| -> Result<()> {
-            let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let queue = &queue;
-                let morsels = &morsels;
-                handles.push(scope.spawn(move || -> Result<Vec<(usize, MorselOutcome)>> {
-                    let mut mine = Vec::new();
-                    loop {
-                        let idx = queue.fetch_add(1, Ordering::Relaxed);
-                        let Some(m) = morsels.get(idx) else { break };
-                        let out = run_morsel(
-                            spec,
-                            agg,
-                            hw,
-                            sys,
-                            row_scale,
-                            competing_scans,
-                            (m.start, m.end),
-                            collect,
-                            self.trace,
-                        )?;
-                        mine.push((idx, out));
-                    }
-                    Ok(mine)
-                }));
-            }
-            for h in handles {
-                let mine = h.join().expect("parallel scan worker panicked")?;
-                tagged.extend(mine);
-            }
-            Ok(())
-        })?;
-        tagged.sort_by_key(|(idx, _)| *idx);
-        let mut outcomes: Vec<MorselOutcome> = tagged.into_iter().map(|(_, o)| o).collect();
-        // Per-morsel traces, in morsel order (matching the accounting merge).
-        let traces: Vec<QueryTrace> = outcomes.iter_mut().filter_map(|o| o.trace.take()).collect();
-
-        // ---- deterministic merge --------------------------------------
-        let per_io: Vec<IoStats> = outcomes.iter().map(|o| o.io).collect();
-        let merged_io = rodb_io::merge_parallel(&per_io, self.threads, hw.seek_s);
-        // Workers share one array: transfer/seek time serializes, plus the
-        // head-switch seeks merge_parallel charged on top — both of which
-        // the merged counters carry, so disk seconds derive from them.
-        let io_s = merged_io.total_s();
-
-        let mut cpu = CpuBreakdown::default();
-        let mut max_morsel_cpu = 0.0f64;
-        for o in &outcomes {
-            cpu.add(&o.cpu);
-            max_morsel_cpu = max_morsel_cpu.max(o.cpu.total());
-        }
-        // Makespan lower bound over any morsel→worker assignment.
-        let mut cpu_crit = (cpu.total() / self.threads as f64).max(max_morsel_cpu);
-
-        let mut rows: Vec<Vec<Value>> = Vec::new();
-        let mut nrows = 0u64;
-        let mut blocks = 0u64;
-        match agg {
-            None => {
-                for mut o in outcomes {
-                    nrows += o.nrows;
-                    blocks += o.blocks;
-                    rows.append(&mut o.rows);
-                }
-            }
-            Some(plan) => {
-                // Final merge + emission is a serial tail on one core.
-                let partials: Vec<AggPartial> =
-                    outcomes.into_iter().filter_map(|o| o.partial).collect();
-                let merged = merge_partials(partials)?;
-                let ctx = ExecContext::new(*hw, *sys, row_scale)?;
-                let scan = spec.clone().with_row_range(0, 0).build(&ctx)?;
-                let mut emitter =
-                    Aggregate::new(scan, plan.group_by, plan.specs.clone(), plan.strategy, &ctx)?;
-                emitter.install_partial(merged);
-                if collect {
-                    while let Some(b) = emitter.next()? {
-                        blocks += 1;
-                        rows.extend(b.rows()?);
-                    }
-                    nrows = rows.len() as u64;
-                } else {
-                    let (r, b) = drain(&mut emitter)?;
-                    nrows = r;
-                    blocks = b;
-                }
-                let tail = ctx.meter.borrow().breakdown(hw).scaled(row_scale);
-                cpu_crit += tail.total();
-                cpu.add(&tail);
-            }
-        }
-
-        let overlapped = io_s.min(cpu_crit);
-        let elapsed_s = io_s.max(cpu_crit) + DEFAULT_OVERLAP_LOSS * overlapped;
-        let report = RunReport {
-            rows: nrows,
-            blocks,
-            io: merged_io,
-            cpu,
-            elapsed_s,
+        let job = QueryJob {
+            spec: spec.clone(),
+            agg: agg.cloned(),
+            hw: *hw,
+            sys: *sys,
+            row_scale,
+            competing_scans,
+            collect,
+            emit: true,
+            trace: self.trace,
         };
-        // Merge the span trees the same way the accounting merged, then pin
-        // the merged root to the final report (which additionally carries
-        // the head-switch seek recharge and the serial aggregation tail).
-        let trace = QueryTrace::merge_morsels(&traces).map(|mut t| {
-            apply_report(&mut t, &report);
-            t
-        });
+        let out = TaskScheduler::new(self.threads)
+            .run_jobs(&[job])?
+            .pop()
+            .expect("one job in, one outcome out");
         Ok(ParallelOutcome {
-            report,
-            rows,
-            cpu_crit_s: cpu_crit,
+            report: out.report,
+            rows: out.rows,
+            cpu_crit_s: out.cpu_crit_s,
             wall_s: start.elapsed().as_secs_f64(),
             threads: self.threads,
-            morsels: morsels.len(),
-            trace,
+            morsels: out.tasks,
+            trace: out.trace,
         })
     }
-}
-
-/// Run one morsel on its own single-threaded context and detach the
-/// `Send`-safe accounting.
-#[allow(clippy::too_many_arguments)]
-fn run_morsel(
-    spec: &ScanSpec,
-    agg: Option<&AggPlan>,
-    hw: &HardwareConfig,
-    sys: &SystemConfig,
-    row_scale: f64,
-    competing_scans: usize,
-    range: (u64, u64),
-    collect: bool,
-    traced: bool,
-) -> Result<MorselOutcome> {
-    let mut ctx = ExecContext::new(*hw, *sys, row_scale)?;
-    if traced {
-        ctx = ctx.with_tracing();
-    }
-    for _ in 0..competing_scans {
-        ctx.add_competing_scan();
-    }
-    let scan = spec.clone().with_row_range(range.0, range.1).build(&ctx)?;
-    let mut out = MorselOutcome {
-        rows: Vec::new(),
-        nrows: 0,
-        blocks: 0,
-        io: IoStats::default(),
-        cpu: CpuBreakdown::default(),
-        partial: None,
-        trace: None,
-    };
-    match agg {
-        None => {
-            let mut op = scan;
-            if collect {
-                while let Some(b) = op.next()? {
-                    out.blocks += 1;
-                    out.rows.extend(b.rows()?);
-                }
-                out.nrows = out.rows.len() as u64;
-            } else {
-                let (r, b) = drain(op.as_mut())?;
-                out.nrows = r;
-                out.blocks = b;
-            }
-        }
-        Some(plan) => {
-            let agg_op =
-                Aggregate::new(scan, plan.group_by, plan.specs.clone(), plan.strategy, &ctx)?;
-            let label = agg_op.label();
-            out.partial = Some(record_block(&ctx, &label, SpanKind::Agg, move || {
-                agg_op.into_partial()
-            })?);
-        }
-    }
-    ctx.settle_io_kernel_work();
-    out.io = *ctx.disk.borrow().stats();
-    out.cpu = ctx.meter.borrow().breakdown(hw).scaled(row_scale);
-    let report = RunReport {
-        rows: out.nrows,
-        blocks: out.blocks,
-        io: out.io,
-        cpu: out.cpu,
-        elapsed_s: out.io.total_s().max(out.cpu.total()),
-    };
-    out.trace = finish_query_trace(&ctx, &report);
-    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::collect_rows;
+    use crate::op::{collect_rows, ExecContext};
     use crate::plan::ScanLayout;
     use crate::predicate::Predicate;
     use rodb_storage::{BuildLayouts, Table, TableBuilder};

@@ -56,10 +56,17 @@ pub fn shared_row_scan(
     let rs = table.row_storage()?;
     let stored_width = match &rs.format {
         RowFormat::Plain { stored_width } => *stored_width,
-        _ => {
-            return Err(Error::InvalidPlan(
-                "shared scan supports plain row files".into(),
-            ))
+        other => {
+            let name = match other {
+                RowFormat::Plain { .. } => unreachable!(),
+                RowFormat::Packed { .. } => "bit-packed (-Z)",
+                RowFormat::Pax => "PAX",
+            };
+            return Err(Error::InvalidPlan(format!(
+                "shared_row_scan supports plain row files only, table stores {name} rows; \
+                 use the concurrent query service (SharedCursor / QueryService), which \
+                 shares scans over the Row and Column layouts in any stored format"
+            )));
         }
     };
     let schema = table.schema.clone();
@@ -219,6 +226,23 @@ mod tests {
             shared_uops < 0.75 * solo_uops,
             "shared {shared_uops} vs solo {solo_uops}"
         );
+    }
+
+    #[test]
+    fn non_plain_format_error_names_format_and_service() {
+        let s = Arc::new(Schema::new(vec![Column::int("a"), Column::int("b")]).unwrap());
+        let mut b = TableBuilder::new_pax("pax", s, 4096, BuildLayouts::row_only()).unwrap();
+        for i in 0..100 {
+            b.push_row(&[Value::Int(i), Value::Int(i % 7)]).unwrap();
+        }
+        let t = Arc::new(b.finish().unwrap());
+        let ctx = ExecContext::default_ctx();
+        let err = shared_row_scan(&t, &[SharedScanQuery::new(vec![0], vec![])], &ctx)
+            .err()
+            .unwrap();
+        let msg = format!("{err}");
+        assert!(msg.contains("PAX"), "{msg}");
+        assert!(msg.contains("query service"), "{msg}");
     }
 
     #[test]

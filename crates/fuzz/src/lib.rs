@@ -17,9 +17,15 @@
 pub mod gen;
 pub mod oracle;
 
-use rodb_core::{Database, QueryResult};
+use std::sync::Arc;
+
+use rodb_core::{Database, QueryBuilder, QueryResult, QueryService, ServiceRequest};
+use rodb_engine::{AggSpec, CmpOp, Predicate, ScanLayout};
 use rodb_storage::{BuildLayouts, QuarantinedPage, Table, TableBuilder};
-use rodb_types::{CacheSpec, Error, FaultSpec, HardwareConfig, OnCorrupt, SystemConfig};
+use rodb_types::{
+    Admission, CacheSpec, DataType, Error, FaultSpec, HardwareConfig, OnCorrupt, ServiceSpec,
+    SplitMix64, SystemConfig, Value,
+};
 
 use gen::{CasePlan, StorageKind};
 
@@ -473,6 +479,285 @@ pub fn run_cache_case(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// One rider query for concurrent mode: query 0 is the seed's own plan,
+/// the rest are drawn from a *separate* SplitMix64 stream so existing
+/// seeds keep their exact plans in every other mode.
+struct RiderQuery {
+    projection: Vec<usize>,
+    predicates: Vec<Predicate>,
+    group_by: Option<usize>,
+    aggs: Vec<AggSpec>,
+    sorted_agg: bool,
+}
+
+/// Draw one extra rider within the same validity envelope as
+/// [`gen::generate`]: shuffled-prefix projection, mostly sampled-literal
+/// predicates, optional (grouped) aggregation over projected int positions.
+fn draw_rider(rng: &mut SplitMix64, plan: &CasePlan) -> RiderQuery {
+    let ncols = plan.schema.len();
+    let mut idx: Vec<usize> = (0..ncols).collect();
+    for i in (1..ncols).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        idx.swap(i, j);
+    }
+    let nproj = 1 + rng.below(ncols as u64) as usize;
+    let projection = idx[..nproj].to_vec();
+
+    const OPS: [CmpOp; 6] = [
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Ge,
+        CmpOp::Gt,
+    ];
+    let npred = rng.below(3) as usize;
+    let mut predicates = Vec::with_capacity(npred);
+    for _ in 0..npred {
+        let c = rng.below(ncols as u64) as usize;
+        let op = OPS[rng.below(6) as usize];
+        let sample = !plan.rows.is_empty() && rng.below(10) < 7;
+        let lit = if sample {
+            plan.rows[rng.below(plan.rows.len() as u64) as usize][c].clone()
+        } else {
+            match plan.schema.dtype(c) {
+                DataType::Int => Value::Int(rng.range_i32(-1100, 1100)),
+                DataType::Text(w) => {
+                    let len = rng.below(w as u64 + 1) as usize;
+                    let bytes: Vec<u8> = (0..len).map(|_| b'a' + rng.below(26) as u8).collect();
+                    Value::Text(bytes.into_boxed_slice())
+                }
+                DataType::Long => unreachable!("generator never emits Long columns"),
+            }
+        };
+        predicates.push(Predicate::new(c, op, lit));
+    }
+
+    let mut group_by = None;
+    let mut aggs: Vec<AggSpec> = Vec::new();
+    if rng.below(100) < 35 {
+        if rng.below(10) < 6 {
+            group_by = Some(projection[rng.below(nproj as u64) as usize]);
+        }
+        let int_positions: Vec<usize> = projection
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| plan.schema.dtype(c) == DataType::Int)
+            .map(|(p, _)| p)
+            .collect();
+        for _ in 0..1 + rng.below(2) as usize {
+            let choice = if int_positions.is_empty() {
+                0
+            } else {
+                rng.below(4)
+            };
+            aggs.push(if choice == 0 {
+                AggSpec::count()
+            } else {
+                let p = int_positions[rng.below(int_positions.len() as u64) as usize];
+                match choice {
+                    1 => AggSpec::sum(p),
+                    2 => AggSpec::min(p),
+                    _ => AggSpec::max(p),
+                }
+            });
+        }
+    }
+    RiderQuery {
+        projection,
+        predicates,
+        group_by,
+        aggs,
+        sorted_agg: false,
+    }
+}
+
+/// Build one rider as a [`QueryBuilder`] under `sys`. Every rider scales to
+/// the same virtual row count — the service requires one shared clock scale,
+/// and a multi-second modeled pass is what makes late arrivals attach
+/// mid-scan instead of finding an idle cursor.
+fn build_rider(
+    table: &Arc<Table>,
+    layout: ScanLayout,
+    r: &RiderQuery,
+    hw: HardwareConfig,
+    sys: SystemConfig,
+) -> rodb_types::Result<QueryBuilder> {
+    let mut q = QueryBuilder::new(table.clone(), hw, sys)
+        .layout(layout)
+        .select_indices(&r.projection)
+        .scale_to_rows(10_000_000);
+    for p in &r.predicates {
+        q = q.filter_pred(p.clone())?;
+    }
+    if let Some(g) = r.group_by {
+        q = q.group_by(&format!("c{g}"))?;
+    }
+    for a in &r.aggs {
+        q = q.aggregate(*a);
+    }
+    if r.sorted_agg {
+        q = q.sorted_aggregation();
+    }
+    Ok(q)
+}
+
+/// Concurrent-mode case: the seed's plan plus 1..=3 drawn riders go through
+/// the query service — mixed arrival order, drawn admission discipline,
+/// tenants and priorities, with and without the shared page cache — and
+/// every query's rows must be bit-identical to its own solo run. The
+/// scheduler is a scan-sharing layer, never an answer change.
+pub fn run_concurrent_case(seed: u64) -> Result<(), String> {
+    let plan = gen::generate(seed);
+    if plan.rows.is_empty() {
+        // A shared cursor needs at least one page to segment; empty tables
+        // are covered by every other mode.
+        return Ok(());
+    }
+    let table = Arc::new(
+        catching(|| build_table(&plan))
+            .map_err(|p| format!("seed {seed}: build panicked: {p}"))?
+            .map_err(|e| format!("seed {seed}: build failed: {e:?}"))?,
+    );
+    // The cursor generalizes scan sharing to the Row and Column layouts;
+    // the slow column variants are execution strategies of the same column
+    // files, so they fold onto the Column cursor here.
+    let layout = match plan.layout {
+        ScanLayout::Row => ScanLayout::Row,
+        _ => ScanLayout::Column,
+    };
+
+    // Concurrency draws come from their own stream so the base plan for
+    // this seed is exactly what the healthy/fault/recovery/cache modes ran.
+    let mut rng = SplitMix64::new(seed ^ 0xc0c0_17ab_5eed_5eed);
+    let mut riders = vec![RiderQuery {
+        projection: plan.projection.clone(),
+        predicates: plan.predicates.clone(),
+        group_by: plan.group_by,
+        aggs: plan.aggs.clone(),
+        sorted_agg: plan.sorted_agg,
+    }];
+    let k = 2 + rng.below(3) as usize;
+    while riders.len() < k {
+        riders.push(draw_rider(&mut rng, &plan));
+    }
+    let arrivals: Vec<f64> = (0..k)
+        .map(|i| if i == 0 { 0.0 } else { rng.f64() * 1.5 })
+        .collect();
+    let tenants: Vec<&str> = (0..k)
+        .map(|_| ["a", "b", "c"][rng.below(3) as usize])
+        .collect();
+    let priorities: Vec<u8> = (0..k).map(|_| rng.below(10) as u8).collect();
+    let spec = ServiceSpec::new(1 + rng.below(k as u64) as usize)
+        .with_slice([0.1, 0.25, 0.5][rng.below(3) as usize])
+        .with_admission(if rng.bool() {
+            Admission::Priority
+        } else {
+            Admission::Fifo
+        });
+
+    let base_sys = SystemConfig {
+        page_size: plan.page_size,
+        threads: plan.threads,
+        scan_fast_path: plan.scan_fast_path,
+        ..SystemConfig::default()
+    };
+
+    // Solo baseline per rider: the ordinary bypassed engine, no cache.
+    let mut want: Vec<Vec<Vec<Value>>> = Vec::with_capacity(k);
+    for (i, r) in riders.iter().enumerate() {
+        let rows = catching(|| {
+            build_rider(&table, layout, r, HardwareConfig::default(), base_sys)?.run_collect()
+        })
+        .map_err(|p| {
+            format!(
+                "seed {seed}: solo rider {i} panicked: {p}\n  case: {}",
+                plan.describe()
+            )
+        })?
+        .map_err(|e| {
+            format!(
+                "seed {seed}: solo rider {i} failed: {e:?}\n  case: {}",
+                plan.describe()
+            )
+        })?
+        .rows;
+        want.push(rows);
+    }
+
+    for cache in [None, Some(plan.cache)] {
+        let sys = SystemConfig {
+            service: Some(spec),
+            cache,
+            ..base_sys
+        };
+        let what = format!(
+            "{k} queries, max_inflight {}, {:?}, cache={}",
+            spec.max_inflight,
+            spec.admission,
+            cache.is_some()
+        );
+        let mut svc = QueryService::new(HardwareConfig::default(), sys)
+            .map_err(|e| format!("seed {seed}: service rejected config: {e:?}"))?;
+        for (i, r) in riders.iter().enumerate() {
+            let q = build_rider(&table, layout, r, HardwareConfig::default(), sys)
+                .map_err(|e| format!("seed {seed}: rider {i} build failed: {e:?}"))?;
+            svc.submit(
+                ServiceRequest::new(q)
+                    .at(arrivals[i])
+                    .tenant(tenants[i])
+                    .priority(priorities[i]),
+            );
+        }
+        let report = catching(|| svc.run())
+            .map_err(|p| {
+                format!(
+                    "seed {seed}: service PANIC ({what}): {p}\n  case: {}",
+                    plan.describe()
+                )
+            })?
+            .map_err(|e| {
+                format!(
+                    "seed {seed}: service run failed ({what}): {e:?}\n  case: {}",
+                    plan.describe()
+                )
+            })?;
+        if report.outcomes.len() != k {
+            return Err(format!(
+                "seed {seed}: {} outcomes for {k} requests ({what})",
+                report.outcomes.len()
+            ));
+        }
+        for (i, out) in report.outcomes.iter().enumerate() {
+            if out.rejected {
+                return Err(format!(
+                    "seed {seed}: rider {i} rejected with no deadline configured ({what})\n  \
+                     case: {}",
+                    plan.describe()
+                ));
+            }
+            if out.rows != want[i] {
+                return Err(format!(
+                    "seed {seed}: rider {i} MISMATCH through the scheduler ({what}): service \
+                     {} rows, solo {} rows\n  case: {}\n  service: {:?}\n  solo: {:?}",
+                    out.rows.len(),
+                    want[i].len(),
+                    plan.describe(),
+                    out.rows,
+                    want[i],
+                ));
+            }
+        }
+        if cache.is_none() && report.io.cache != rodb_io::CacheStats::default() {
+            return Err(format!(
+                "seed {seed}: cache-off service run reported cache activity {:?} ({what})",
+                report.io.cache
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Global row ordinals covered by a quarantined page, derived from file
 /// geometry the same way the scanners rebase (page index × full-page
 /// capacity, clamped to the table's row count).
@@ -748,6 +1033,13 @@ mod tests {
     fn smoke_cache_modes_are_transparent() {
         for seed in 0..60 {
             run_cache_case(seed).unwrap();
+        }
+    }
+
+    #[test]
+    fn smoke_concurrent_matches_solo() {
+        for seed in 0..60 {
+            run_concurrent_case(seed).unwrap();
         }
     }
 

@@ -5,6 +5,7 @@
 //! cargo run -p rodb-fuzz --release -- --iters 10000 --faults    # fault mode
 //! cargo run -p rodb-fuzz --release -- --iters 10000 --recovery  # recovery mode
 //! cargo run -p rodb-fuzz --release -- --iters 10000 --cache     # cache mode
+//! cargo run -p rodb-fuzz --release -- --iters 10000 --concurrent # scheduler
 //! cargo run -p rodb-fuzz -- --seed 1234                         # replay one
 //! ```
 //!
@@ -21,7 +22,7 @@ use rodb_trace::{Json, MetricsRegistry};
 fn usage() -> ! {
     eprintln!(
         "usage: rodb-fuzz [--seed N | --start-seed N --iters N] [--faults | --recovery | \
-         --cache] [--json PATH]\n\
+         --cache | --concurrent] [--json PATH]\n\
          \n\
          --seed N        run exactly one seed (replay a failure)\n\
          --start-seed N  first seed of a sweep (default 0)\n\
@@ -35,6 +36,10 @@ fn usage() -> ! {
                          {{serial,parallel}}x{{scalar,fast}}x{{on,off}} must\n\
                          stay bit-identical; repaired pages re-read, never\n\
                          served stale\n\
+         --concurrent    concurrent mode: the seed's plan plus drawn riders\n\
+                         run through the query service (mixed arrivals,\n\
+                         admission, cache on/off) and every query's rows\n\
+                         must match its solo run\n\
          --json PATH     write a JSON summary of the sweep to PATH\n\
          --trace-dir DIR re-run the first seed traced; save span + Chrome\n\
                          trace JSON under DIR"
@@ -77,6 +82,7 @@ fn main() -> ExitCode {
     let mut faults = false;
     let mut recovery = false;
     let mut cache = false;
+    let mut concurrent = false;
     let mut json: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     while let Some(a) = args.next() {
@@ -87,12 +93,13 @@ fn main() -> ExitCode {
             "--faults" => faults = true,
             "--recovery" => recovery = true,
             "--cache" => cache = true,
+            "--concurrent" => concurrent = true,
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-dir" => trace_dir = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
-    if (faults as u8) + (recovery as u8) + (cache as u8) > 1 {
+    if (faults as u8) + (recovery as u8) + (cache as u8) + (concurrent as u8) > 1 {
         usage();
     }
     let (first, count) = match seed {
@@ -106,6 +113,8 @@ fn main() -> ExitCode {
         ("recovery", rodb_fuzz::run_recovery_case)
     } else if cache {
         ("cache", rodb_fuzz::run_cache_case)
+    } else if concurrent {
+        ("concurrent", rodb_fuzz::run_concurrent_case)
     } else {
         ("healthy", rodb_fuzz::run_case)
     };
@@ -119,6 +128,7 @@ fn main() -> ExitCode {
                 "faults" => " --faults",
                 "recovery" => " --recovery",
                 "cache" => " --cache",
+                "concurrent" => " --concurrent",
                 _ => "",
             };
             eprintln!("  reproduce: cargo run -p rodb-fuzz -- --seed {s}{flag}");

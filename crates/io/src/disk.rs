@@ -44,6 +44,14 @@ use crate::stats::IoStats;
 /// buffers key its frames.
 pub type SharedPageCache = Rc<RefCell<PageCache>>;
 
+/// Build a [`SharedPageCache`] handle from a spec — the persistent buffer
+/// pool a caller installs on successive execution contexts (or hands to the
+/// concurrent query service's shared scan cursors) so residency survives
+/// across queries.
+pub fn shared_page_cache(spec: &rodb_types::CacheSpec) -> SharedPageCache {
+    Rc::new(RefCell::new(PageCache::new(spec)))
+}
+
 /// Identifies one file on the simulated array. Callers assign ids;
 /// competitors use reserved high ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -14,6 +14,9 @@ pub mod stats;
 pub mod stream;
 
 pub use cache::{CacheHit, PageCache, PageKey};
-pub use disk::{merge_parallel, CacheLookup, DiskArray, FaultInjector, FileId, SharedPageCache};
+pub use disk::{
+    merge_parallel, shared_page_cache, CacheLookup, DiskArray, FaultInjector, FileId,
+    SharedPageCache,
+};
 pub use stats::{CacheStats, IoStats, RecoveryStats};
 pub use stream::{FileStream, PageRef, SharedDisk};

@@ -37,6 +37,9 @@ pub enum SpanKind {
     /// A synthesized sub-phase of a plan node (decode, predicate, gather…)
     /// attributed from the CPU meter's phase profile.
     Phase,
+    /// A concurrent-service scheduling span (per-query queue wait, attach,
+    /// wraparound accounting under the shared-cursor service).
+    Sched,
     /// Any other operator.
     Other,
 }
@@ -50,6 +53,7 @@ impl SpanKind {
             SpanKind::Join => "join",
             SpanKind::Sort => "sort",
             SpanKind::Phase => "phase",
+            SpanKind::Sched => "sched",
             SpanKind::Other => "op",
         }
     }

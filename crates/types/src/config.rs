@@ -88,6 +88,79 @@ impl CacheSpec {
     }
 }
 
+/// Admission-queue discipline of the concurrent query service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Admission {
+    /// Admit strictly in arrival order (within tenant-fair rotation).
+    #[default]
+    Fifo,
+    /// Admit by priority class first (lower value = more urgent), then
+    /// tenant-fair, then arrival order.
+    Priority,
+}
+
+impl std::fmt::Display for Admission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Admission::Fifo => write!(f, "fifo"),
+            Admission::Priority => write!(f, "priority"),
+        }
+    }
+}
+
+/// Knobs of the concurrent query service (shared cooperative scans with
+/// admission control). `None` on [`SystemConfig::service`] — the default —
+/// means the service layer is bypassed entirely and single-query execution
+/// is the bit-identical PR-7 engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceSpec {
+    /// Upper bound on queries executing concurrently; arrivals beyond it
+    /// wait in the admission queue.
+    pub max_inflight: usize,
+    /// Scheduling slice in *modeled* seconds: the service cuts every shared
+    /// scan cursor into segments of roughly this much disk time, so this is
+    /// both the late-attach granularity and the fairness quantum between
+    /// concurrently active cursors.
+    pub slice_s: f64,
+    /// Optional per-query deadline in modeled seconds from arrival. A query
+    /// whose queue wait alone exceeds it is rejected at admission; one that
+    /// finishes past it completes but is flagged `deadline_missed`.
+    pub deadline_s: Option<f64>,
+    /// Admission-queue discipline.
+    pub admission: Admission,
+}
+
+impl ServiceSpec {
+    /// A FIFO service with the given in-flight bound, a 0.5 s slice, and no
+    /// deadline.
+    pub fn new(max_inflight: usize) -> ServiceSpec {
+        ServiceSpec {
+            max_inflight,
+            slice_s: 0.5,
+            deadline_s: None,
+            admission: Admission::Fifo,
+        }
+    }
+
+    /// The same spec with a different scheduling slice.
+    pub fn with_slice(mut self, slice_s: f64) -> ServiceSpec {
+        self.slice_s = slice_s;
+        self
+    }
+
+    /// The same spec with a per-query deadline.
+    pub fn with_deadline(mut self, deadline_s: f64) -> ServiceSpec {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// The same spec with a different admission discipline.
+    pub fn with_admission(mut self, admission: Admission) -> ServiceSpec {
+        self.admission = admission;
+        self
+    }
+}
+
 /// What a scan does when a page fails its checksum after all configured
 /// replicas have been tried.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -152,6 +225,10 @@ pub struct SystemConfig {
     /// the cold-scan engine with zero reuse. A cached page skips transfer
     /// entirely; a zone-rejected page is neither fetched nor cached.
     pub cache: Option<CacheSpec>,
+    /// Optional concurrent query service (shared cooperative scans with
+    /// admission control). Defaults to **off** (`None`): queries execute
+    /// one at a time through the unchanged single-query engine.
+    pub service: Option<ServiceSpec>,
 }
 
 impl Default for SystemConfig {
@@ -167,6 +244,7 @@ impl Default for SystemConfig {
             mirror: 1,
             on_corrupt: OnCorrupt::Retry,
             cache: None,
+            service: None,
         }
     }
 }
@@ -202,6 +280,23 @@ impl SystemConfig {
         if let Some(c) = &self.cache {
             if !(1..=8).contains(&c.k) {
                 return Err(Error::InvalidConfig("cache k must be in 1..=8".into()));
+            }
+        }
+        if let Some(s) = &self.service {
+            if s.max_inflight == 0 {
+                return Err(Error::InvalidConfig("service max_inflight == 0".into()));
+            }
+            if !(s.slice_s > 0.0 && s.slice_s.is_finite()) {
+                return Err(Error::InvalidConfig(
+                    "service slice_s must be finite and > 0".into(),
+                ));
+            }
+            if let Some(d) = s.deadline_s {
+                if !(d > 0.0 && d.is_finite()) {
+                    return Err(Error::InvalidConfig(
+                        "service deadline_s must be finite and > 0".into(),
+                    ));
+                }
             }
         }
         Ok(())
@@ -248,6 +343,12 @@ impl SystemConfig {
     /// Convenience: the same config with the page-cache tier enabled.
     pub fn with_cache(mut self, cache: CacheSpec) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Convenience: the same config with the concurrent query service on.
+    pub fn with_service(mut self, service: ServiceSpec) -> Self {
+        self.service = Some(service);
         self
     }
 }
@@ -439,6 +540,32 @@ mod tests {
             prefetch: false,
         });
         assert!(sc.validate().is_err());
+    }
+
+    #[test]
+    fn service_defaults_off_and_validates() {
+        assert!(SystemConfig::default().service.is_none());
+        let s = ServiceSpec::new(8);
+        assert_eq!(s.max_inflight, 8);
+        assert!(s.slice_s > 0.0);
+        assert_eq!(s.deadline_s, None);
+        assert_eq!(s.admission, Admission::Fifo);
+        let s = s
+            .with_slice(0.25)
+            .with_deadline(30.0)
+            .with_admission(Admission::Priority);
+        assert_eq!((s.slice_s, s.deadline_s), (0.25, Some(30.0)));
+        assert!(SystemConfig::default().with_service(s).validate().is_ok());
+        let bad = SystemConfig::default().with_service(ServiceSpec::new(0));
+        assert!(bad.validate().is_err());
+        let bad = SystemConfig::default().with_service(ServiceSpec::new(1).with_slice(0.0));
+        assert!(bad.validate().is_err());
+        let bad = SystemConfig::default().with_service(ServiceSpec::new(1).with_deadline(-1.0));
+        assert!(bad.validate().is_err());
+        assert_eq!(
+            format!("{}/{}", Admission::Fifo, Admission::Priority),
+            "fifo/priority"
+        );
     }
 
     #[test]

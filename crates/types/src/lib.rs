@@ -24,7 +24,9 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use config::{CacheSpec, FaultSpec, HardwareConfig, OnCorrupt, SystemConfig};
+pub use config::{
+    Admission, CacheSpec, FaultSpec, HardwareConfig, OnCorrupt, ServiceSpec, SystemConfig,
+};
 pub use datatype::DataType;
 pub use error::{CorruptError, CorruptKind, Error, Result};
 pub use ids::{ColumnId, PageId, RecordId, TableId};

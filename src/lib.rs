@@ -30,7 +30,8 @@ pub mod prelude {
     pub use rodb_core::{
         compare_layouts, materialize, predicted_speedup, projectivity_sweep, recommend_compression,
         recommend_layout, recommend_vertical_partitions, Database, ExperimentConfig,
-        LayoutComparison, MvRecommendation, ParallelInfo, QueryBuilder, QueryPattern, QueryResult,
+        LayoutComparison, MvRecommendation, ParallelInfo, QueryBuilder, QueryOutcome, QueryPattern,
+        QueryResult, QueryService, ServiceReport, ServiceRequest,
     };
     pub use rodb_engine::{shared_row_scan, SharedScanOutput, SharedScanQuery};
     pub use rodb_engine::{
@@ -47,6 +48,7 @@ pub mod prelude {
     };
     pub use rodb_trace::{Json, MetricsRegistry, QueryTrace};
     pub use rodb_types::{
-        Column, DataType, Error, HardwareConfig, Result, Schema, SystemConfig, Value,
+        Admission, Column, DataType, Error, HardwareConfig, Result, Schema, ServiceSpec,
+        SystemConfig, Value,
     };
 }
