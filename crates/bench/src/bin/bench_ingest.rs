@@ -1,0 +1,297 @@
+//! Durable write path: sustained insert throughput, merge amplification,
+//! and read latency while a merge is in flight.
+//!
+//! The paper's Figure 1 leaves the WOS→ROS merge as a dashed box; this
+//! harness measures what our implementation of it costs. A seeded stream of
+//! insert batches lands in a WAL-backed [`IngestStore`] over a compressed,
+//! key-sorted base table (FOR-delta on the key, so every merge re-derives a
+//! data-dependent codec), with a full merge after each round.
+//!
+//! Gates (exit 1 on failure):
+//! 1. **Snapshot stability** — a snapshot pinned before a merge begins must
+//!    return bit-identical rows before, while the merge is pending, and
+//!    after its commit; the post-commit store must account for every
+//!    acknowledged row.
+//! 2. **Replay cost** — recovering the full WAL image (which re-derives
+//!    every merge) must cost <= 2x the wall-clock the original inserts and
+//!    merges spent, and must rebuild the live row pages bit-identically.
+//!
+//! Results land in `results/bench_ingest.json`. `--smoke` shrinks the
+//! workload for CI.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rodb_compress::{bits_for, Codec, ColumnCompression};
+use rodb_core::{IngestStore, QueryBuilder, QueryResult};
+use rodb_engine::{CmpOp, ExecContext, ScanLayout};
+use rodb_storage::{BuildLayouts, Table, TableBuilder};
+use rodb_trace::{Json, MetricsRegistry};
+use rodb_types::{Column, HardwareConfig, IngestSpec, Schema, SplitMix64, SystemConfig, Value};
+
+const PAGE: usize = 4096;
+const VAL_RANGE: u64 = 1000;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::new(vec![
+            Column::int("k"),
+            Column::int("a"),
+            Column::int("b"),
+            Column::int("c"),
+        ])
+        .expect("schema"),
+    )
+}
+
+/// Key column FOR-delta (gaps of 4, so sampled inserts only ever split
+/// gaps), one FOR column, two plain — every merge re-derives data-dependent
+/// codecs.
+fn comps() -> Vec<ColumnCompression> {
+    vec![
+        ColumnCompression::new(Codec::ForDelta { bits: bits_for(4) }, None).expect("fordelta"),
+        ColumnCompression::new(
+            Codec::For {
+                bits: bits_for(VAL_RANGE - 1),
+            },
+            None,
+        )
+        .expect("for"),
+        ColumnCompression::none(),
+        ColumnCompression::none(),
+    ]
+}
+
+fn build_base(n: usize) -> Arc<Table> {
+    let mut b =
+        TableBuilder::with_compression("ingest", schema(), PAGE, BuildLayouts::both(), comps())
+            .expect("builder");
+    for i in 0..n {
+        let v = i as i32;
+        b.push_row(&[
+            Value::Int(v * 4),
+            Value::Int(v % VAL_RANGE as i32),
+            Value::Int(v % 17),
+            Value::Int(v % 23),
+        ])
+        .expect("row");
+    }
+    Arc::new(b.finish().expect("table"))
+}
+
+/// One sampled insert batch: keys anywhere inside the existing key span
+/// (splitting FOR-delta gaps, never widening them), values in domain.
+fn batch(rng: &mut SplitMix64, base_rows: usize, k: usize) -> Vec<Vec<Value>> {
+    (0..k)
+        .map(|_| {
+            vec![
+                Value::Int(rng.below(base_rows as u64 * 4) as i32),
+                Value::Int(rng.below(VAL_RANGE) as i32),
+                Value::Int(rng.below(17) as i32),
+                Value::Int(rng.below(23) as i32),
+            ]
+        })
+        .collect()
+}
+
+/// The read whose latency we track: a selective key-range scan projecting
+/// two columns, run over a pinned ingest snapshot (ROS + spliced tail).
+fn read_snapshot(snap: &rodb_core::IngestSnapshot, hi: i32) -> QueryResult {
+    let sys = SystemConfig {
+        page_size: PAGE,
+        ..SystemConfig::default()
+    };
+    QueryBuilder::new(snap.ros.clone(), HardwareConfig::default(), sys)
+        .layout(ScanLayout::Column)
+        .select(&["k", "a"])
+        .expect("projection")
+        .wos_tail(snap.tail.clone())
+        .filter("k", CmpOp::Lt, hi)
+        .expect("predicate")
+        .run_collect()
+        .expect("snapshot query")
+}
+
+fn ros_bytes(t: &Table) -> u64 {
+    t.row.as_ref().map(|r| r.byte_len()).unwrap_or(0)
+        + t.col.as_ref().map(|c| c.byte_len()).unwrap_or(0)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (base_n, batches_per_round, batch_rows) = if smoke {
+        (4_000, 40, 25)
+    } else {
+        (40_000, 200, 50)
+    };
+    rodb_bench::banner(
+        "bench_ingest",
+        "WAL-backed WOS→ROS ingest: insert throughput, merge amplification, reads during merge",
+    );
+    let hw = HardwareConfig::default();
+    let base = build_base(base_n);
+    let spec = IngestSpec::manual();
+    let mut st = IngestStore::new(base.clone(), comps(), Some(0), spec).expect("ingest store");
+    let mut rng = SplitMix64::new(rodb_bench::seed());
+    let hi = (base_n as i32 * 4) / 10; // ~10% of the key span
+    let mut failed = false;
+
+    // --- Round 1: sustained inserts, then a quiescent merge. ---
+    let t0 = Instant::now();
+    for _ in 0..batches_per_round {
+        st.insert(batch(&mut rng, base_n, batch_rows))
+            .expect("insert");
+    }
+    let mut insert_wall = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    st.merge().expect("merge 1");
+    let mut merge_wall = t0.elapsed().as_secs_f64();
+    let mut rebuilt_bytes = ros_bytes(&st.ros());
+    let quiescent = read_snapshot(&st.snapshot(), hi);
+
+    // --- Round 2: inserts again, then reads pinned across a merge. ---
+    let t0 = Instant::now();
+    for _ in 0..batches_per_round {
+        st.insert(batch(&mut rng, base_n, batch_rows))
+            .expect("insert");
+    }
+    insert_wall += t0.elapsed().as_secs_f64();
+    let pinned = st.snapshot();
+    let before = read_snapshot(&pinned, hi);
+    let t0 = Instant::now();
+    st.begin_merge().expect("begin merge 2");
+    let during = read_snapshot(&pinned, hi);
+    st.commit_merge().expect("commit merge 2");
+    merge_wall += t0.elapsed().as_secs_f64();
+    rebuilt_bytes += ros_bytes(&st.ros());
+    let after = read_snapshot(&pinned, hi);
+
+    // Gate 1: the pinned snapshot is immune to the merge, and the committed
+    // store accounts for every acknowledged row.
+    let inserted = st.stats().inserted_rows;
+    let expect_rows = base_n as u64 + inserted;
+    if before.rows == during.rows && before.rows == after.rows {
+        println!(
+            "gate: pinned snapshot bit-identical across the merge ({} result rows)",
+            before.rows.len()
+        );
+    } else {
+        println!(
+            "FAIL: pinned snapshot drifted across the merge ({} / {} / {} rows)",
+            before.rows.len(),
+            during.rows.len(),
+            after.rows.len()
+        );
+        failed = true;
+    }
+    if st.ros().row_count != expect_rows {
+        println!(
+            "FAIL: post-merge store holds {} rows, {expect_rows} acknowledged",
+            st.ros().row_count
+        );
+        failed = true;
+    }
+
+    // --- Recovery: replay the full image against the lost work. ---
+    let image = st.wal_image().to_vec();
+    let ctx = ExecContext::default_ctx();
+    let t0 = Instant::now();
+    let (rec, rep) = IngestStore::recover(
+        base.clone(),
+        comps(),
+        Some(0),
+        spec,
+        &image,
+        Some(&ctx.disk),
+    )
+    .expect("recovery");
+    let replay_wall = t0.elapsed().as_secs_f64();
+    let work_wall = insert_wall + merge_wall;
+
+    // Gate 2: replay <= 2x the original work, rebuilding identical pages.
+    let pages_identical = match (st.ros().row.as_ref(), rec.ros().row.as_ref()) {
+        (Some(a), Some(b)) => a.file == b.file,
+        _ => false,
+    };
+    if replay_wall <= 2.0 * work_wall && pages_identical {
+        println!(
+            "gate: replayed {} records in {:.1} ms vs {:.1} ms of lost work ({:.2}x), pages \
+             bit-identical",
+            rep.replayed,
+            replay_wall * 1e3,
+            work_wall * 1e3,
+            replay_wall / work_wall.max(1e-9)
+        );
+    } else if !pages_identical {
+        println!("FAIL: recovery rebuilt different row pages than the live store");
+        failed = true;
+    } else {
+        println!(
+            "FAIL: replay took {:.1} ms, more than 2x the {:.1} ms of lost work",
+            replay_wall * 1e3,
+            work_wall * 1e3
+        );
+        failed = true;
+    }
+
+    // --- Report. ---
+    let stats = st.stats();
+    let insert_rate = inserted as f64 / insert_wall.max(1e-9);
+    let ingested_bytes = inserted * schema().logical_width() as u64;
+    let amplification = (stats.wal_bytes + rebuilt_bytes) as f64 / ingested_bytes as f64;
+    let wal_device_s = stats.wal_bytes as f64 / hw.disk_bw;
+    let replay_io = *ctx.disk.borrow().stats();
+    println!(
+        "\ninserts: {inserted} rows in {:.1} ms ({:.0} rows/s), {} WAL bytes \
+         ({:.2} ms modeled sequential append)",
+        insert_wall * 1e3,
+        insert_rate,
+        stats.wal_bytes,
+        wal_device_s * 1e3
+    );
+    println!(
+        "merges: {} commits moved {} rows, rebuilt {} ROS bytes — write amplification \
+         {amplification:.1}x over {} ingested bytes",
+        stats.merges, stats.merged_rows, rebuilt_bytes, ingested_bytes
+    );
+    println!(
+        "reads (modeled): quiescent {:.4}s, with {}-row tail {:.4}s, during pending merge {:.4}s",
+        quiescent.report.elapsed_s,
+        pinned.tail.len(),
+        before.report.elapsed_s,
+        during.report.elapsed_s
+    );
+
+    let doc = Json::obj()
+        .set("bench", "ingest")
+        .set("smoke", smoke)
+        .set("seed", rodb_bench::seed())
+        .set("base_rows", base_n)
+        .set("inserted_rows", inserted)
+        .set("insert_wall_s", insert_wall)
+        .set("insert_rows_per_s", insert_rate)
+        .set("wal_bytes", stats.wal_bytes)
+        .set("wal_appends", stats.wal_appends)
+        .set("wal_device_s", wal_device_s)
+        .set("merges", stats.merges)
+        .set("merged_rows", stats.merged_rows)
+        .set("merge_wall_s", merge_wall)
+        .set("rebuilt_ros_bytes", rebuilt_bytes)
+        .set("write_amplification", amplification)
+        .set("read_quiescent_s", quiescent.report.elapsed_s)
+        .set("read_with_tail_s", before.report.elapsed_s)
+        .set("read_during_merge_s", during.report.elapsed_s)
+        .set("tail_rows_at_pin", pinned.tail.len())
+        .set("replay_records", rep.replayed)
+        .set("replay_wall_s", replay_wall)
+        .set("replay_vs_work", replay_wall / work_wall.max(1e-9))
+        .set("replay_io_s", replay_io.total_s())
+        .set("metrics", MetricsRegistry::drain());
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/bench_ingest.json", doc.pretty()).expect("write results");
+    println!("wrote results/bench_ingest.json");
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,9 @@ use rodb_compress::ColumnCompression;
 use rodb_storage::{Catalog, Table, WriteOptimizedStore};
 use rodb_types::{HardwareConfig, Result, Schema, SystemConfig};
 
+use crate::ingest::{IngestSnapshot, IngestStore};
 use crate::query::QueryBuilder;
+use rodb_types::Error;
 
 /// A read-optimized database: loaded tables + the simulated platform they
 /// are measured on.
@@ -90,6 +92,44 @@ impl Database {
     /// The schema of a table (convenience).
     pub fn schema(&self, table: &str) -> Result<Arc<Schema>> {
         Ok(self.table(table)?.schema.clone())
+    }
+
+    /// Open the durable write path for a table: a WAL-backed
+    /// [`IngestStore`] whose inserts survive crashes and whose merges are
+    /// epoch-atomic. Requires ingest to be enabled in the system config
+    /// ([`SystemConfig::with_ingest`]); with it off, the write path (and its
+    /// WAL) does not exist and query behavior is bit-identical to a
+    /// database that never heard of ingest.
+    ///
+    /// [`SystemConfig::with_ingest`]: rodb_types::SystemConfig::with_ingest
+    pub fn ingest_for(
+        &self,
+        table: &str,
+        comps: Vec<rodb_compress::ColumnCompression>,
+        sort_by: Option<usize>,
+    ) -> Result<IngestStore> {
+        let spec = self
+            .sys
+            .ingest
+            .ok_or_else(|| Error::InvalidConfig("ingest not enabled in SystemConfig".into()))?;
+        IngestStore::new(self.table(table)?, comps, sort_by, spec)
+    }
+
+    /// Query a pinned ingest snapshot: the snapshot's ROS plus its staged
+    /// tail, isolated from any merge that commits while the query runs.
+    pub fn query_snapshot(&self, snap: &IngestSnapshot) -> QueryBuilder {
+        QueryBuilder::new(snap.ros.clone(), self.hw, self.sys).wos_tail(snap.tail.clone())
+    }
+
+    /// Re-register the live table of an ingest store (after merges) so
+    /// name-based queries see the newest epoch.
+    pub fn adopt_ingest(&mut self, store: &IngestStore) -> Arc<Table> {
+        self.register_arc(store.ros())
+    }
+
+    /// Register an already-shared table handle.
+    pub fn register_arc(&mut self, table: Arc<Table>) -> Arc<Table> {
+        self.catalog.register_arc(table)
     }
 }
 

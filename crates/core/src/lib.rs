@@ -13,6 +13,7 @@
 pub mod compare;
 pub mod db;
 pub mod experiment;
+pub mod ingest;
 pub mod mv;
 pub mod query;
 pub mod service;
@@ -25,6 +26,7 @@ pub use experiment::{
     crossover_fraction, format_breakdowns, format_sweep, projectivity_sweep, scan_report,
     ExperimentConfig, SweepPoint,
 };
+pub use ingest::{IngestSnapshot, IngestStats, IngestStore};
 pub use mv::{materialize, recommend_vertical_partitions, MvRecommendation, QueryPattern};
 pub use query::{ParallelInfo, QueryBuilder, QueryResult};
 pub use service::{QueryOutcome, QueryService, ServiceReport, ServiceRequest};

@@ -25,8 +25,9 @@ use std::sync::Arc;
 
 use rodb_engine::CmpOp;
 use rodb_engine::{
-    finish_query_trace, run_to_completion, AggPlan, AggSpec, AggStrategy, Aggregate, ExecContext,
-    Operator, ParallelExec, ParallelOutcome, Predicate, RunReport, ScanLayout, ScanSpec, TracedOp,
+    finish_query_trace, run_to_completion, AggPlan, AggSpec, AggStrategy, Aggregate, Chain,
+    ExecContext, MemScan, Operator, ParallelExec, ParallelOutcome, Predicate, RunReport,
+    ScanLayout, ScanSpec, TracedOp,
 };
 use rodb_io::SharedPageCache;
 use rodb_storage::Table;
@@ -83,6 +84,7 @@ pub struct QueryBuilder {
     competing_scans: usize,
     trace: bool,
     shared_cache: Option<SharedPageCache>,
+    wos_tail: Option<Arc<Vec<Vec<Value>>>>,
 }
 
 impl QueryBuilder {
@@ -103,6 +105,7 @@ impl QueryBuilder {
             competing_scans: 0,
             trace: false,
             shared_cache: None,
+            wos_tail: None,
         }
     }
 
@@ -280,6 +283,18 @@ impl QueryBuilder {
         self
     }
 
+    /// Splice an in-memory WOS tail behind the read-optimized scan, so the
+    /// query sees the union of the table and the staged rows — the snapshot
+    /// read of the durable ingest path ([`crate::IngestSnapshot`]). Tail
+    /// rows pass through the same predicates and projection; their row
+    /// positions continue the table's ordinals. A non-empty tail forces the
+    /// serial execution path (the tail is not morsel-partitionable); an
+    /// empty tail leaves the plan untouched.
+    pub fn wos_tail(mut self, tail: Arc<Vec<Vec<Value>>>) -> Self {
+        self.wos_tail = Some(tail);
+        self
+    }
+
     /// Record an operator span tree, per-phase CPU attribution and disk
     /// events for this query. Off by default: untraced queries pay nothing
     /// (operators are not even wrapped). The trace lands in
@@ -313,9 +328,21 @@ impl QueryBuilder {
         if self.projection.is_empty() {
             return Err(Error::InvalidPlan("no columns selected".into()));
         }
-        let scan = ScanSpec::new(self.table.clone(), self.layout, self.projection.clone())
+        let mut scan = ScanSpec::new(self.table.clone(), self.layout, self.projection.clone())
             .with_predicates(self.predicates.clone())
             .build(ctx)?;
+        if let Some(tail) = self.wos_tail.as_ref().filter(|t| !t.is_empty()) {
+            let mem = MemScan::new(
+                &self.table.schema,
+                tail.clone(),
+                self.projection.clone(),
+                self.predicates.clone(),
+                self.table.row_count,
+                ctx,
+            )?;
+            let mem = TracedOp::wrap(Box::new(mem), SpanKind::Scan, ctx);
+            scan = Box::new(Chain::new(scan, mem)?);
+        }
         if self.aggs.is_empty() {
             if self.group_by.is_some() {
                 return Err(Error::InvalidPlan("group_by without aggregates".into()));
@@ -346,8 +373,12 @@ impl QueryBuilder {
     }
 
     /// True when this query should take the morsel-driven parallel path.
+    /// A non-empty WOS tail forces the serial path: the tail is a single
+    /// in-memory stream, not morsel-partitionable.
     fn parallel_eligible(&self) -> bool {
-        self.sys.threads > 1 && matches!(self.layout, ScanLayout::Row | ScanLayout::Column)
+        self.sys.threads > 1
+            && matches!(self.layout, ScanLayout::Row | ScanLayout::Column)
+            && self.wos_tail.as_ref().is_none_or(|t| t.is_empty())
     }
 
     /// The scan spec + aggregation plan of this query, for the parallel

@@ -11,6 +11,7 @@ pub mod codepred;
 pub mod degraded;
 pub mod exec;
 pub mod join;
+pub mod memscan;
 pub mod op;
 pub mod par;
 pub mod plan;
@@ -30,6 +31,7 @@ pub use codepred::{rewrite, rewrite_all, zone_rejects, CodePred};
 pub use degraded::DropSet;
 pub use exec::{run_to_completion, RunReport};
 pub use join::MergeJoin;
+pub use memscan::{Chain, MemScan};
 pub use op::{ExecContext, Operator};
 pub use par::{AggPlan, ParallelExec, ParallelOutcome};
 pub use plan::{ScanLayout, ScanSpec};

@@ -41,6 +41,8 @@ fn sample_io(r: &mut Rng) -> IoStats {
             repairs: r.next_u64(),
             quarantined_pages: r.next_u64(),
             dropped_rows: r.next_u64(),
+            wal_replayed: r.next_u64(),
+            wal_discarded: r.next_u64(),
         },
         cache: CacheStats {
             hits: r.next_u64(),
@@ -113,6 +115,8 @@ fn recovery_stats_merge_is_exact_in_any_order() {
             repairs: r.next_u64(),
             quarantined_pages: r.next_u64(),
             dropped_rows: r.next_u64(),
+            wal_replayed: r.next_u64(),
+            wal_discarded: r.next_u64(),
         })
         .collect();
     let [serial, tree, reversed] = fold_three_ways(&parts, |a, b| a.merge(b));

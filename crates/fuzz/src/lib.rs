@@ -19,12 +19,13 @@ pub mod oracle;
 
 use std::sync::Arc;
 
-use rodb_core::{Database, QueryBuilder, QueryResult, QueryService, ServiceRequest};
+use rodb_compress::{Codec, ColumnCompression};
+use rodb_core::{Database, IngestStore, QueryBuilder, QueryResult, QueryService, ServiceRequest};
 use rodb_engine::{AggSpec, CmpOp, Predicate, ScanLayout};
-use rodb_storage::{BuildLayouts, QuarantinedPage, Table, TableBuilder};
+use rodb_storage::{BuildLayouts, Layout, QuarantinedPage, Table, TableBuilder};
 use rodb_types::{
-    Admission, CacheSpec, DataType, Error, FaultSpec, HardwareConfig, OnCorrupt, ServiceSpec,
-    SplitMix64, SystemConfig, Value,
+    Admission, CacheSpec, DataType, Error, FaultSpec, HardwareConfig, IngestSpec, OnCorrupt,
+    ServiceSpec, SplitMix64, SystemConfig, Value,
 };
 
 use gen::{CasePlan, StorageKind};
@@ -1002,6 +1003,492 @@ pub fn run_recovery_case(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// One logged ingest operation. [`IngestOp::frame_len`] predicts its WAL
+/// frame extent from the *documented* arithmetic alone — header
+/// `len(4) + seq(8) + kind(1)`, insert payload `4 + n × logical_width`,
+/// merge markers `16`, trailing `crc(4)` — sharing no framing code with the
+/// engine, so an encoding bug cannot cancel itself out of the crash model.
+enum IngestOp {
+    Insert(Vec<Vec<Value>>),
+    MergeBegin,
+    MergeCommit(usize),
+}
+
+const WAL_HEADER: usize = 4 + 8 + 1;
+const WAL_CRC: usize = 4;
+
+impl IngestOp {
+    fn frame_len(&self, logical_width: usize) -> usize {
+        let payload = match self {
+            IngestOp::Insert(rows) => 4 + rows.len() * logical_width,
+            IngestOp::MergeBegin | IngestOp::MergeCommit(_) => 16,
+        };
+        WAL_HEADER + payload + WAL_CRC
+    }
+}
+
+/// Vec-of-tuples model of the durable store: the read-optimized rows in
+/// engine scan order, the staged tail in arrival order, and the epoch.
+#[derive(Clone, PartialEq)]
+struct IngestModel {
+    ros: Vec<Vec<Value>>,
+    wos: Vec<Vec<Value>>,
+    epoch: u64,
+}
+
+impl IngestModel {
+    /// A committed merge moves the frozen prefix of `n` staged rows into the
+    /// read-optimized set and (when a sort key is configured) re-sorts it —
+    /// a stable sort, exactly like the engine's rebuild.
+    fn commit(&mut self, n: usize, sort_by: Option<usize>) {
+        let moved: Vec<Vec<Value>> = self.wos.drain(..n).collect();
+        self.ros.extend(moved);
+        if let Some(k) = sort_by {
+            self.ros.sort_by(|a, b| a[k].cmp(&b[k]));
+        }
+        self.epoch += 1;
+    }
+}
+
+/// Fold the ops whose predicted frames fit inside the first `k` log bytes —
+/// the model's prediction of what recovery from a crash at byte `k` must
+/// rebuild.
+fn fold_model(
+    base: &[Vec<Value>],
+    ops: &[IngestOp],
+    width: usize,
+    k: usize,
+    sort_by: Option<usize>,
+) -> IngestModel {
+    let mut m = IngestModel {
+        ros: base.to_vec(),
+        wos: Vec::new(),
+        epoch: 0,
+    };
+    let mut off = 0usize;
+    for op in ops {
+        off += op.frame_len(width);
+        if off > k {
+            break;
+        }
+        match op {
+            IngestOp::Insert(rows) => m.wos.extend(rows.iter().cloned()),
+            // A begin without its commit is an aborted merge: nothing to redo.
+            IngestOp::MergeBegin => {}
+            IngestOp::MergeCommit(n) => m.commit(*n, sort_by),
+        }
+    }
+    m
+}
+
+/// Adapt a generated plan for ingest mode and draw the ingest-only knobs
+/// from a separate stream (existing seeds keep their exact plans in every
+/// other mode).
+///
+/// A merge re-sorts on at most one key, so the first FOR-delta column (which
+/// *requires* sorted input) becomes the sort key and any further FOR-delta
+/// columns are demoted to uncompressed; without one the key is a free draw.
+/// Sorted aggregation is dropped: merges re-order rows and the staged tail
+/// is unsorted, so the "globally sorted group key" precondition no longer
+/// holds.
+fn ingest_plan(seed: u64) -> (gen::CasePlan, Option<usize>, IngestSpec, SplitMix64) {
+    let mut plan = gen::generate(seed);
+    let mut rng = SplitMix64::new(seed ^ 0x16e5_7a11_0c5e_ed17);
+    let fordelta: Vec<usize> = plan
+        .comps
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| matches!(c.codec, Codec::ForDelta { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let sort_by = match fordelta.first() {
+        Some(&k) => Some(k),
+        None if rng.bool() => Some(rng.below(plan.schema.len() as u64) as usize),
+        None => None,
+    };
+    for (i, c) in plan.comps.iter_mut().enumerate() {
+        if matches!(c.codec, Codec::ForDelta { .. }) && Some(i) != sort_by {
+            *c = ColumnCompression::none();
+        }
+    }
+    plan.sorted_agg = false;
+    let spec = if rng.below(10) < 3 {
+        IngestSpec::manual().with_auto_merge(1 + rng.below(6) as usize)
+    } else {
+        IngestSpec::manual()
+    };
+    (plan, sort_by, spec, rng)
+}
+
+/// Drive a drawn insert/merge schedule through the real [`IngestStore`]
+/// while recording every op (in *log* order) and maintaining the live
+/// model. Inserted rows are sampled from the plan's own rows so every
+/// data-dependent codec domain (BitPack range, FOR span, dictionaries,
+/// FOR-delta adjacent gaps, TextPack content width) stays valid across
+/// merges.
+fn drive_ingest(
+    seed: u64,
+    plan: &gen::CasePlan,
+    base: Arc<Table>,
+    sort_by: Option<usize>,
+    spec: IngestSpec,
+    rng: &mut SplitMix64,
+) -> Result<(IngestStore, Vec<IngestOp>, IngestModel), String> {
+    let mut st = IngestStore::new(base, plan.comps.clone(), sort_by, spec)
+        .map_err(|e| format!("seed {seed}: ingest store rejected the plan: {e:?}"))?;
+    let mut ops: Vec<IngestOp> = Vec::new();
+    let mut model = IngestModel {
+        ros: plan.rows.clone(),
+        wos: Vec::new(),
+        epoch: 0,
+    };
+    // The frozen row count of a begun-but-uncommitted merge.
+    let mut pending: Option<usize> = None;
+
+    let insert = |st: &mut IngestStore,
+                  ops: &mut Vec<IngestOp>,
+                  model: &mut IngestModel,
+                  pending: &Option<usize>,
+                  rng: &mut SplitMix64|
+     -> Result<(), String> {
+        let n = 1 + rng.below(8) as usize;
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|_| plan.rows[rng.below(plan.rows.len() as u64) as usize].clone())
+            .collect();
+        st.insert(rows.clone())
+            .map_err(|e| format!("seed {seed}: insert of {n} sampled rows failed: {e:?}"))?;
+        ops.push(IngestOp::Insert(rows.clone()));
+        model.wos.extend(rows);
+        // Mirror the auto-merge: threshold reached, no pending merge.
+        if spec.auto_merge_rows > 0 && pending.is_none() && model.wos.len() >= spec.auto_merge_rows
+        {
+            let full = model.wos.len();
+            ops.push(IngestOp::MergeBegin);
+            ops.push(IngestOp::MergeCommit(full));
+            model.commit(full, sort_by);
+        }
+        Ok(())
+    };
+
+    let nops = 3 + rng.below(6);
+    for _ in 0..nops {
+        let r = rng.below(100);
+        if let Some(frozen) = pending {
+            if r < 60 {
+                insert(&mut st, &mut ops, &mut model, &pending, rng)?;
+            } else {
+                st.commit_merge()
+                    .map_err(|e| format!("seed {seed}: commit_merge failed: {e:?}"))?;
+                ops.push(IngestOp::MergeCommit(frozen));
+                model.commit(frozen, sort_by);
+                pending = None;
+            }
+        } else if r < 55 {
+            insert(&mut st, &mut ops, &mut model, &pending, rng)?;
+        } else if r < 80 {
+            // Full merge; a no-op on an empty WOS leaves no WAL record.
+            let full = model.wos.len();
+            st.merge()
+                .map_err(|e| format!("seed {seed}: merge failed: {e:?}"))?;
+            if full > 0 {
+                ops.push(IngestOp::MergeBegin);
+                ops.push(IngestOp::MergeCommit(full));
+                model.commit(full, sort_by);
+            }
+        } else {
+            let frozen = model.wos.len();
+            st.begin_merge()
+                .map_err(|e| format!("seed {seed}: begin_merge failed: {e:?}"))?;
+            ops.push(IngestOp::MergeBegin);
+            pending = Some(frozen);
+        }
+    }
+    if let Some(frozen) = pending {
+        if rng.bool() {
+            st.commit_merge()
+                .map_err(|e| format!("seed {seed}: final commit_merge failed: {e:?}"))?;
+            ops.push(IngestOp::MergeCommit(frozen));
+            model.commit(frozen, sort_by);
+        }
+        // Otherwise the log ends with an uncommitted begin — recovery must
+        // treat it as aborted.
+    }
+    Ok((st, ops, model))
+}
+
+/// The recovered (or snapshotted) store must match the model exactly: same
+/// epoch, same staged tail in arrival order, same read-optimized rows in
+/// scan order.
+fn check_against_model(
+    st: &IngestStore,
+    m: &IngestModel,
+    seed: u64,
+    plan: &gen::CasePlan,
+    what: &str,
+) -> Result<(), String> {
+    let snap = st.snapshot();
+    if snap.epoch != m.epoch {
+        return Err(format!(
+            "seed {seed}: epoch {} != model {} ({what})\n  case: {}",
+            snap.epoch,
+            m.epoch,
+            plan.describe()
+        ));
+    }
+    if *snap.tail != m.wos {
+        return Err(format!(
+            "seed {seed}: staged tail diverges from model ({what}): {} vs {} rows\n  case: {}",
+            snap.tail.len(),
+            m.wos.len(),
+            plan.describe()
+        ));
+    }
+    let ros = snap
+        .ros
+        .read_all(Layout::Row)
+        .map_err(|e| format!("seed {seed}: recovered ROS unreadable ({what}): {e:?}"))?;
+    if ros != m.ros {
+        return Err(format!(
+            "seed {seed}: ROS rows diverge from model ({what}): {} vs {} rows\n  case: {}",
+            ros.len(),
+            m.ros.len(),
+            plan.describe()
+        ));
+    }
+    Ok(())
+}
+
+/// Run the plan's query over an ingest snapshot (ROS scan + spliced staged
+/// tail) under the given execution knobs.
+fn run_snapshot_query(
+    plan: &gen::CasePlan,
+    snap: &rodb_core::IngestSnapshot,
+    threads: usize,
+    fast: bool,
+    cache: Option<CacheSpec>,
+) -> rodb_types::Result<QueryResult> {
+    let sys = SystemConfig {
+        page_size: plan.page_size,
+        threads,
+        scan_fast_path: fast,
+        cache,
+        ..SystemConfig::default()
+    };
+    let mut q = QueryBuilder::new(snap.ros.clone(), HardwareConfig::default(), sys)
+        .layout(plan.layout)
+        .select_indices(&plan.projection)
+        .wos_tail(snap.tail.clone());
+    for p in &plan.predicates {
+        q = q.filter_pred(p.clone())?;
+    }
+    if let Some(g) = plan.group_by {
+        q = q.group_by(&format!("c{g}"))?;
+    }
+    for a in &plan.aggs {
+        q = q.aggregate(*a);
+    }
+    q.run_collect()
+}
+
+/// Ingest-mode case: a drawn insert/merge/crash schedule against the durable
+/// write path, checked four ways.
+///
+/// 1. **Framing**: the WAL image length must equal the model's documented
+///    frame arithmetic summed over the logged ops.
+/// 2. **Crash points**: recovery from a clean truncation at every record
+///    boundary, every boundary − 1, and sampled interior offsets must
+///    rebuild exactly the model's fold of the surviving records — and the
+///    full-image recovery must re-derive the live store's row pages
+///    **bit-identically**.
+/// 3. **Corrupting crashes**: recovery from a bit-flipped image must never
+///    panic and must rebuild the model state at the longest valid prefix.
+/// 4. **Snapshot reads**: the plan's query over the final snapshot must
+///    match the oracle over `model ROS ++ staged tail` across
+///    {serial, parallel} × {scalar, fast path} × {cache on, off} — the tail
+///    splice is a visibility rule, never an answer change.
+pub fn run_ingest_case(seed: u64) -> Result<(), String> {
+    let (plan, sort_by, spec, mut rng) = ingest_plan(seed);
+    if plan.rows.is_empty() {
+        // Sampled inserts need a pool; empty tables are covered by every
+        // other mode (and by the core crate's ingest tests).
+        return Ok(());
+    }
+    let width = plan.schema.logical_width();
+    let base = Arc::new(
+        catching(|| build_table(&plan))
+            .map_err(|p| format!("seed {seed}: build panicked: {p}"))?
+            .map_err(|e| format!("seed {seed}: build failed: {e:?}"))?,
+    );
+    let (st, ops, model) =
+        catching(|| drive_ingest(seed, &plan, base.clone(), sort_by, spec, &mut rng)).map_err(
+            |p| {
+                format!(
+                    "seed {seed}: PANIC in ingest schedule: {p}\n  case: {}",
+                    plan.describe()
+                )
+            },
+        )??;
+
+    // 1. The documented frame arithmetic is the real format.
+    let image = st.wal_image().to_vec();
+    let model_len: usize = ops.iter().map(|o| o.frame_len(width)).sum();
+    if image.len() != model_len {
+        return Err(format!(
+            "seed {seed}: WAL image {} bytes, frame arithmetic predicts {model_len}\n  case: {}",
+            image.len(),
+            plan.describe()
+        ));
+    }
+
+    // Live store vs the live model.
+    check_against_model(&st, &model, seed, &plan, "live store")?;
+
+    // 2. Clean-truncation crash points.
+    let mut ends = Vec::with_capacity(ops.len());
+    let mut off = 0usize;
+    for op in &ops {
+        off += op.frame_len(width);
+        ends.push(off);
+    }
+    let mut offsets: std::collections::BTreeSet<usize> = [0usize].into();
+    for &e in &ends {
+        offsets.insert(e);
+        offsets.insert(e - 1);
+    }
+    for _ in 0..8 {
+        offsets.insert(rng.below(image.len() as u64 + 1) as usize);
+    }
+    for &k in &offsets {
+        let (rec, rep) = catching(|| {
+            IngestStore::recover(
+                base.clone(),
+                plan.comps.clone(),
+                sort_by,
+                spec,
+                &image[..k],
+                None,
+            )
+        })
+        .map_err(|p| {
+            format!(
+                "seed {seed}: PANIC recovering crash at byte {k}: {p}\n  case: {}",
+                plan.describe()
+            )
+        })?
+        .map_err(|e| {
+            format!(
+                "seed {seed}: recovery failed on a clean prefix at byte {k}: {e:?}\n  case: {}",
+                plan.describe()
+            )
+        })?;
+        let m = fold_model(&plan.rows, &ops, width, k, sort_by);
+        check_against_model(&rec, &m, seed, &plan, &format!("crash at byte {k}"))?;
+        let durable = ends.iter().filter(|&&e| e <= k).count() as u64;
+        if rep.replayed != durable {
+            return Err(format!(
+                "seed {seed}: crash at byte {k} replayed {} records, model says {durable}\n  \
+                 case: {}",
+                rep.replayed,
+                plan.describe()
+            ));
+        }
+        if k == image.len() {
+            // Full-image recovery re-derives the live pages bit-identically.
+            let (live, redo) = (st.ros(), rec.ros());
+            let same = match (live.row.as_ref(), redo.row.as_ref()) {
+                (Some(a), Some(b)) => a.file == b.file,
+                (None, None) => true,
+                _ => false,
+            };
+            if !same {
+                return Err(format!(
+                    "seed {seed}: full-image recovery rebuilt different row pages\n  case: {}",
+                    plan.describe()
+                ));
+            }
+        }
+    }
+
+    // 3. Corrupting crashes: never panic, recover the longest valid prefix.
+    for _ in 0..6 {
+        if image.is_empty() {
+            break;
+        }
+        let i = rng.below(image.len() as u64) as usize;
+        let bit = 1u8 << rng.below(8);
+        let mut dmg = image.clone();
+        dmg[i] ^= bit;
+        let (rec, rep) = catching(|| {
+            IngestStore::recover(base.clone(), plan.comps.clone(), sort_by, spec, &dmg, None)
+        })
+        .map_err(|p| {
+            format!(
+                "seed {seed}: PANIC recovering flipped byte {i}: {p}\n  case: {}",
+                plan.describe()
+            )
+        })?
+        .map_err(|e| {
+            format!(
+                "seed {seed}: recovery errored on flipped byte {i} (must degrade to the valid \
+                 prefix): {e:?}\n  case: {}",
+                plan.describe()
+            )
+        })?;
+        let m = fold_model(&plan.rows, &ops, width, rep.valid_len, sort_by);
+        check_against_model(&rec, &m, seed, &plan, &format!("flip at byte {i}"))?;
+    }
+
+    // 4. Snapshot reads across the config riders.
+    let snap = st.snapshot();
+    let mut oracle_plan = plan.clone();
+    oracle_plan.rows = model
+        .ros
+        .iter()
+        .cloned()
+        .chain(model.wos.iter().cloned())
+        .collect();
+    let want = oracle::expected(&oracle_plan);
+    for threads in thread_counts(&plan) {
+        for fast in [false, true] {
+            for cache in [None, Some(plan.cache)] {
+                let what = format!("{threads} threads, fast={fast}, cache={}", cache.is_some());
+                let got = catching(|| run_snapshot_query(&plan, &snap, threads, fast, cache))
+                    .map_err(|p| {
+                        format!(
+                            "seed {seed}: snapshot query PANIC ({what}): {p}\n  case: {}",
+                            plan.describe()
+                        )
+                    })?
+                    .map_err(|e| {
+                        format!(
+                            "seed {seed}: snapshot query failed ({what}): {e:?}\n  case: {}",
+                            plan.describe()
+                        )
+                    })?;
+                if got.rows != want {
+                    return Err(format!(
+                        "seed {seed}: snapshot MISMATCH ({what}): engine {} rows, oracle {} \
+                         rows\n  case: {}\n  engine: {:?}\n  oracle: {:?}",
+                        got.rows.len(),
+                        want.len(),
+                        plan.describe(),
+                        got.rows,
+                        want,
+                    ));
+                }
+                if !snap.tail.is_empty() && got.parallel.is_some() {
+                    return Err(format!(
+                        "seed {seed}: a query with a staged tail took the parallel path \
+                         ({what})\n  case: {}",
+                        plan.describe()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1041,6 +1528,45 @@ mod tests {
         for seed in 0..60 {
             run_concurrent_case(seed).unwrap();
         }
+    }
+
+    #[test]
+    fn smoke_ingest_recovers_and_reads() {
+        for seed in 0..60 {
+            run_ingest_case(seed).unwrap();
+        }
+    }
+
+    #[test]
+    fn ingest_schedules_cover_the_design_space() {
+        // Over a small window the drawn schedules must hit the shapes the
+        // protocol distinguishes: auto-merge specs, multi-epoch histories,
+        // a log ending in an uncommitted begin, and inserts landing behind
+        // a frozen prefix — otherwise the ingest sweep's claim is hollow.
+        let mut auto = false;
+        let mut multi_epoch = false;
+        let mut uncommitted_tail = false;
+        let mut sorted_key = false;
+        let mut unsorted = false;
+        for seed in 0..200 {
+            let (plan, sort_by, spec, mut rng) = ingest_plan(seed);
+            if plan.rows.is_empty() {
+                continue;
+            }
+            auto |= spec.auto_merge_rows > 0;
+            sorted_key |= sort_by.is_some();
+            unsorted |= sort_by.is_none();
+            let base = Arc::new(build_table(&plan).unwrap());
+            let (st, ops, model) =
+                drive_ingest(seed, &plan, base, sort_by, spec, &mut rng).unwrap();
+            multi_epoch |= model.epoch >= 2;
+            uncommitted_tail |= matches!(ops.last(), Some(IngestOp::MergeBegin))
+                || (st.wos_len() > 0 && model.epoch > 0);
+        }
+        assert!(auto, "no schedule drew an auto-merge spec");
+        assert!(multi_epoch, "no schedule committed two merges");
+        assert!(uncommitted_tail, "no schedule left staged rows behind");
+        assert!(sorted_key && unsorted, "sort-key draw never varied");
     }
 
     #[test]

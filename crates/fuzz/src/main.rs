@@ -6,6 +6,7 @@
 //! cargo run -p rodb-fuzz --release -- --iters 10000 --recovery  # recovery mode
 //! cargo run -p rodb-fuzz --release -- --iters 10000 --cache     # cache mode
 //! cargo run -p rodb-fuzz --release -- --iters 10000 --concurrent # scheduler
+//! cargo run -p rodb-fuzz --release -- --iters 10000 --ingest     # durable ingest
 //! cargo run -p rodb-fuzz -- --seed 1234                         # replay one
 //! ```
 //!
@@ -22,7 +23,7 @@ use rodb_trace::{Json, MetricsRegistry};
 fn usage() -> ! {
     eprintln!(
         "usage: rodb-fuzz [--seed N | --start-seed N --iters N] [--faults | --recovery | \
-         --cache | --concurrent] [--json PATH]\n\
+         --cache | --concurrent | --ingest] [--json PATH]\n\
          \n\
          --seed N        run exactly one seed (replay a failure)\n\
          --start-seed N  first seed of a sweep (default 0)\n\
@@ -40,6 +41,10 @@ fn usage() -> ! {
                          run through the query service (mixed arrivals,\n\
                          admission, cache on/off) and every query's rows\n\
                          must match its solo run\n\
+         --ingest        ingest mode: a drawn insert/merge/crash schedule\n\
+                         against the WAL-backed store; recovery at sampled\n\
+                         crash points and snapshot reads must match a\n\
+                         Vec-of-tuples model exactly\n\
          --json PATH     write a JSON summary of the sweep to PATH\n\
          --trace-dir DIR re-run the first seed traced; save span + Chrome\n\
                          trace JSON under DIR"
@@ -83,6 +88,7 @@ fn main() -> ExitCode {
     let mut recovery = false;
     let mut cache = false;
     let mut concurrent = false;
+    let mut ingest = false;
     let mut json: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     while let Some(a) = args.next() {
@@ -94,12 +100,13 @@ fn main() -> ExitCode {
             "--recovery" => recovery = true,
             "--cache" => cache = true,
             "--concurrent" => concurrent = true,
+            "--ingest" => ingest = true,
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-dir" => trace_dir = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
-    if (faults as u8) + (recovery as u8) + (cache as u8) + (concurrent as u8) > 1 {
+    if (faults as u8) + (recovery as u8) + (cache as u8) + (concurrent as u8) + (ingest as u8) > 1 {
         usage();
     }
     let (first, count) = match seed {
@@ -115,6 +122,8 @@ fn main() -> ExitCode {
         ("cache", rodb_fuzz::run_cache_case)
     } else if concurrent {
         ("concurrent", rodb_fuzz::run_concurrent_case)
+    } else if ingest {
+        ("ingest", rodb_fuzz::run_ingest_case)
     } else {
         ("healthy", rodb_fuzz::run_case)
     };
@@ -129,6 +138,7 @@ fn main() -> ExitCode {
                 "recovery" => " --recovery",
                 "cache" => " --cache",
                 "concurrent" => " --concurrent",
+                "ingest" => " --ingest",
                 _ => "",
             };
             eprintln!("  reproduce: cargo run -p rodb-fuzz -- --seed {s}{flag}");

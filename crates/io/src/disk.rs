@@ -456,6 +456,13 @@ impl DiskArray {
         self.emit(EventKind::DropRows, 0, 0, n);
     }
 
+    /// Record a WAL recovery replay: `replayed` records reconstructed from
+    /// the valid prefix, `discarded` frames/blobs dropped beyond it.
+    pub fn note_wal_replay(&mut self, replayed: u64, discarded: u64) {
+        self.stats.recovery.wal_replayed += replayed;
+        self.stats.recovery.wal_discarded += discarded;
+    }
+
     /// Burst size in actual bytes (what a stream should request per fetch).
     pub fn burst_bytes(&self) -> f64 {
         self.burst_bytes

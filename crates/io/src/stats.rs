@@ -15,6 +15,10 @@ pub struct RecoveryStats {
     pub quarantined_pages: u64,
     /// Rows dropped by degraded (`on_corrupt = Skip`) scans.
     pub dropped_rows: u64,
+    /// WAL records replayed by an ingest-store recovery.
+    pub wal_replayed: u64,
+    /// WAL records (or residual torn blobs) discarded past the valid prefix.
+    pub wal_discarded: u64,
 }
 
 impl RecoveryStats {
@@ -24,6 +28,8 @@ impl RecoveryStats {
         self.repairs += other.repairs;
         self.quarantined_pages += other.quarantined_pages;
         self.dropped_rows += other.dropped_rows;
+        self.wal_replayed += other.wal_replayed;
+        self.wal_discarded += other.wal_discarded;
     }
 
     /// Std-only JSON emission shared by fuzz `--json`, the bench bins and
@@ -34,6 +40,8 @@ impl RecoveryStats {
             .set("repairs", self.repairs)
             .set("quarantined_pages", self.quarantined_pages)
             .set("dropped_rows", self.dropped_rows)
+            .set("wal_replayed", self.wal_replayed)
+            .set("wal_discarded", self.wal_discarded)
     }
 }
 

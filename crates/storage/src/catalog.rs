@@ -20,7 +20,12 @@ impl Catalog {
 
     /// Register (or replace — e.g. after a WOS merge) a table.
     pub fn register(&mut self, table: Table) -> Arc<Table> {
-        let arc = Arc::new(table);
+        self.register_arc(Arc::new(table))
+    }
+
+    /// Register an already-shared handle (the durable ingest store hands
+    /// out `Arc`s so snapshots stay alive across epoch switches).
+    pub fn register_arc(&mut self, arc: Arc<Table>) -> Arc<Table> {
         self.tables.insert(arc.name.clone(), arc.clone());
         arc
     }

@@ -13,6 +13,7 @@ pub mod page_packed;
 pub mod page_pax;
 pub mod quarantine;
 pub mod table;
+pub mod wal;
 pub mod wos;
 
 pub use catalog::Catalog;
@@ -22,4 +23,5 @@ pub use page_packed::{PackedRowPage, PackedRowPageBuilder};
 pub use page_pax::{PaxPage, PaxPageBuilder};
 pub use quarantine::{scrub, Quarantine, QuarantinedPage, ScrubReport};
 pub use table::{ColStorage, ColumnStorage, Layout, Morsel, RowFormat, RowStorage, Table};
+pub use wal::{Wal, WalRecord, WalReplay};
 pub use wos::WriteOptimizedStore;

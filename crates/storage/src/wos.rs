@@ -31,8 +31,10 @@ impl WriteOptimizedStore {
         }
     }
 
-    /// Buffer one inserted row.
-    pub fn insert(&mut self, values: Vec<Value>) -> Result<()> {
+    /// Check a row against the schema (arity and value/type fit) without
+    /// staging it — the durable ingest path validates *before* logging so a
+    /// rejected batch leaves no WAL record.
+    pub fn validate(&self, values: &[Value]) -> Result<()> {
         if values.len() != self.schema.len() {
             return Err(Error::corrupt(format!(
                 "insert with {} values for {}-column schema",
@@ -48,6 +50,12 @@ impl WriteOptimizedStore {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Buffer one inserted row.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<()> {
+        self.validate(&values)?;
         self.rows.push(values);
         Ok(())
     }
@@ -61,15 +69,53 @@ impl WriteOptimizedStore {
         self.rows.is_empty()
     }
 
+    /// The staged rows, oldest first (the durable ingest store snapshots
+    /// and freezes prefixes of exactly this order).
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Drop the first `n` staged rows (they were consumed by a committed
+    /// prefix merge); later rows keep their arrival order.
+    pub fn drain_prefix(&mut self, n: usize) {
+        self.rows.drain(..n.min(self.rows.len()));
+    }
+
     /// Merge the staged rows into `table`, producing a new read-optimized
     /// table with the same layouts and codecs. If `sort_by` names a column,
-    /// the merged data is re-sorted on it (stable). Clears the WOS.
+    /// the merged data is re-sorted on it (stable). Clears the WOS only
+    /// once the rebuild has fully succeeded — a failing merge (codec
+    /// domain, bad sort key…) leaves every staged row in place.
     pub fn merge_into(
         &mut self,
         table: &Table,
         comps: &[ColumnCompression],
         sort_by: Option<usize>,
     ) -> Result<Table> {
+        let merged = self.merge_prefix_into(self.rows.len(), table, comps, sort_by)?;
+        self.rows.clear();
+        Ok(merged)
+    }
+
+    /// Merge only the first `prefix` staged rows into `table`, without
+    /// consuming them. This is the pure rebuild step of the epoch-based
+    /// ingest protocol: the caller freezes a prefix, rebuilds, and only
+    /// drops the prefix ([`WriteOptimizedStore::drain_prefix`]) once the
+    /// merge-commit record is durable — so a crash mid-merge re-derives
+    /// exactly the same table from the log.
+    pub fn merge_prefix_into(
+        &self,
+        prefix: usize,
+        table: &Table,
+        comps: &[ColumnCompression],
+        sort_by: Option<usize>,
+    ) -> Result<Table> {
+        if prefix > self.rows.len() {
+            return Err(Error::InvalidConfig(format!(
+                "merge prefix {prefix} exceeds {} staged rows",
+                self.rows.len()
+            )));
+        }
         if !Arc::ptr_eq(&self.schema, &table.schema) && *self.schema != *table.schema {
             return Err(Error::InvalidConfig("WOS/table schema mismatch".into()));
         }
@@ -80,7 +126,7 @@ impl WriteOptimizedStore {
         } else {
             table.read_all(Layout::Column)?
         };
-        all.append(&mut self.rows);
+        all.extend(self.rows[..prefix].iter().cloned());
         if let Some(key) = sort_by {
             if key >= self.schema.len() {
                 return Err(Error::UnknownColumn(format!("sort key index {key}")));
@@ -194,6 +240,38 @@ mod tests {
         assert!(wos.insert(vec![Value::Int(1)]).is_err());
         assert!(wos.insert(vec![Value::text("x"), Value::Int(1)]).is_err());
         assert!(wos.is_empty());
+    }
+
+    #[test]
+    fn failing_merge_keeps_staged_rows() {
+        // Base table packed with BitPack{2}: values 0..=3 only. A staged row
+        // outside that domain makes the rebuild's push_row fail — the WOS
+        // must keep every staged row so the caller can retry or re-plan.
+        let s = schema();
+        let comps = vec![
+            ColumnCompression::new(Codec::BitPack { bits: 2 }, None).unwrap(),
+            ColumnCompression::none(),
+        ];
+        let mut b = TableBuilder::with_compression(
+            "t",
+            s.clone(),
+            1024,
+            BuildLayouts::both(),
+            comps.clone(),
+        )
+        .unwrap();
+        for i in 0..10 {
+            b.push_row(&[Value::Int(i % 4), Value::Int(i)]).unwrap();
+        }
+        let t = b.finish().unwrap();
+        let mut wos = WriteOptimizedStore::new(s);
+        wos.insert(vec![Value::Int(2), Value::Int(50)]).unwrap();
+        wos.insert(vec![Value::Int(1000), Value::Int(51)]).unwrap();
+        assert!(wos.merge_into(&t, &comps, Some(0)).is_err());
+        assert_eq!(wos.len(), 2, "a failing merge must not drop staged rows");
+        // A bad sort key fails even earlier; still nothing is lost.
+        assert!(wos.merge_into(&t, &comps, Some(9)).is_err());
+        assert_eq!(wos.len(), 2);
     }
 
     #[test]

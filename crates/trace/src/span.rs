@@ -40,6 +40,11 @@ pub enum SpanKind {
     /// A concurrent-service scheduling span (per-query queue wait, attach,
     /// wraparound accounting under the shared-cursor service).
     Sched,
+    /// A write-path span: an insert batch or a WOS→ROS merge epoch
+    /// (`ingest`/`merge` labels on the durable ingest store).
+    Ingest,
+    /// A write-ahead-log span: record appends or a recovery replay.
+    Wal,
     /// Any other operator.
     Other,
 }
@@ -54,6 +59,8 @@ impl SpanKind {
             SpanKind::Sort => "sort",
             SpanKind::Phase => "phase",
             SpanKind::Sched => "sched",
+            SpanKind::Ingest => "ingest",
+            SpanKind::Wal => "wal",
             SpanKind::Other => "op",
         }
     }

@@ -161,6 +161,38 @@ impl ServiceSpec {
     }
 }
 
+/// Knobs of the durable write path (WAL-backed WOS→ROS ingest). `None` on
+/// [`SystemConfig::ingest`] — the default — means the write path is absent
+/// and the system behaves exactly like the read-only engine: no WAL, no
+/// ingest API, bit-identical results and accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestSpec {
+    /// Auto-merge threshold: once the WOS holds at least this many
+    /// acknowledged rows, the next insert triggers a WOS→ROS merge.
+    /// `0` means merges are manual only.
+    pub auto_merge_rows: usize,
+    /// WAL device page granularity for fault injection: the log image is
+    /// chunked into pieces of this size and each piece rolls the
+    /// [`FaultSpec`] dice independently, exactly like a table page.
+    pub wal_page: usize,
+}
+
+impl IngestSpec {
+    /// Manual merges, 4 KB WAL fault granularity.
+    pub fn manual() -> IngestSpec {
+        IngestSpec {
+            auto_merge_rows: 0,
+            wal_page: 4096,
+        }
+    }
+
+    /// The same spec with an auto-merge threshold.
+    pub fn with_auto_merge(mut self, rows: usize) -> IngestSpec {
+        self.auto_merge_rows = rows;
+        self
+    }
+}
+
 /// What a scan does when a page fails its checksum after all configured
 /// replicas have been tried.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -229,6 +261,11 @@ pub struct SystemConfig {
     /// admission control). Defaults to **off** (`None`): queries execute
     /// one at a time through the unchanged single-query engine.
     pub service: Option<ServiceSpec>,
+    /// Optional durable write path (WAL-backed WOS→ROS ingest with
+    /// epoch-based snapshot reads). Defaults to **off** (`None`): the
+    /// system is the read-only engine of the paper, bit-identical to
+    /// configurations that predate the write path.
+    pub ingest: Option<IngestSpec>,
 }
 
 impl Default for SystemConfig {
@@ -245,6 +282,7 @@ impl Default for SystemConfig {
             on_corrupt: OnCorrupt::Retry,
             cache: None,
             service: None,
+            ingest: None,
         }
     }
 }
@@ -299,6 +337,11 @@ impl SystemConfig {
                 }
             }
         }
+        if let Some(i) = &self.ingest {
+            if i.wal_page < 64 {
+                return Err(Error::InvalidConfig("ingest wal_page < 64".into()));
+            }
+        }
         Ok(())
     }
 
@@ -349,6 +392,12 @@ impl SystemConfig {
     /// Convenience: the same config with the concurrent query service on.
     pub fn with_service(mut self, service: ServiceSpec) -> Self {
         self.service = Some(service);
+        self
+    }
+
+    /// Convenience: the same config with the durable write path enabled.
+    pub fn with_ingest(mut self, ingest: IngestSpec) -> Self {
+        self.ingest = Some(ingest);
         self
     }
 }
@@ -566,6 +615,21 @@ mod tests {
             format!("{}/{}", Admission::Fifo, Admission::Priority),
             "fifo/priority"
         );
+    }
+
+    #[test]
+    fn ingest_defaults_off_and_validates() {
+        assert!(SystemConfig::default().ingest.is_none());
+        let spec = IngestSpec::manual();
+        assert_eq!((spec.auto_merge_rows, spec.wal_page), (0, 4096));
+        let spec = spec.with_auto_merge(500);
+        assert_eq!(spec.auto_merge_rows, 500);
+        assert!(SystemConfig::default().with_ingest(spec).validate().is_ok());
+        let bad = SystemConfig::default().with_ingest(IngestSpec {
+            auto_merge_rows: 0,
+            wal_page: 16,
+        });
+        assert!(bad.validate().is_err());
     }
 
     #[test]

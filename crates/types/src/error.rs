@@ -18,6 +18,13 @@ pub enum CorruptKind {
     Truncated,
     /// Contents are well-transferred but structurally invalid.
     Format,
+    /// A write-ahead-log record frame failed its CRC (bit rot or damage
+    /// inside the log). Recovery truncates the log to its longest valid
+    /// prefix — there is no replica to retry against, so not retryable.
+    WalChecksum,
+    /// The write-ahead log ends mid-record (torn tail write). Recovery
+    /// discards the torn frame and keeps the valid prefix; not retryable.
+    WalTorn,
 }
 
 /// Context for a corruption error: the kind, where it was observed (when the
@@ -202,6 +209,9 @@ mod tests {
         assert!(Error::corrupt_kind(CorruptKind::Checksum, "x").is_retryable());
         assert!(Error::corrupt_kind(CorruptKind::Truncated, "x").is_retryable());
         assert!(!Error::corrupt_kind(CorruptKind::Format, "x").is_retryable());
+        // WAL damage is recovered by prefix truncation, never replica retry.
+        assert!(!Error::corrupt_kind(CorruptKind::WalChecksum, "x").is_retryable());
+        assert!(!Error::corrupt_kind(CorruptKind::WalTorn, "x").is_retryable());
         assert!(!Error::corrupt("x").is_retryable());
         let retryable: Error = std::io::Error::new(std::io::ErrorKind::Interrupted, "i").into();
         assert!(retryable.is_retryable());

@@ -30,8 +30,9 @@ pub mod prelude {
     pub use rodb_core::{
         compare_layouts, materialize, predicted_speedup, projectivity_sweep, recommend_compression,
         recommend_layout, recommend_vertical_partitions, Database, ExperimentConfig,
-        LayoutComparison, MvRecommendation, ParallelInfo, QueryBuilder, QueryOutcome, QueryPattern,
-        QueryResult, QueryService, ServiceReport, ServiceRequest,
+        IngestSnapshot, IngestStats, IngestStore, LayoutComparison, MvRecommendation, ParallelInfo,
+        QueryBuilder, QueryOutcome, QueryPattern, QueryResult, QueryService, ServiceReport,
+        ServiceRequest,
     };
     pub use rodb_engine::{shared_row_scan, SharedScanOutput, SharedScanQuery};
     pub use rodb_engine::{
@@ -48,7 +49,7 @@ pub mod prelude {
     };
     pub use rodb_trace::{Json, MetricsRegistry, QueryTrace};
     pub use rodb_types::{
-        Admission, Column, DataType, Error, HardwareConfig, Result, Schema, ServiceSpec,
-        SystemConfig, Value,
+        Admission, Column, DataType, Error, HardwareConfig, IngestSpec, Result, Schema,
+        ServiceSpec, SystemConfig, Value,
     };
 }

@@ -294,6 +294,8 @@ fn io_stats_merge_sums_every_field() {
             repairs: 1,
             quarantined_pages: 1,
             dropped_rows: 100,
+            wal_replayed: 3,
+            wal_discarded: 1,
         },
         cache: CacheStats {
             hits: 8,
@@ -316,6 +318,8 @@ fn io_stats_merge_sums_every_field() {
             repairs: 3,
             quarantined_pages: 0,
             dropped_rows: 20,
+            wal_replayed: 2,
+            wal_discarded: 0,
         },
         cache: CacheStats {
             hits: 1,
@@ -335,6 +339,8 @@ fn io_stats_merge_sums_every_field() {
     assert_eq!(m.recovery.repairs, 4);
     assert_eq!(m.recovery.quarantined_pages, 1);
     assert_eq!(m.recovery.dropped_rows, 120);
+    assert_eq!(m.recovery.wal_replayed, 5);
+    assert_eq!(m.recovery.wal_discarded, 1);
     assert_eq!(m.cache.hits, 9);
     assert_eq!(m.cache.misses, 11);
     assert_eq!(m.cache.evictions, 3);
