@@ -1,0 +1,405 @@
+//! Observability plane overhead and fidelity gates.
+//!
+//! The plane's design contract is "observation reads the modeled clock but
+//! never charges it": with `SystemConfig::observe` unset nothing is
+//! recorded and nothing changes, and with it set the schedule must still
+//! be bit-identical because timelines, the flight recorder, and SLO
+//! accounting only copy values the service already computed. This harness
+//! drives the same Poisson workload as `bench_service` with the plane off
+//! and fully on (timelines + flight recorder + SLO + an owned registry +
+//! the monitoring endpoint) and enforces that contract.
+//!
+//! Gates (exit 1 on failure):
+//! 1. **Bit-identity** — observed run's makespan, per-query latencies,
+//!    and I/O totals equal the unobserved run's bit-for-bit (0% modeled
+//!    overhead, far inside the ≤2% budget).
+//! 2. **Wall overhead** — best-of-N wall time with the full plane on is
+//!    within 2% (plus a 30 ms timer-noise floor) of the plane-off run.
+//! 3. **Reconciliation** — the registry's `query.sched.completed`, the
+//!    timeline's `service.completed` total, and the final report agree
+//!    exactly, and the Prometheus exposition passes the strict validator.
+//! 4. **Flight retention** — per window, the recorder holds exactly the K
+//!    slowest normal completions, and every deadline-missed query of a
+//!    tight-deadline variant is retained unconditionally.
+//! 5. **SLO fidelity** — per-tenant latency quantiles are bit-equal to a
+//!    sorted-Vec oracle over that tenant's outcomes.
+//!
+//! The `/metrics` and `/healthz` endpoints are exercised in-process over a
+//! real TCP socket. Results land in `results/bench_observability.json`;
+//! `--smoke` shrinks the table for CI.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rodb_core::{QueryBuilder, QueryOutcome, QueryService, ServiceReport, ServiceRequest};
+use rodb_engine::{CmpOp, ScanLayout};
+use rodb_storage::{BuildLayouts, Table, TableBuilder};
+use rodb_trace::{
+    check_exposition, monitor_handle, prometheus, render_top, Json, MetricsHandle, MonitorServer,
+    Registry,
+};
+use rodb_types::{
+    Column, HardwareConfig, ObserveSpec, Schema, ServiceSpec, SplitMix64, SystemConfig, Value,
+};
+
+const PAGE: usize = 4096;
+const QUERIES: usize = 8;
+const REPEATS: usize = 3;
+
+fn build_table(n: usize) -> Arc<Table> {
+    let schema = Arc::new(
+        Schema::new((0..8).map(|i| Column::int(format!("f{i}"))).collect()).expect("schema"),
+    );
+    let mut b = TableBuilder::new("hot", schema, PAGE, BuildLayouts::both()).expect("builder");
+    for i in 0..n {
+        let v = i as i32;
+        b.push_row(&[
+            Value::Int(v % 100),
+            Value::Int(v),
+            Value::Int(v % 7),
+            Value::Int(v % 13),
+            Value::Int(v % 17),
+            Value::Int(v % 19),
+            Value::Int(v % 23),
+            Value::Int(v % 29),
+        ])
+        .expect("row");
+    }
+    Arc::new(b.finish().expect("table"))
+}
+
+fn query(table: &Arc<Table>, i: usize, sys: SystemConfig, vrows: u64) -> QueryBuilder {
+    let q = QueryBuilder::new(table.clone(), HardwareConfig::default(), sys)
+        .layout(ScanLayout::Row)
+        .select_indices(&[i % 8, (i + 3) % 8])
+        .scale_to_rows(vrows);
+    if i % 2 == 1 {
+        q.filter("f1", CmpOp::Lt, Value::Int((1_000 * i) as i32))
+            .expect("predicate")
+    } else {
+        q
+    }
+}
+
+struct Timed {
+    report: ServiceReport,
+    wall_s: f64,
+    reg: MetricsHandle,
+}
+
+fn run_once(
+    table: &Arc<Table>,
+    sys: SystemConfig,
+    vrows: u64,
+    arrivals: &[f64],
+    monitor: bool,
+) -> Timed {
+    let reg = Registry::handle();
+    let mut svc = QueryService::new(HardwareConfig::default(), sys)
+        .expect("service")
+        .metrics(reg.clone());
+    let handle = monitor_handle();
+    if monitor {
+        svc = svc.publish(handle);
+    }
+    for (i, &at) in arrivals.iter().enumerate() {
+        svc.submit(
+            ServiceRequest::new(query(table, i, sys, vrows))
+                .at(at)
+                .tenant(["a", "b", "c"][i % 3])
+                .measure_only(),
+        );
+    }
+    let start = Instant::now();
+    let report = svc.run().expect("run");
+    Timed {
+        report,
+        wall_s: start.elapsed().as_secs_f64(),
+        reg,
+    }
+}
+
+/// Exact nearest-rank quantile — the oracle exact-mode histograms must hit.
+fn oracle_q(values: &[f64], q: f64) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[((v.len() as f64 - 1.0) * q).round() as usize]
+}
+
+fn completed(r: &ServiceReport) -> Vec<&QueryOutcome> {
+    r.outcomes.iter().filter(|o| !o.rejected).collect()
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect monitor");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: rodb\r\nConnection: close\r\n\r\n"
+    )
+    .expect("request");
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("response");
+    let split = buf.find("\r\n\r\n").expect("header/body split");
+    (buf[..split].to_string(), buf[split + 4..].to_string())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 20_000 } else { 100_000 };
+    let vrows = rodb_bench::virtual_rows();
+    rodb_bench::banner(
+        "bench_observability",
+        "observability plane: zero modeled cost, <=2% wall cost, exact accounting",
+    );
+    let table = build_table(n);
+    let scale = vrows as f64 / n as f64;
+    let hw = HardwareConfig::default();
+
+    let pass_bytes = table.row.as_ref().expect("row storage").byte_len() as f64 * scale;
+    let est_pass_s = pass_bytes / hw.aggregate_disk_bw();
+    let lambda = QUERIES as f64 / est_pass_s;
+    let spec = ServiceSpec::new(QUERIES).with_slice(est_pass_s / 24.0);
+    let ospec = ObserveSpec::new(est_pass_s / 4.0)
+        .with_flight_k(2)
+        .with_reservoir(4);
+    let base_sys = SystemConfig {
+        page_size: PAGE,
+        service: Some(spec),
+        ..SystemConfig::default()
+    };
+    let obs_sys = SystemConfig {
+        observe: Some(ospec),
+        ..base_sys
+    };
+
+    let mut rng = SplitMix64::new(rodb_bench::seed());
+    let mut arrivals = Vec::with_capacity(QUERIES);
+    let mut t = 0.0f64;
+    for _ in 0..QUERIES {
+        arrivals.push(t);
+        t += -rng.f64().max(1e-12).ln() / lambda;
+    }
+
+    // Best-of-N wall times for both modes; the modeled results of every
+    // repeat are identical by construction, so keep the last reports.
+    let mut off_wall = f64::INFINITY;
+    let mut on_wall = f64::INFINITY;
+    let mut off = None;
+    let mut on = None;
+    for _ in 0..REPEATS {
+        let r = run_once(&table, base_sys, vrows, &arrivals, false);
+        off_wall = off_wall.min(r.wall_s);
+        off = Some(r);
+        let r = run_once(&table, obs_sys, vrows, &arrivals, true);
+        on_wall = on_wall.min(r.wall_s);
+        on = Some(r);
+    }
+    let off = off.expect("baseline run");
+    let on = on.expect("observed run");
+    let mut failed = false;
+
+    // Gate 1: modeled clock and outcomes bit-identical.
+    let identical = off.report.makespan_s.to_bits() == on.report.makespan_s.to_bits()
+        && off.report.segments == on.report.segments
+        && off.report.io == on.report.io
+        && off
+            .report
+            .outcomes
+            .iter()
+            .zip(&on.report.outcomes)
+            .all(|(a, b)| {
+                a.latency_s.to_bits() == b.latency_s.to_bits()
+                    && a.queue_wait_s.to_bits() == b.queue_wait_s.to_bits()
+                    && a.nrows == b.nrows
+            });
+    if identical {
+        println!("gate: observe-on is bit-identical on the modeled clock (0.00% <= 2%)");
+    } else {
+        println!("FAIL: observation perturbed the modeled schedule");
+        failed = true;
+    }
+
+    // Gate 2: wall overhead within 2% (30 ms floor absorbs timer noise on
+    // smoke-sized runs).
+    let overhead = (on_wall - off_wall) / off_wall.max(1e-9);
+    if on_wall <= off_wall * 1.02 + 0.030 {
+        println!(
+            "gate: wall overhead {:+.2}% (off {:.3}s, on {:.3}s; need <= 2%)",
+            overhead * 100.0,
+            off_wall,
+            on_wall
+        );
+    } else {
+        println!(
+            "FAIL: wall overhead {:+.2}% (off {:.3}s, on {:.3}s) > 2%",
+            overhead * 100.0,
+            off_wall,
+            on_wall
+        );
+        failed = true;
+    }
+
+    // Gate 3: registry / timeline / report reconciliation + exposition.
+    let obs = on.report.observed.as_ref().expect("observed plane");
+    let done = completed(&on.report);
+    let snap = on.reg.snapshot();
+    let text = prometheus(&snap);
+    let reg_done = on.reg.counter("query.sched.completed") as usize;
+    let tl_done = obs.timeline.counter_total("service.completed") as usize;
+    match check_exposition(&text) {
+        Ok(()) if reg_done == done.len() && tl_done == done.len() => {
+            println!(
+                "gate: registry ({reg_done}), timeline ({tl_done}), and report ({}) agree; \
+                 exposition valid ({} lines)",
+                done.len(),
+                text.lines().count()
+            );
+        }
+        Ok(()) => {
+            println!(
+                "FAIL: counts disagree — registry {reg_done}, timeline {tl_done}, report {}",
+                done.len()
+            );
+            failed = true;
+        }
+        Err(e) => {
+            println!("FAIL: invalid exposition: {e}");
+            failed = true;
+        }
+    }
+
+    // Gate 4: flight retention — top-K slowest per window, and a
+    // tight-deadline variant retains every miss unconditionally.
+    let mut flight_ok = true;
+    for w in obs.flight.window_indices() {
+        let mut normal: Vec<f64> = done
+            .iter()
+            .filter(|o| !o.deadline_missed)
+            .filter(|o| obs.flight.window_of(o.arrival_s + o.latency_s) == w)
+            .map(|o| o.latency_s)
+            .collect();
+        normal.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let expect: Vec<u64> = normal.iter().take(2).map(|l| l.to_bits()).collect();
+        let got: Vec<u64> = obs
+            .flight
+            .slowest(w)
+            .iter()
+            .map(|e| e.latency_s.to_bits())
+            .collect();
+        if got != expect {
+            flight_ok = false;
+        }
+    }
+    let tight_sys = SystemConfig {
+        service: Some(spec.with_deadline(est_pass_s * 0.8)),
+        ..obs_sys
+    };
+    let tight = run_once(&table, tight_sys, vrows, &arrivals, false);
+    let tobs = tight.report.observed.as_ref().expect("observed plane");
+    let misses: Vec<&QueryOutcome> = tight
+        .report
+        .outcomes
+        .iter()
+        .filter(|o| o.deadline_missed && !o.rejected)
+        .collect();
+    let all_retained = misses.iter().all(|o| {
+        tobs.flight
+            .anomalies(tobs.flight.window_of(o.arrival_s + o.latency_s))
+            .iter()
+            .any(|e| e.latency_s.to_bits() == o.latency_s.to_bits() && e.deadline_missed)
+    });
+    if flight_ok && all_retained && !misses.is_empty() {
+        println!(
+            "gate: flight recorder holds the K slowest per window and all {} deadline misses",
+            misses.len()
+        );
+    } else if misses.is_empty() {
+        println!("FAIL: tight-deadline variant produced no misses — gate is vacuous");
+        failed = true;
+    } else {
+        println!(
+            "FAIL: flight retention (slowest ok: {flight_ok}, misses retained: {all_retained})"
+        );
+        failed = true;
+    }
+
+    // Gate 5: tenant SLO quantiles vs the sorted-Vec oracle.
+    let mut slo_ok = true;
+    for ts in &obs.slo.tenants {
+        let lats: Vec<f64> = done
+            .iter()
+            .filter(|o| o.tenant == ts.tenant)
+            .map(|o| o.latency_s)
+            .collect();
+        for q in [0.5, 0.95, 0.99] {
+            if ts.latency.quantile(q).to_bits() != oracle_q(&lats, q).to_bits() {
+                slo_ok = false;
+            }
+        }
+    }
+    if slo_ok {
+        println!(
+            "gate: tenant SLO quantiles bit-match the oracle (fairness {:.4})",
+            obs.slo.fairness
+        );
+    } else {
+        println!("FAIL: tenant SLO quantiles diverge from the sorted-Vec oracle");
+        failed = true;
+    }
+
+    // Endpoint smoke over a real socket: serve the published state and
+    // validate both routes.
+    let handle = monitor_handle();
+    {
+        let mut state = handle.lock().expect("monitor state");
+        state.healthy = true;
+        state.metrics = snap;
+        state.status = on.report.to_status_json();
+    }
+    let server = MonitorServer::start("127.0.0.1:0", handle).expect("monitor server");
+    let (head, body) = http_get(server.local_addr(), "/metrics");
+    let metrics_ok = head.starts_with("HTTP/1.1 200") && check_exposition(&body).is_ok();
+    let (hhead, hbody) = http_get(server.local_addr(), "/healthz");
+    let health_ok = hhead.starts_with("HTTP/1.1 200") && hbody.trim() == "ok";
+    let (shead, sbody) = http_get(server.local_addr(), "/status");
+    let status_ok = shead.starts_with("HTTP/1.1 200") && Json::parse(&sbody).is_ok();
+    server.stop();
+    if metrics_ok && health_ok && status_ok {
+        println!("gate: /metrics, /healthz, /status served and validated over TCP");
+    } else {
+        println!(
+            "FAIL: endpoint smoke (metrics {metrics_ok}, healthz {health_ok}, status {status_ok})"
+        );
+        failed = true;
+    }
+
+    println!("\n{}", render_top(&on.report.to_status_json()));
+
+    let doc = Json::obj()
+        .set("bench", "observability")
+        .set("rows", n)
+        .set("smoke", smoke)
+        .set("virtual_rows", vrows)
+        .set("queries", QUERIES)
+        .set("seed", rodb_bench::seed())
+        .set("modeled_bit_identical", identical)
+        .set("wall_off_s", off_wall)
+        .set("wall_on_s", on_wall)
+        .set("wall_overhead_frac", overhead)
+        .set("completed", done.len())
+        .set("deadline_misses_tight", misses.len() as u64)
+        .set("flight_recorded", obs.flight.recorded())
+        .set("fairness", obs.slo.fairness)
+        .set("timeline_windows", obs.timeline.len())
+        .set("exposition_lines", text.lines().count())
+        .set("observed", obs.to_json());
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/bench_observability.json", doc.pretty()).expect("write results");
+    println!("wrote results/bench_observability.json");
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -194,7 +194,21 @@ impl IngestStore {
         MetricsRegistry::counter_add("query.ingest.recoveries", 1.0);
         MetricsRegistry::counter_add("query.ingest.wal_replayed", replay.replayed as f64);
         MetricsRegistry::counter_add("query.ingest.wal_discarded", replay.discarded as f64);
+        store.publish_gauges();
         Ok((store, replay))
+    }
+
+    /// Refresh the registry gauges the observability timeline samples:
+    /// WOS staging depth (the WAL lag — rows durable but not yet merged
+    /// into read-optimized pages), WAL image size, and the live epoch.
+    fn publish_gauges(&self) {
+        MetricsRegistry::gauge_set("ingest.wos_rows", self.wos.len() as f64);
+        MetricsRegistry::gauge_set("ingest.wal_bytes", self.wal.len() as f64);
+        MetricsRegistry::gauge_set("ingest.epoch", self.epoch as f64);
+        MetricsRegistry::gauge_set(
+            "ingest.merge_pending",
+            if self.pending.is_some() { 1.0 } else { 0.0 },
+        );
     }
 
     /// Record ingest spans (insert / wal / merge) into `tracer`.
@@ -232,6 +246,7 @@ impl IngestStore {
         }
         MetricsRegistry::counter_add("query.ingest.inserted_rows", batch as f64);
         MetricsRegistry::counter_add("query.ingest.wal_bytes", frame as f64);
+        self.publish_gauges();
         if self.spec.auto_merge_rows > 0
             && self.pending.is_none()
             && self.wos.len() >= self.spec.auto_merge_rows
@@ -259,6 +274,7 @@ impl IngestStore {
             .wos
             .merge_prefix_into(rows, &self.ros, &self.comps, self.sort_by)?;
         self.pending = Some(PendingMerge { epoch, rows, table });
+        self.publish_gauges();
         Ok(())
     }
 
@@ -290,6 +306,7 @@ impl IngestStore {
         }
         MetricsRegistry::counter_add("query.ingest.merges", 1.0);
         MetricsRegistry::counter_add("query.ingest.merged_rows", pending.rows as f64);
+        self.publish_gauges();
         Ok(self.ros.clone())
     }
 

@@ -29,4 +29,6 @@ pub use experiment::{
 pub use ingest::{IngestSnapshot, IngestStats, IngestStore};
 pub use mv::{materialize, recommend_vertical_partitions, MvRecommendation, QueryPattern};
 pub use query::{ParallelInfo, QueryBuilder, QueryResult};
-pub use service::{QueryOutcome, QueryService, ServiceReport, ServiceRequest};
+pub use service::{
+    Observed, QueryOutcome, QueryService, ServiceReport, ServiceRequest, SloReport, TenantSlo,
+};

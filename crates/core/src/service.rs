@@ -20,12 +20,17 @@
 //! service layer does not exist: [`crate::QueryBuilder::run`] takes the
 //! ordinary single-query engine paths untouched.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rodb_engine::{CursorQuery, ScanLayout, SharedCursor, SharedCursorConfig};
 use rodb_io::{shared_page_cache, IoStats, SharedPageCache};
-use rodb_trace::{MetricsRegistry, QueryTrace, SpanKind, Tracer, ROOT};
-use rodb_types::{Admission, Error, HardwareConfig, Result, ServiceSpec, SystemConfig, Value};
+use rodb_trace::{
+    FlightEntry, FlightRecorder, Histogram, Json, MetricsHandle, MonitorHandle, QueryTrace,
+    Registry, SpanKind, Timeline, Tracer, ROOT,
+};
+use rodb_types::{
+    Admission, Error, HardwareConfig, ObserveSpec, Result, ServiceSpec, SystemConfig, Value,
+};
 
 use crate::query::QueryBuilder;
 
@@ -123,6 +128,324 @@ pub struct ServiceReport {
     pub wraparounds: u64,
     /// Root span with one `sched` child per query (when tracing was on).
     pub trace: Option<QueryTrace>,
+    /// What the observability plane captured (when
+    /// [`SystemConfig::observe`](rodb_types::SystemConfig) was set; `None`
+    /// — the default — leaves every other field bit-identical to a
+    /// plane-less run).
+    pub observed: Option<Observed>,
+}
+
+/// Per-tenant SLO accounting for one service run: windowed-latency
+/// quantiles (exact against a sorted-Vec oracle below
+/// [`Histogram::SAMPLE_CAP`] observations), deadline-miss and
+/// admission-rejection rates, and this tenant's share of all charged
+/// modeled service time.
+#[derive(Debug, Clone)]
+pub struct TenantSlo {
+    pub tenant: String,
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub deadline_missed: u64,
+    /// Modeled service seconds charged to this tenant (slice cost split
+    /// evenly across a segment's riders — the admission fair-share key).
+    pub service_s: f64,
+    /// `service_s` as a fraction of all tenants' charged time.
+    pub share: f64,
+    /// Completed-query latency population.
+    pub latency: Histogram,
+    /// Completed-query admission-queue wait population.
+    pub queue_wait: Histogram,
+}
+
+impl TenantSlo {
+    /// Deadline misses per completed query.
+    pub fn miss_rate(&self) -> f64 {
+        if self.completed > 0 {
+            self.deadline_missed as f64 / self.completed as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Admission rejections per submitted query.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.submitted > 0 {
+            self.rejected as f64 / self.submitted as f64
+        } else {
+            0.0
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("tenant", self.tenant.as_str())
+            .set("submitted", self.submitted)
+            .set("completed", self.completed)
+            .set("rejected", self.rejected)
+            .set("deadline_missed", self.deadline_missed)
+            .set("miss_rate", self.miss_rate())
+            .set("rejection_rate", self.rejection_rate())
+            .set("latency_p50_s", self.latency.quantile(0.50))
+            .set("latency_p95_s", self.latency.quantile(0.95))
+            .set("latency_p99_s", self.latency.quantile(0.99))
+            .set("queue_wait_p95_s", self.queue_wait.quantile(0.95))
+            .set("service_s", self.service_s)
+            .set("share", self.share)
+    }
+}
+
+/// Tenant SLO table plus the cross-tenant fairness index.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    /// Per-tenant accounting, sorted by tenant name.
+    pub tenants: Vec<TenantSlo>,
+    /// Jain's fairness index `(Σx)² / (n·Σx²)` over the tenants' charged
+    /// service time: 1.0 = perfectly even shares, `1/n` = one tenant
+    /// monopolized the service.
+    pub fairness: f64,
+}
+
+impl SloReport {
+    pub fn tenant(&self, name: &str) -> Option<&TenantSlo> {
+        self.tenants.iter().find(|t| t.tenant == name)
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj().set("fairness", self.fairness).set(
+            "tenants",
+            self.tenants
+                .iter()
+                .map(TenantSlo::to_json)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Everything the observability plane captured in one service run.
+#[derive(Debug, Clone)]
+pub struct Observed {
+    /// Windowed throughput / latency / cache / WAL-lag curves.
+    pub timeline: Timeline,
+    /// Tail-based retention: K slowest + all anomalous queries per window.
+    pub flight: FlightRecorder,
+    /// Per-tenant SLO accounting and the fairness index.
+    pub slo: SloReport,
+}
+
+impl Observed {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("timeline", self.timeline.to_json())
+            .set("flight", self.flight.to_json())
+            .set("slo", self.slo.to_json())
+    }
+}
+
+fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    if s2 <= 0.0 {
+        1.0
+    } else {
+        s * s / (xs.len() as f64 * s2)
+    }
+}
+
+/// Per-tenant accumulators while the run is in motion.
+#[derive(Debug, Default, Clone)]
+struct TenantAcc {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    deadline_missed: u64,
+    latency: Histogram,
+    queue_wait: Histogram,
+}
+
+/// The live observability plane of one `run()`: created only when
+/// `SystemConfig::observe` is set, and fed purely from values the event
+/// loop already computes — it reads the modeled clock but never charges
+/// it, so the simulation is bit-identical with the plane on or off.
+struct Plane {
+    timeline: Timeline,
+    flight: FlightRecorder,
+    tenants: BTreeMap<String, TenantAcc>,
+    /// Per-cursor I/O totals at the previous segment boundary, for
+    /// windowed deltas (bytes, cache hits) per segment.
+    last_io: Vec<IoStats>,
+    /// Cursor quarantine totals at each query's attach, to tag flight
+    /// records that rode a cursor while it quarantined pages.
+    quarantined_at_attach: HashMap<usize, u64>,
+}
+
+impl Plane {
+    fn new(spec: ObserveSpec) -> Plane {
+        Plane {
+            timeline: Timeline::new(spec.window_s),
+            flight: FlightRecorder::new(spec.window_s, spec.flight_k, spec.flight_reservoir),
+            tenants: BTreeMap::new(),
+            last_io: Vec::new(),
+            quarantined_at_attach: HashMap::new(),
+        }
+    }
+
+    fn tenant_mut(&mut self, tenant: &str) -> &mut TenantAcc {
+        if !self.tenants.contains_key(tenant) {
+            self.tenants
+                .insert(tenant.to_string(), TenantAcc::default());
+        }
+        self.tenants.get_mut(tenant).unwrap()
+    }
+
+    /// Windowed per-segment deltas and depth gauges.
+    #[allow(clippy::too_many_arguments)]
+    fn on_segment(
+        &mut self,
+        clock: f64,
+        cidx: usize,
+        io: IoStats,
+        wrapped: bool,
+        queued: usize,
+        inflight: usize,
+        cache: Option<&SharedPageCache>,
+        reg: &Registry,
+    ) {
+        self.timeline.counter_add(clock, "service.segments", 1.0);
+        if wrapped {
+            self.timeline.counter_add(clock, "service.wraparounds", 1.0);
+        }
+        if self.last_io.len() <= cidx {
+            self.last_io.resize(cidx + 1, IoStats::default());
+        }
+        let prev = self.last_io[cidx];
+        self.timeline.counter_add(
+            clock,
+            "service.io.bytes_read",
+            io.bytes_read - prev.bytes_read,
+        );
+        self.timeline
+            .counter_add(clock, "service.io.seeks", (io.seeks - prev.seeks) as f64);
+        self.timeline.counter_add(
+            clock,
+            "service.cache.hits",
+            (io.cache.hits - prev.cache.hits) as f64,
+        );
+        self.timeline.counter_add(
+            clock,
+            "service.cache.misses",
+            (io.cache.misses - prev.cache.misses) as f64,
+        );
+        self.timeline.counter_add(
+            clock,
+            "service.cache.evictions",
+            (io.cache.evictions - prev.cache.evictions) as f64,
+        );
+        self.last_io[cidx] = io;
+        self.timeline
+            .gauge_set(clock, "service.queue_depth", queued as f64);
+        self.timeline
+            .gauge_set(clock, "service.inflight", inflight as f64);
+        if let Some(c) = cache {
+            let c = c.borrow();
+            self.timeline
+                .gauge_set(clock, "service.cache.resident_pages", c.len() as f64);
+            self.timeline
+                .gauge_set(clock, "service.cache.occupancy", c.occupancy());
+        }
+        // Sample engine/ingest gauges (WAL lag, WOS size, scheduler depth)
+        // into the timeline so their curves line up with the service's.
+        for (name, v) in reg.gauges() {
+            if name.starts_with("ingest.") || name.starts_with("sched.") {
+                self.timeline.gauge_set(clock, &name, v);
+            }
+        }
+    }
+
+    /// The SLO table from the accumulated per-tenant facts plus the run's
+    /// charged service-time shares.
+    fn slo_report(&self, tenant_service: &HashMap<String, f64>) -> SloReport {
+        let total: f64 = tenant_service.values().sum();
+        let tenants: Vec<TenantSlo> = self
+            .tenants
+            .iter()
+            .map(|(name, acc)| {
+                let service_s = tenant_service.get(name).copied().unwrap_or(0.0);
+                TenantSlo {
+                    tenant: name.clone(),
+                    submitted: acc.submitted,
+                    completed: acc.completed,
+                    rejected: acc.rejected,
+                    deadline_missed: acc.deadline_missed,
+                    service_s,
+                    share: if total > 0.0 { service_s / total } else { 0.0 },
+                    latency: acc.latency.clone(),
+                    queue_wait: acc.queue_wait.clone(),
+                }
+            })
+            .collect();
+        let xs: Vec<f64> = tenants.iter().map(|t| t.service_s).collect();
+        SloReport {
+            fairness: jain_fairness(&xs),
+            tenants,
+        }
+    }
+}
+
+/// The `/status` document: a service summary plus — when the plane is on —
+/// the SLO table, timeline, and flight-recorder dump. Shared by the live
+/// publisher and [`ServiceReport::to_status_json`].
+#[allow(clippy::too_many_arguments)]
+fn build_status(
+    clock: f64,
+    queued: usize,
+    inflight: usize,
+    completed: u64,
+    rejected: u64,
+    deadline_missed: u64,
+    segments: u64,
+    wraparounds: u64,
+    plane: Option<&Plane>,
+    tenant_service: &HashMap<String, f64>,
+) -> Json {
+    let mut doc = Json::obj().set(
+        "service",
+        Json::obj()
+            .set("clock_s", clock)
+            .set("completed", completed)
+            .set("inflight", inflight as u64)
+            .set("queued", queued as u64)
+            .set("rejected", rejected)
+            .set("deadline_missed", deadline_missed)
+            .set("segments", segments)
+            .set("wraparounds", wraparounds)
+            .set(
+                "throughput_per_s",
+                if clock > 0.0 {
+                    completed as f64 / clock
+                } else {
+                    0.0
+                },
+            ),
+    );
+    if let Some(p) = plane {
+        let slo = p.slo_report(tenant_service);
+        doc = doc
+            .set("fairness", slo.fairness)
+            .set(
+                "tenants",
+                slo.tenants
+                    .iter()
+                    .map(TenantSlo::to_json)
+                    .collect::<Vec<_>>(),
+            )
+            .set("timeline", p.timeline.to_json())
+            .set("flight", p.flight.to_json());
+    }
+    doc
 }
 
 impl ServiceReport {
@@ -151,6 +474,48 @@ impl ServiceReport {
         let idx = ((lats.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         lats[idx]
     }
+
+    /// The final `/status`-shaped document for this report — what
+    /// `rodb-top` renders offline and the bench bins write alongside their
+    /// summaries. Includes the SLO table / timeline / flight dump when the
+    /// run was observed.
+    pub fn to_status_json(&self) -> Json {
+        let completed = self.outcomes.iter().filter(|o| !o.rejected).count() as u64;
+        let rejected = self.outcomes.iter().filter(|o| o.rejected).count() as u64;
+        let missed = self
+            .outcomes
+            .iter()
+            .filter(|o| o.deadline_missed && !o.rejected)
+            .count() as u64;
+        let mut doc = Json::obj().set(
+            "service",
+            Json::obj()
+                .set("clock_s", self.makespan_s)
+                .set("completed", completed)
+                .set("inflight", 0u64)
+                .set("queued", 0u64)
+                .set("rejected", rejected)
+                .set("deadline_missed", missed)
+                .set("segments", self.segments)
+                .set("wraparounds", self.wraparounds)
+                .set("throughput_per_s", self.throughput()),
+        );
+        if let Some(obs) = &self.observed {
+            doc = doc
+                .set("fairness", obs.slo.fairness)
+                .set(
+                    "tenants",
+                    obs.slo
+                        .tenants
+                        .iter()
+                        .map(TenantSlo::to_json)
+                        .collect::<Vec<_>>(),
+                )
+                .set("timeline", obs.timeline.to_json())
+                .set("flight", obs.flight.to_json());
+        }
+        doc
+    }
 }
 
 struct Waiting {
@@ -176,6 +541,8 @@ pub struct QueryService {
     spec: ServiceSpec,
     requests: Vec<ServiceRequest>,
     trace: bool,
+    reg: MetricsHandle,
+    monitor: Option<MonitorHandle>,
 }
 
 impl QueryService {
@@ -196,12 +563,32 @@ impl QueryService {
             spec,
             requests: Vec::new(),
             trace: false,
+            reg: Registry::global().clone(),
+            monitor: None,
         })
     }
 
     /// Record per-query `sched` spans in a service-wide trace.
     pub fn trace(mut self, on: bool) -> QueryService {
         self.trace = on;
+        self
+    }
+
+    /// Route this service's metric emission through an owned [`Registry`]
+    /// instead of the process-wide default — drivers that reconcile
+    /// counters against reports (bench, fuzz) use this so parallel runs
+    /// can never interleave drains.
+    pub fn metrics(mut self, reg: MetricsHandle) -> QueryService {
+        self.reg = reg;
+        self
+    }
+
+    /// Publish rolling status + metrics snapshots into a monitor handle
+    /// after every segment — what the `monitor`-feature HTTP endpoint and
+    /// the `rodb-top` renderer read. Publishing copies already-computed
+    /// values; it never touches the modeled clock.
+    pub fn publish(mut self, monitor: MonitorHandle) -> QueryService {
+        self.monitor = Some(monitor);
         self
     }
 
@@ -244,9 +631,23 @@ impl QueryService {
                     "service requests must share one scale_to_rows setting".into(),
                 ));
             }
-            MetricsRegistry::counter_add("query.sched.submitted", 1.0);
+            self.reg.counter_add("query.sched.submitted", 1.0);
         }
         let tracer = self.trace.then(Tracer::new);
+        // The observability plane exists only when configured; with
+        // `observe: None` (the default) nothing below reads or writes it
+        // and the run is bit-identical to a plane-less build.
+        let mut plane = self.sys.observe.map(Plane::new);
+        if let Some(p) = &mut plane {
+            for r in &requests {
+                p.tenant_mut(&r.tenant).submitted += 1;
+                self.reg
+                    .counter_add(&format!("query.tenant.{}.submitted", r.tenant), 1.0);
+            }
+        }
+        // Live totals for status publishing (plain locals; never fed back
+        // into scheduling decisions).
+        let (mut completed_n, mut rejected_n, mut missed_n) = (0u64, 0u64, 0u64);
 
         // Arrival stream: (arrival, seq) ascending.
         let mut pending: Vec<Waiting> = requests
@@ -303,7 +704,30 @@ impl QueryService {
                 let w = queue.remove(best);
                 if let Some(deadline) = self.spec.deadline_s {
                     if clock - w.req.arrival_s > deadline {
-                        MetricsRegistry::counter_add("query.sched.rejected_deadline", 1.0);
+                        self.reg.counter_add("query.sched.rejected_deadline", 1.0);
+                        rejected_n += 1;
+                        if let Some(p) = &mut plane {
+                            p.tenant_mut(&w.req.tenant).rejected += 1;
+                            p.timeline.counter_add(clock, "service.rejected", 1.0);
+                            p.flight.record(
+                                clock,
+                                FlightEntry {
+                                    seq: w.seq as u64,
+                                    tenant: w.req.tenant.clone(),
+                                    arrival_s: w.req.arrival_s,
+                                    queue_wait_s: clock - w.req.arrival_s,
+                                    latency_s: clock - w.req.arrival_s,
+                                    rows: 0,
+                                    deadline_missed: false,
+                                    rejected: true,
+                                    quarantine_touched: false,
+                                },
+                            );
+                            self.reg.counter_add(
+                                &format!("query.tenant.{}.rejected", w.req.tenant),
+                                1.0,
+                            );
+                        }
                         outcomes[w.seq] = Some(QueryOutcome {
                             tenant: w.req.tenant.clone(),
                             priority: w.req.priority,
@@ -361,10 +785,18 @@ impl QueryService {
                 });
                 admitted_at[w.seq] = clock;
                 let wait = clock - w.req.arrival_s;
-                MetricsRegistry::counter_add("query.sched.admitted", 1.0);
-                MetricsRegistry::observe("query.sched.queue_wait_s", wait);
+                self.reg.counter_add("query.sched.admitted", 1.0);
+                self.reg.observe("query.sched.queue_wait_s", wait);
                 if mid_scan {
-                    MetricsRegistry::counter_add("query.sched.attach_mid_scan", 1.0);
+                    self.reg.counter_add("query.sched.attach_mid_scan", 1.0);
+                }
+                if let Some(p) = &mut plane {
+                    p.timeline.counter_add(clock, "service.admitted", 1.0);
+                    p.timeline.observe(clock, "service.queue_wait_s", wait);
+                    p.quarantined_at_attach.insert(
+                        w.seq,
+                        cursors[cidx].cursor.io_stats().recovery.quarantined_pages,
+                    );
                 }
                 inflight.push(Inflight {
                     seq: w.seq,
@@ -406,10 +838,10 @@ impl QueryService {
             let riders = cursors[cidx].cursor.active_count();
             let step = cursors[cidx].cursor.step()?;
             segments += 1;
-            MetricsRegistry::counter_add("query.sched.segments", 1.0);
+            self.reg.counter_add("query.sched.segments", 1.0);
             if step.wrapped {
                 wraparounds += 1;
-                MetricsRegistry::counter_add("query.sched.wraparounds", 1.0);
+                self.reg.counter_add("query.sched.wraparounds", 1.0);
             }
             clock += step.elapsed_s;
             cursors[cidx].service_s += step.elapsed_s;
@@ -420,6 +852,11 @@ impl QueryService {
                     *tenant_service.entry(o.tenant.clone()).or_insert(0.0) += share;
                 }
             }
+            let cursor_quarantined = if plane.is_some() {
+                cursors[cidx].cursor.io_stats().recovery.quarantined_pages
+            } else {
+                0
+            };
 
             // 5. Completions.
             for d in step.done {
@@ -433,10 +870,57 @@ impl QueryService {
                 o.attach_seg = d.attach_seg;
                 o.wrapped = d.wrapped;
                 o.deadline_missed = self.spec.deadline_s.is_some_and(|dl| o.latency_s > dl);
-                MetricsRegistry::counter_add("query.sched.completed", 1.0);
-                MetricsRegistry::observe("query.sched.latency_s", o.latency_s);
+                self.reg.counter_add("query.sched.completed", 1.0);
+                self.reg.observe("query.sched.latency_s", o.latency_s);
+                completed_n += 1;
                 if o.deadline_missed {
-                    MetricsRegistry::counter_add("query.sched.deadline_missed", 1.0);
+                    self.reg.counter_add("query.sched.deadline_missed", 1.0);
+                    missed_n += 1;
+                }
+                if let Some(p) = &mut plane {
+                    let acc = p.tenant_mut(&o.tenant);
+                    acc.completed += 1;
+                    acc.latency.observe(o.latency_s);
+                    acc.queue_wait.observe(o.queue_wait_s);
+                    if o.deadline_missed {
+                        acc.deadline_missed += 1;
+                    }
+                    p.timeline.counter_add(clock, "service.completed", 1.0);
+                    p.timeline.observe(clock, "service.latency_s", o.latency_s);
+                    p.timeline
+                        .counter_add(clock, "service.rows", o.nrows as f64);
+                    if o.deadline_missed {
+                        p.timeline
+                            .counter_add(clock, "service.deadline_missed", 1.0);
+                    }
+                    let touched = p
+                        .quarantined_at_attach
+                        .remove(&d.token)
+                        .is_some_and(|at| cursor_quarantined > at);
+                    p.flight.record(
+                        clock,
+                        FlightEntry {
+                            seq: d.token as u64,
+                            tenant: o.tenant.clone(),
+                            arrival_s: o.arrival_s,
+                            queue_wait_s: o.queue_wait_s,
+                            latency_s: o.latency_s,
+                            rows: o.nrows,
+                            deadline_missed: o.deadline_missed,
+                            rejected: false,
+                            quarantine_touched: touched,
+                        },
+                    );
+                    self.reg
+                        .counter_add(&format!("query.tenant.{}.completed", o.tenant), 1.0);
+                    self.reg
+                        .observe(&format!("query.tenant.{}.latency_s", o.tenant), o.latency_s);
+                    if o.deadline_missed {
+                        self.reg.counter_add(
+                            &format!("query.tenant.{}.deadline_missed", o.tenant),
+                            1.0,
+                        );
+                    }
                 }
                 if let Some(tr) = &tracer {
                     let span = tr.span(ROOT, &format!("query[{}]", d.token), SpanKind::Sched);
@@ -446,6 +930,39 @@ impl QueryService {
                     tr.set(span, "latency_s", o.latency_s);
                     tr.set(span, rodb_trace::keys::ROWS, o.nrows as f64);
                 }
+            }
+
+            // 6. Observe the segment just run (windowed I/O deltas, depth
+            // gauges) and publish a live snapshot for scrapers.
+            if let Some(p) = &mut plane {
+                p.on_segment(
+                    clock,
+                    cidx,
+                    cursors[cidx].cursor.io_stats(),
+                    step.wrapped,
+                    queue.len(),
+                    inflight.len(),
+                    cache.as_ref(),
+                    &self.reg,
+                );
+            }
+            if let Some(m) = &self.monitor {
+                let status = build_status(
+                    clock,
+                    queue.len(),
+                    inflight.len(),
+                    completed_n,
+                    rejected_n,
+                    missed_n,
+                    segments,
+                    wraparounds,
+                    plane.as_ref(),
+                    &tenant_service,
+                );
+                let mut state = m.lock().unwrap();
+                state.healthy = true;
+                state.metrics = self.reg.snapshot();
+                state.status = status;
             }
         }
 
@@ -458,6 +975,32 @@ impl QueryService {
             tr.set(ROOT, "wraparounds", wraparounds as f64);
             tr.finish()
         });
+        if let Some(m) = &self.monitor {
+            let status = build_status(
+                clock,
+                0,
+                0,
+                completed_n,
+                rejected_n,
+                missed_n,
+                segments,
+                wraparounds,
+                plane.as_ref(),
+                &tenant_service,
+            );
+            let mut state = m.lock().unwrap();
+            state.healthy = true;
+            state.metrics = self.reg.snapshot();
+            state.status = status;
+        }
+        let observed = plane.map(|p| {
+            let slo = p.slo_report(&tenant_service);
+            Observed {
+                timeline: p.timeline,
+                flight: p.flight,
+                slo,
+            }
+        });
         Ok(ServiceReport {
             makespan_s: clock,
             outcomes: outcomes
@@ -468,6 +1011,7 @@ impl QueryService {
             segments,
             wraparounds,
             trace,
+            observed,
         })
     }
 
@@ -511,6 +1055,7 @@ impl QueryService {
         Ok(ServiceReport {
             makespan_s: clock,
             outcomes: outcomes.into_iter().map(|o| o.unwrap()).collect(),
+            observed: None,
             io: total_io,
             segments: 0,
             wraparounds: 0,

@@ -164,6 +164,14 @@ impl TaskScheduler {
         let queue = AtomicUsize::new(0);
         let mut tagged: Vec<(usize, TaskOutcome)> = Vec::with_capacity(tasks.len());
         let pool = self.workers.min(tasks.len()).max(1);
+        rodb_trace::MetricsRegistry::counter_add("sched.batches", 1.0);
+        rodb_trace::MetricsRegistry::counter_add("sched.tasks", tasks.len() as f64);
+        rodb_trace::MetricsRegistry::gauge_set("sched.queue_depth", tasks.len() as f64);
+        rodb_trace::MetricsRegistry::gauge_set("sched.workers_engaged", pool as f64);
+        rodb_trace::MetricsRegistry::gauge_set(
+            "sched.worker_occupancy",
+            pool as f64 / self.workers as f64,
+        );
         std::thread::scope(|scope| -> Result<()> {
             let mut handles = Vec::with_capacity(pool);
             for _ in 0..pool {

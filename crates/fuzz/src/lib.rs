@@ -20,12 +20,15 @@ pub mod oracle;
 use std::sync::Arc;
 
 use rodb_compress::{Codec, ColumnCompression};
-use rodb_core::{Database, IngestStore, QueryBuilder, QueryResult, QueryService, ServiceRequest};
+use rodb_core::{
+    Database, IngestStore, QueryBuilder, QueryResult, QueryService, ServiceReport, ServiceRequest,
+};
 use rodb_engine::{AggSpec, CmpOp, Predicate, ScanLayout};
 use rodb_storage::{BuildLayouts, Layout, QuarantinedPage, Table, TableBuilder};
+use rodb_trace::Registry;
 use rodb_types::{
-    Admission, CacheSpec, DataType, Error, FaultSpec, HardwareConfig, IngestSpec, OnCorrupt,
-    ServiceSpec, SplitMix64, SystemConfig, Value,
+    Admission, CacheSpec, DataType, Error, FaultSpec, HardwareConfig, IngestSpec, ObserveSpec,
+    OnCorrupt, ServiceSpec, SplitMix64, SystemConfig, Value,
 };
 
 use gen::{CasePlan, StorageKind};
@@ -754,6 +757,240 @@ pub fn run_concurrent_case(seed: u64) -> Result<(), String> {
                 "seed {seed}: cache-off service run reported cache activity {:?} ({what})",
                 report.io.cache
             ));
+        }
+    }
+    Ok(())
+}
+
+/// Observe-mode case: the concurrent-style service workload run twice —
+/// observability off, then fully on (timelines + flight recorder + SLO
+/// accounting, a drawn window/K/reservoir geometry) — demanding the
+/// modeled system is **bit-identical** either way: every query's rows, the
+/// makespan and per-query latency clocks (compared by f64 bits), the I/O
+/// accounting, and the segment/wraparound counts. Observation must never
+/// perturb the simulation. The observed run's plane must also reconcile
+/// with the report it rode along with: timeline counter totals equal to
+/// outcome counts, every deadline-missed completion retained by the flight
+/// recorder in its completion window, and per-tenant SLO counts and
+/// quantiles equal to a Vec oracle over the outcomes.
+pub fn run_observe_case(seed: u64) -> Result<(), String> {
+    let plan = gen::generate(seed);
+    if plan.rows.is_empty() {
+        return Ok(());
+    }
+    let table = Arc::new(
+        catching(|| build_table(&plan))
+            .map_err(|p| format!("seed {seed}: build panicked: {p}"))?
+            .map_err(|e| format!("seed {seed}: build failed: {e:?}"))?,
+    );
+    let layout = match plan.layout {
+        ScanLayout::Row => ScanLayout::Row,
+        _ => ScanLayout::Column,
+    };
+
+    // A distinct draw stream: this mode's workloads need not match the
+    // concurrent mode's for the same seed, only be self-reproducible.
+    let mut rng = SplitMix64::new(seed ^ 0x0b5e_7e5e_ed15_c0de);
+    let mut riders = vec![RiderQuery {
+        projection: plan.projection.clone(),
+        predicates: plan.predicates.clone(),
+        group_by: plan.group_by,
+        aggs: plan.aggs.clone(),
+        sorted_agg: plan.sorted_agg,
+    }];
+    let k = 2 + rng.below(3) as usize;
+    while riders.len() < k {
+        riders.push(draw_rider(&mut rng, &plan));
+    }
+    let arrivals: Vec<f64> = (0..k)
+        .map(|i| if i == 0 { 0.0 } else { rng.f64() * 1.5 })
+        .collect();
+    let tenants: Vec<&str> = (0..k)
+        .map(|_| ["a", "b", "c"][rng.below(3) as usize])
+        .collect();
+    let priorities: Vec<u8> = (0..k).map(|_| rng.below(10) as u8).collect();
+    let mut spec = ServiceSpec::new(1 + rng.below(k as u64) as usize)
+        .with_slice([0.1, 0.25, 0.5][rng.below(3) as usize])
+        .with_admission(if rng.bool() {
+            Admission::Priority
+        } else {
+            Admission::Fifo
+        });
+    // Half the cases run with a deadline so the rejection / deadline-miss
+    // paths (and their flight-recorder anomaly retention) get exercised.
+    if rng.bool() {
+        spec = spec.with_deadline(0.25 + rng.f64());
+    }
+    let cache = if rng.bool() { Some(plan.cache) } else { None };
+    let base_sys = SystemConfig {
+        page_size: plan.page_size,
+        threads: plan.threads,
+        scan_fast_path: plan.scan_fast_path,
+        ..SystemConfig::default()
+    };
+    let ospec = ObserveSpec::new([0.25, 0.5, 1.0][rng.below(3) as usize])
+        .with_flight_k(1 + rng.below(4) as usize)
+        .with_reservoir(rng.below(5) as usize);
+
+    let run = |observe: Option<ObserveSpec>| -> Result<ServiceReport, String> {
+        let sys = SystemConfig {
+            service: Some(spec),
+            cache,
+            observe,
+            ..base_sys
+        };
+        // Each run owns its registry: sweeps never pollute the global one.
+        let mut svc = QueryService::new(HardwareConfig::default(), sys)
+            .map_err(|e| format!("seed {seed}: service rejected config: {e:?}"))?
+            .metrics(Registry::handle());
+        for (i, r) in riders.iter().enumerate() {
+            let q = build_rider(&table, layout, r, HardwareConfig::default(), sys)
+                .map_err(|e| format!("seed {seed}: rider {i} build failed: {e:?}"))?;
+            svc.submit(
+                ServiceRequest::new(q)
+                    .at(arrivals[i])
+                    .tenant(tenants[i])
+                    .priority(priorities[i]),
+            );
+        }
+        catching(|| svc.run())
+            .map_err(|p| {
+                format!(
+                    "seed {seed}: service PANIC (observe={}): {p}\n  case: {}",
+                    observe.is_some(),
+                    plan.describe()
+                )
+            })?
+            .map_err(|e| {
+                format!(
+                    "seed {seed}: service run failed (observe={}): {e:?}\n  case: {}",
+                    observe.is_some(),
+                    plan.describe()
+                )
+            })
+    };
+    let off = run(None)?;
+    let on = run(Some(ospec))?;
+
+    // --- The modeled system must be bit-identical. ---
+    if off.observed.is_some() {
+        return Err(format!("seed {seed}: observe-off run carries a plane"));
+    }
+    if on.makespan_s.to_bits() != off.makespan_s.to_bits() {
+        return Err(format!(
+            "seed {seed}: observation PERTURBED the clock: makespan {} (on) vs {} (off)",
+            on.makespan_s, off.makespan_s
+        ));
+    }
+    if (on.segments, on.wraparounds) != (off.segments, off.wraparounds) {
+        return Err(format!(
+            "seed {seed}: segment/wrap divergence: ({}, {}) on vs ({}, {}) off",
+            on.segments, on.wraparounds, off.segments, off.wraparounds
+        ));
+    }
+    if on.io != off.io {
+        return Err(format!(
+            "seed {seed}: I/O accounting divergence:\n  on:  {:?}\n  off: {:?}",
+            on.io, off.io
+        ));
+    }
+    if on.outcomes.len() != off.outcomes.len() {
+        return Err(format!("seed {seed}: outcome count divergence"));
+    }
+    for (i, (a, b)) in on.outcomes.iter().zip(&off.outcomes).enumerate() {
+        let clocks_match = a.latency_s.to_bits() == b.latency_s.to_bits()
+            && a.queue_wait_s.to_bits() == b.queue_wait_s.to_bits();
+        if !clocks_match
+            || a.rows != b.rows
+            || a.nrows != b.nrows
+            || (a.rejected, a.deadline_missed, a.wrapped, a.attach_seg)
+                != (b.rejected, b.deadline_missed, b.wrapped, b.attach_seg)
+        {
+            return Err(format!(
+                "seed {seed}: outcome {i} diverged under observation\n  on:  latency {} wait {} \
+                 rows {} rejected {}\n  off: latency {} wait {} rows {} rejected {}\n  case: {}",
+                a.latency_s,
+                a.queue_wait_s,
+                a.nrows,
+                a.rejected,
+                b.latency_s,
+                b.queue_wait_s,
+                b.nrows,
+                b.rejected,
+                plan.describe()
+            ));
+        }
+    }
+
+    // --- The plane must reconcile with the report it rode along with. ---
+    let obs = on
+        .observed
+        .as_ref()
+        .ok_or_else(|| format!("seed {seed}: observe-on run has no plane"))?;
+    let completed = on.outcomes.iter().filter(|o| !o.rejected).count() as f64;
+    let rejected = on.outcomes.iter().filter(|o| o.rejected).count() as f64;
+    let tl_completed = obs.timeline.counter_total("service.completed");
+    let tl_rejected = obs.timeline.counter_total("service.rejected");
+    if (tl_completed, tl_rejected) != (completed, rejected) {
+        return Err(format!(
+            "seed {seed}: timeline does not reconcile: ({tl_completed}, {tl_rejected}) vs \
+             outcomes ({completed}, {rejected})"
+        ));
+    }
+    for (i, o) in on.outcomes.iter().enumerate() {
+        if o.deadline_missed && !o.rejected {
+            let w = obs.flight.window_of(o.arrival_s + o.latency_s);
+            if !obs
+                .flight
+                .anomalies(w)
+                .iter()
+                .any(|e| e.seq == i as u64 && e.deadline_missed)
+            {
+                return Err(format!(
+                    "seed {seed}: deadline-missed query {i} not retained by the flight \
+                     recorder in window {w}"
+                ));
+            }
+        }
+    }
+    for slo in &obs.slo.tenants {
+        let outs: Vec<_> = on
+            .outcomes
+            .iter()
+            .filter(|o| o.tenant == slo.tenant)
+            .collect();
+        let done = outs.iter().filter(|o| !o.rejected).count() as u64;
+        let rej = outs.iter().filter(|o| o.rejected).count() as u64;
+        if (slo.completed, slo.rejected) != (done, rej) {
+            return Err(format!(
+                "seed {seed}: tenant {} SLO counts ({}, {}) vs outcomes ({done}, {rej})",
+                slo.tenant, slo.completed, slo.rejected
+            ));
+        }
+        // Quantiles against the sorted-Vec oracle (populations here are
+        // far below the histogram's exact-sample cap).
+        let mut lats: Vec<f64> = outs
+            .iter()
+            .filter(|o| !o.rejected)
+            .map(|o| o.latency_s)
+            .collect();
+        lats.sort_by(f64::total_cmp);
+        for q in [0.5, 0.95, 0.99] {
+            let want = if lats.is_empty() {
+                0.0
+            } else {
+                lats[((lats.len() - 1) as f64 * q).round() as usize]
+            };
+            let got = slo.latency.quantile(q);
+            if got.to_bits() != want.to_bits() {
+                return Err(format!(
+                    "seed {seed}: tenant {} p{} {} != oracle {}",
+                    slo.tenant,
+                    (q * 100.0) as u32,
+                    got,
+                    want
+                ));
+            }
         }
     }
     Ok(())

@@ -7,6 +7,7 @@
 //! cargo run -p rodb-fuzz --release -- --iters 10000 --cache     # cache mode
 //! cargo run -p rodb-fuzz --release -- --iters 10000 --concurrent # scheduler
 //! cargo run -p rodb-fuzz --release -- --iters 10000 --ingest     # durable ingest
+//! cargo run -p rodb-fuzz --release -- --iters 10000 --observe    # observability
 //! cargo run -p rodb-fuzz -- --seed 1234                         # replay one
 //! ```
 //!
@@ -45,6 +46,11 @@ fn usage() -> ! {
                          against the WAL-backed store; recovery at sampled\n\
                          crash points and snapshot reads must match a\n\
                          Vec-of-tuples model exactly\n\
+         --observe       observe mode: the concurrent-style service runs\n\
+                         with the observability plane off vs fully on;\n\
+                         rows, clocks and report aggregates must be\n\
+                         bit-identical, and the plane must reconcile with\n\
+                         the report\n\
          --json PATH     write a JSON summary of the sweep to PATH\n\
          --trace-dir DIR re-run the first seed traced; save span + Chrome\n\
                          trace JSON under DIR"
@@ -89,6 +95,7 @@ fn main() -> ExitCode {
     let mut cache = false;
     let mut concurrent = false;
     let mut ingest = false;
+    let mut observe = false;
     let mut json: Option<String> = None;
     let mut trace_dir: Option<String> = None;
     while let Some(a) = args.next() {
@@ -101,12 +108,20 @@ fn main() -> ExitCode {
             "--cache" => cache = true,
             "--concurrent" => concurrent = true,
             "--ingest" => ingest = true,
+            "--observe" => observe = true,
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-dir" => trace_dir = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
-    if (faults as u8) + (recovery as u8) + (cache as u8) + (concurrent as u8) + (ingest as u8) > 1 {
+    if (faults as u8)
+        + (recovery as u8)
+        + (cache as u8)
+        + (concurrent as u8)
+        + (ingest as u8)
+        + (observe as u8)
+        > 1
+    {
         usage();
     }
     let (first, count) = match seed {
@@ -124,6 +139,8 @@ fn main() -> ExitCode {
         ("concurrent", rodb_fuzz::run_concurrent_case)
     } else if ingest {
         ("ingest", rodb_fuzz::run_ingest_case)
+    } else if observe {
+        ("observe", rodb_fuzz::run_observe_case)
     } else {
         ("healthy", rodb_fuzz::run_case)
     };
@@ -139,6 +156,7 @@ fn main() -> ExitCode {
                 "cache" => " --cache",
                 "concurrent" => " --concurrent",
                 "ingest" => " --ingest",
+                "observe" => " --observe",
                 _ => "",
             };
             eprintln!("  reproduce: cargo run -p rodb-fuzz -- --seed {s}{flag}");

@@ -116,6 +116,16 @@ impl PageCache {
         self.frames.is_empty()
     }
 
+    /// Resident fraction of capacity (0.0 for a zero-frame cache) — the
+    /// occupancy gauge the observability timeline samples.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.frames.len() as f64 / self.capacity as f64
+        }
+    }
+
     /// Look `key` up, recording a reference on hit. `None` is a miss (the
     /// caller reads from disk and then [`PageCache::insert`]s).
     pub fn lookup(&mut self, key: PageKey) -> Option<CacheHit> {

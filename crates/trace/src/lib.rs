@@ -1,6 +1,7 @@
-//! rodb-trace — query tracing and profiling for the read-optimized DB repro.
+//! rodb-trace — query tracing, metrics, and live observability for the
+//! read-optimized DB repro.
 //!
-//! Std-only (zero external crates). Three pieces:
+//! Std-only (zero external crates). Pieces:
 //!
 //! - [`span`]: a per-execution-context [`Tracer`] building hierarchical
 //!   operator spans (one per plan node per morsel) whose metrics are the
@@ -9,23 +10,44 @@
 //!   trace's root totals reconcile *exactly* with the query report.
 //!   Finished traces render as an `EXPLAIN ANALYZE` tree or export as
 //!   Chrome trace-event JSON under `results/traces/`.
-//! - [`metrics`]: a process-wide [`MetricsRegistry`] of named counters
-//!   and log2-bucket histograms, drained by sweep drivers (fuzzer,
-//!   bench bins) into their JSON output.
+//! - [`metrics`]: named counters, gauges, and log2-bucket [`Histogram`]s —
+//!   instantiable [`Registry`] handles for drivers that own their metrics,
+//!   plus the process-wide [`MetricsRegistry`] static facade.
+//! - [`timeline`]: [`Timeline`] buckets those metrics by simulated-clock
+//!   windows, turning a service run into curves over time.
+//! - [`recorder`]: [`FlightRecorder`] — bounded tail-based retention of the
+//!   K slowest / all anomalous query flight records per window.
+//! - [`expo`]: Prometheus text exposition + validator, the `rodb-top`
+//!   text renderer, and the [`MonitorHandle`] publishers update.
+//! - [`http`] (feature `monitor`, off by default): a std-only blocking
+//!   `TcpListener` endpoint serving `/metrics`, `/healthz`, `/status`.
 //! - [`json`]: the std-only [`Json`] build/render/parse/flatten value
 //!   used by every JSON writer in the workspace (traces, fuzz `--json`,
 //!   bench outputs, `bench_diff`).
 //!
-//! Tracing defaults off everywhere: the engine holds `Option<Tracer>`
-//! and the disk sim `Option<TraceSink>`, so the measured paper paths pay
-//! one predictable branch per block at most.
+//! Tracing and observability default off everywhere: the engine holds
+//! `Option<Tracer>`, the disk sim `Option<TraceSink>`, and the service
+//! only builds timelines/recorders when `SystemConfig::observe` is set —
+//! the measured paper paths pay one predictable branch per block at most.
 
+pub mod expo;
+#[cfg(feature = "monitor")]
+pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod sink;
 pub mod span;
+pub mod timeline;
 
+pub use expo::{
+    check_exposition, monitor_handle, prometheus, render_top, MonitorHandle, MonitorState,
+};
+#[cfg(feature = "monitor")]
+pub use http::MonitorServer;
 pub use json::Json;
-pub use metrics::MetricsRegistry;
+pub use metrics::{Histogram, MetricsHandle, MetricsRegistry, Registry};
+pub use recorder::{FlightEntry, FlightRecorder};
 pub use sink::{EventBuf, EventKind, TraceEvent, TraceSink};
 pub use span::{keys, Metrics, QueryTrace, SpanId, SpanKind, SpanNode, Tracer, ROOT};
+pub use timeline::{Timeline, Window};

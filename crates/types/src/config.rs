@@ -161,6 +161,52 @@ impl ServiceSpec {
     }
 }
 
+/// Knobs of the live observability plane (windowed metric timelines, the
+/// flight recorder, per-tenant SLO accounting). `None` on
+/// [`SystemConfig::observe`] — the default — means the plane is absent: no
+/// timeline is kept, no trace is sampled, and every query/service/ingest
+/// path is bit-identical (rows, simulated clock, reports) to a build that
+/// predates the plane. Observation never charges the modeled clock; it only
+/// *reads* it, so turning it on cannot perturb the modeled system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObserveSpec {
+    /// Timeline bucket width in *modeled* seconds: counters and histograms
+    /// recorded at clock `t` land in window `floor(t / window_s)`.
+    pub window_s: f64,
+    /// Flight recorder: the K slowest completed queries of each window are
+    /// always retained (deadline-missed, rejected, and quarantine-touching
+    /// queries are retained unconditionally on top).
+    pub flight_k: usize,
+    /// Flight recorder: deterministic reservoir size per window for queries
+    /// that are neither anomalous nor among the K slowest. `0` disables the
+    /// reservoir.
+    pub flight_reservoir: usize,
+}
+
+impl ObserveSpec {
+    /// Timelines bucketed every `window_s` modeled seconds, keeping the 4
+    /// slowest queries per window plus an 8-entry reservoir.
+    pub fn new(window_s: f64) -> ObserveSpec {
+        ObserveSpec {
+            window_s,
+            flight_k: 4,
+            flight_reservoir: 8,
+        }
+    }
+
+    /// The same spec with a different always-keep count.
+    pub fn with_flight_k(mut self, k: usize) -> ObserveSpec {
+        self.flight_k = k;
+        self
+    }
+
+    /// The same spec with a different reservoir size.
+    pub fn with_reservoir(mut self, size: usize) -> ObserveSpec {
+        self.flight_reservoir = size;
+        self
+    }
+}
+
 /// Knobs of the durable write path (WAL-backed WOS→ROS ingest). `None` on
 /// [`SystemConfig::ingest`] — the default — means the write path is absent
 /// and the system behaves exactly like the read-only engine: no WAL, no
@@ -266,6 +312,12 @@ pub struct SystemConfig {
     /// system is the read-only engine of the paper, bit-identical to
     /// configurations that predate the write path.
     pub ingest: Option<IngestSpec>,
+    /// Optional live observability plane (windowed metric timelines, flight
+    /// recorder, per-tenant SLO accounting). Defaults to **off** (`None`):
+    /// nothing is recorded and every execution path is bit-identical to a
+    /// plane-less build. Observation reads the modeled clock but never
+    /// charges it.
+    pub observe: Option<ObserveSpec>,
 }
 
 impl Default for SystemConfig {
@@ -283,6 +335,7 @@ impl Default for SystemConfig {
             cache: None,
             service: None,
             ingest: None,
+            observe: None,
         }
     }
 }
@@ -342,6 +395,13 @@ impl SystemConfig {
                 return Err(Error::InvalidConfig("ingest wal_page < 64".into()));
             }
         }
+        if let Some(o) = &self.observe {
+            if !(o.window_s > 0.0 && o.window_s.is_finite()) {
+                return Err(Error::InvalidConfig(
+                    "observe window_s must be finite and > 0".into(),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -398,6 +458,12 @@ impl SystemConfig {
     /// Convenience: the same config with the durable write path enabled.
     pub fn with_ingest(mut self, ingest: IngestSpec) -> Self {
         self.ingest = Some(ingest);
+        self
+    }
+
+    /// Convenience: the same config with the observability plane enabled.
+    pub fn with_observe(mut self, observe: ObserveSpec) -> Self {
+        self.observe = Some(observe);
         self
     }
 }
@@ -629,6 +695,26 @@ mod tests {
             auto_merge_rows: 0,
             wal_page: 16,
         });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn observe_defaults_off_and_validates() {
+        assert!(SystemConfig::default().observe.is_none());
+        let spec = ObserveSpec::new(0.5);
+        assert_eq!(
+            (spec.window_s, spec.flight_k, spec.flight_reservoir),
+            (0.5, 4, 8)
+        );
+        let spec = spec.with_flight_k(2).with_reservoir(0);
+        assert_eq!((spec.flight_k, spec.flight_reservoir), (2, 0));
+        assert!(SystemConfig::default()
+            .with_observe(spec)
+            .validate()
+            .is_ok());
+        let bad = SystemConfig::default().with_observe(ObserveSpec::new(0.0));
+        assert!(bad.validate().is_err());
+        let bad = SystemConfig::default().with_observe(ObserveSpec::new(f64::NAN));
         assert!(bad.validate().is_err());
     }
 
